@@ -1,0 +1,497 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (Section 7) plus a Bechamel microbenchmark suite.
+
+   Usage:  main.exe [table1] [table2] [fig15] [fig16] [rq5] [micro]
+   With no arguments, all sections run in paper order.
+
+   Environment knobs:
+     IMAGEEYE_QUICK=1           smaller datasets and timeouts (for CI)
+     IMAGEEYE_SEED=<int>        dataset seed (default 42)
+     IMAGEEYE_TIMEOUT=<sec>     per-round synthesis timeout (default 120)
+     IMAGEEYE_EUS_TIMEOUT=<sec> EUSolver per-round timeout (default 30)
+     IMAGEEYE_ABL_TIMEOUT=<sec> ablation per-round timeout (default 10) *)
+
+module Lang = Imageeye_core.Lang
+module Synthesizer = Imageeye_core.Synthesizer
+module Eusolver = Imageeye_baseline.Eusolver
+module Dataset = Imageeye_scene.Dataset
+module Scene = Imageeye_scene.Scene
+module Task = Imageeye_tasks.Task
+module Benchmarks = Imageeye_tasks.Benchmarks
+module Session = Imageeye_interact.Session
+module Accuracy = Imageeye_interact.Accuracy
+module Noise = Imageeye_vision.Noise
+module Stats = Imageeye_util.Stats
+module Tablefmt = Imageeye_util.Tablefmt
+
+let env_int name default =
+  match Sys.getenv_opt name with Some v -> int_of_string v | None -> default
+
+let env_float name default =
+  match Sys.getenv_opt name with Some v -> float_of_string v | None -> default
+
+let quick = Sys.getenv_opt "IMAGEEYE_QUICK" = Some "1"
+let seed = env_int "IMAGEEYE_SEED" 42
+let timeout = env_float "IMAGEEYE_TIMEOUT" (if quick then 20.0 else 120.0)
+let eus_timeout = env_float "IMAGEEYE_EUS_TIMEOUT" (if quick then 10.0 else 30.0)
+let abl_timeout = env_float "IMAGEEYE_ABL_TIMEOUT" (if quick then 5.0 else 10.0)
+
+let dataset_size domain =
+  if quick then
+    match domain with Dataset.Wedding -> 40 | Dataset.Receipts -> 12 | Dataset.Objects -> 120
+  else Dataset.default_image_count domain
+
+let datasets =
+  lazy
+    (List.map
+       (fun d -> (d, Dataset.generate ~n_images:(dataset_size d) ~seed d))
+       Dataset.all_domains)
+
+let dataset_for domain = List.assoc domain (Lazy.force datasets)
+
+(* One perfect-detection batch universe per dataset, shared by every
+   session over it. *)
+let universes = Hashtbl.create 4
+
+let universe_for domain =
+  match Hashtbl.find_opt universes domain with
+  | Some u -> u
+  | None ->
+      let u = Imageeye_vision.Batch.universe_of_scenes (dataset_for domain).scenes in
+      Hashtbl.add universes domain u;
+      u
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+let heading title =
+  say "";
+  say "==================================================================";
+  say "%s" title;
+  say "=================================================================="
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: dataset statistics                                         *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  heading "Table 1: statistics about images and tasks for each domain";
+  let rows =
+    List.map
+      (fun domain ->
+        let ds = dataset_for domain in
+        let tasks = Benchmarks.for_domain domain in
+        let sizes = List.map (fun t -> float_of_int (Task.size t)) tasks in
+        [
+          Dataset.domain_name domain;
+          string_of_int (List.length ds.scenes);
+          Tablefmt.fmt_float (Dataset.average_object_count ds);
+          string_of_int (List.length tasks);
+          Tablefmt.fmt_float (Stats.mean sizes);
+        ])
+      Dataset.all_domains
+  in
+  say "%s"
+    (Tablefmt.render
+       ~header:[ "Dataset"; "# Images"; "Avg. # Objects"; "# Tasks"; "Avg. Program Size" ]
+       ~rows);
+  say "(paper: Wedding 121/10/16/9.4, Receipts 38/59/13/7.8, Objects 608/3/21/8.3)"
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: main results — shared session runs                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_sessions ?(config = { Synthesizer.default_config with timeout_s = timeout }) () =
+  List.map
+    (fun task ->
+      let dataset = dataset_for task.Task.domain in
+      let t0 = Unix.gettimeofday () in
+      let r =
+        Session.run ~config ~batch_universe:(universe_for task.Task.domain) ~dataset task
+      in
+      say "  task %2d (%s, size %2d): %s rounds=%d last=%.2fs wall=%.1fs" task.Task.id
+        (Dataset.domain_name task.Task.domain)
+        (Task.size task)
+        (if r.Session.solved then "solved " else "FAILED ")
+        r.Session.examples_used r.Session.last_round_time
+        (Unix.gettimeofday () -. t0);
+      r)
+    Benchmarks.all
+
+let imageeye_results = lazy (run_sessions ())
+
+let table2 () =
+  heading "Table 2: summary of results for ImageEye";
+  let results = Lazy.force imageeye_results in
+  let row_for name filter =
+    let rs = List.filter filter results in
+    let solved = List.filter (fun r -> r.Session.solved) rs in
+    let times = List.map (fun r -> r.Session.last_round_time) solved in
+    let examples = List.map (fun r -> float_of_int r.Session.examples_used) solved in
+    [
+      name;
+      Printf.sprintf "%d/%d" (List.length solved) (List.length rs);
+      Printf.sprintf "%s ± %s" (Tablefmt.fmt_float (Stats.mean times))
+        (Tablefmt.fmt_float (Stats.confidence95 times));
+      Tablefmt.fmt_float (Stats.median times);
+      Printf.sprintf "%s ± %s"
+        (Tablefmt.fmt_float (Stats.mean examples))
+        (Tablefmt.fmt_float ~decimals:2 (Stats.confidence95 examples));
+    ]
+  in
+  let rows =
+    List.map
+      (fun d -> row_for (Dataset.domain_name d) (fun r -> r.Session.task.Task.domain = d))
+      Dataset.all_domains
+    @ [ row_for "Total" (fun _ -> true) ]
+  in
+  say "%s"
+    (Tablefmt.render
+       ~header:
+         [ "Dataset"; "# solved"; "Avg. Synth Time (s)"; "Med. Synth Time (s)"; "Avg. # Examples" ]
+       ~rows);
+  say "(paper: Wedding 14/16, Receipts 13/13, Objects 21/21; total 48/50,";
+  say " avg 12.8s, median 1.2s, avg ~3.8 examples)";
+  List.iter
+    (fun r ->
+      if not r.Session.solved then
+        say "  failure: task %d (%s) — %s" r.Session.task.Task.id
+          r.Session.task.Task.description
+          (match r.Session.failure with
+          | Some Session.Synth_failed -> "synthesis timed out / exhausted"
+          | Some Session.Rounds_exhausted -> "needed more than the round limit"
+          | Some Session.No_useful_image -> "no useful demonstration image"
+          | None -> "?"))
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Figure 15: ImageEye vs EUSolver by task difficulty                  *)
+(* ------------------------------------------------------------------ *)
+
+let size_buckets = [ (4, 5); (6, 6); (7, 7); (8, 9); (10, 12); (13, 16) ]
+
+let bucket_label (lo, hi) = if lo = hi then string_of_int lo else Printf.sprintf "%d-%d" lo hi
+
+let fig15 () =
+  heading "Figure 15: ImageEye vs EUSolver (tasks solved per AST-size bucket)";
+  let eus_results =
+    List.map
+      (fun task ->
+        let dataset = dataset_for task.Task.domain in
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Session.run_with
+            ~engine:(Session.eusolver_engine ~timeout_s:eus_timeout)
+            ~batch_universe:(universe_for task.Task.domain) ~dataset task
+        in
+        say "  eusolver task %2d (size %2d): %s rounds=%d wall=%.1fs" task.Task.id
+          (Task.size task)
+          (if r.Session.solved then "solved " else "FAILED ")
+          r.Session.examples_used
+          (Unix.gettimeofday () -. t0);
+        r)
+      Benchmarks.all
+  in
+  let ie_results = Lazy.force imageeye_results in
+  let count results (lo, hi) =
+    List.length
+      (List.filter
+         (fun r ->
+           let s = Task.size r.Session.task in
+           r.Session.solved && s >= lo && s <= hi)
+         results)
+  in
+  let labels = List.map bucket_label size_buckets in
+  let ie = List.map (count ie_results) size_buckets in
+  let eus = List.map (count eus_results) size_buckets in
+  say "%s"
+    (Tablefmt.bar_chart ~title:"tasks solved (per ground-truth AST size bucket)" ~labels
+       ~series:[ ("ImageEye", ie); ("EUSolver", eus) ]);
+  let total results = List.length (List.filter (fun r -> r.Session.solved) results) in
+  say "totals: ImageEye %d/50, EUSolver %d/50 (paper: 48 vs 34; gap grows with size)"
+    (total ie_results) (total eus_results)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 16: ablation study (cactus plot)                             *)
+(* ------------------------------------------------------------------ *)
+
+let ablations =
+  [
+    ("full", fun c -> c);
+    ("no-goal-inference", fun c -> { c with Synthesizer.goal_inference = false });
+    ("no-partial-eval", fun c -> { c with Synthesizer.partial_eval = false });
+    ("no-equiv-reduction", fun c -> { c with Synthesizer.equiv_reduction = false });
+  ]
+
+let fig16 () =
+  heading "Figure 16: ablation study (cumulative synthesis time vs benchmarks solved)";
+  let base = { Synthesizer.default_config with timeout_s = abl_timeout } in
+  let per_config =
+    List.map
+      (fun (name, tweak) ->
+        say "  running ablation: %s (timeout %.0fs)" name abl_timeout;
+        let results = run_sessions ~config:(tweak base) () in
+        let solved_times =
+          List.filter_map
+            (fun r ->
+              if r.Session.solved then
+                Some (List.fold_left (fun acc (rd : Session.round) -> acc +. rd.synth_time) 0.0 r.Session.rounds)
+              else None)
+            results
+        in
+        (name, List.sort Float.compare solved_times))
+      ablations
+  in
+  say "";
+  say "cactus data: cumulative time (s) after solving N benchmarks";
+  let checkpoints = [ 10; 20; 30; 35; 40; 45; 48; 50 ] in
+  let header = "config" :: List.map string_of_int checkpoints in
+  let rows =
+    List.map
+      (fun (name, times) ->
+        let cumulative = Stats.cumulative times in
+        let at n =
+          if List.length cumulative >= n then
+            Tablefmt.fmt_float (List.nth cumulative (n - 1))
+          else "-"
+        in
+        name :: List.map at checkpoints)
+      per_config
+  in
+  say "%s" (Tablefmt.render ~header ~rows);
+  say "";
+  say "%s"
+    (Tablefmt.bar_chart ~title:"benchmarks solved within the per-round timeout"
+       ~labels:[ "solved" ]
+       ~series:(List.map (fun (name, times) -> (name, [ List.length times ])) per_config));
+  say "(paper: disabling goal inference loses 4 tasks, partial evaluation 8, equivalence reduction 16)"
+
+(* ------------------------------------------------------------------ *)
+(* RQ5: reliability of the underlying neural models                    *)
+(* ------------------------------------------------------------------ *)
+
+let rq5 () =
+  heading "RQ5: accuracy of synthesized programs under an imperfect detector";
+  let results = Lazy.force imageeye_results in
+  let samples = if quick then 8 else 20 in
+  let per_domain =
+    List.map
+      (fun domain ->
+        let ds = dataset_for domain in
+        let domain_results =
+          List.filter (fun r -> r.Session.task.Task.domain = domain) results
+        in
+        let reports =
+          List.map
+            (fun r ->
+              (* Evaluate the synthesized program when available, otherwise
+                 the ground truth (both are semantically correct; RQ5
+                 measures the neural models, not the synthesizer). *)
+              let prog =
+                match r.Session.program with
+                | Some p -> p
+                | None -> r.Session.task.Task.ground_truth
+              in
+              Accuracy.evaluate ~noise:Noise.default_imperfect
+                ~seed:(seed + r.Session.task.Task.id) ~samples prog ds)
+            domain_results
+        in
+        let sampled = List.fold_left (fun a r -> a + r.Accuracy.sampled) 0 reports in
+        let correct = List.fold_left (fun a r -> a + r.Accuracy.correct) 0 reports in
+        (domain, sampled, correct))
+      Dataset.all_domains
+  in
+  let rows =
+    List.map
+      (fun (domain, sampled, correct) ->
+        [
+          Dataset.domain_name domain;
+          string_of_int sampled;
+          string_of_int correct;
+          Tablefmt.fmt_float (100.0 *. float_of_int correct /. float_of_int (max 1 sampled));
+        ])
+      per_domain
+  in
+  let total_s = List.fold_left (fun a (_, s, _) -> a + s) 0 per_domain in
+  let total_c = List.fold_left (fun a (_, _, c) -> a + c) 0 per_domain in
+  say "%s"
+    (Tablefmt.render
+       ~header:[ "Dataset"; "sampled images"; "intended output"; "accuracy (%)" ]
+       ~rows:
+         (rows
+         @ [
+             [
+               "Total";
+               string_of_int total_s;
+               string_of_int total_c;
+               Tablefmt.fmt_float
+                 (100.0 *. float_of_int total_c /. float_of_int (max 1 total_s));
+             ];
+           ]));
+  say "(paper: intended output on 87%% of sampled test images)"
+
+(* ------------------------------------------------------------------ *)
+(* Stress: randomly generated tasks beyond the curated 50              *)
+(* ------------------------------------------------------------------ *)
+
+let stress () =
+  heading "Stress: randomly generated tasks (extension; not in the paper)";
+  let per_domain = if quick then 4 else 10 in
+  let config = { Synthesizer.default_config with timeout_s = abl_timeout *. 2.0 } in
+  let rows =
+    List.map
+      (fun domain ->
+        let dataset = dataset_for domain in
+        let tasks =
+          Imageeye_tasks.Random_tasks.generate ~seed:(seed + 17) ~count:per_domain ~dataset
+        in
+        let results =
+          List.map
+            (fun task ->
+              let r =
+                Session.run ~config ~batch_universe:(universe_for domain) ~dataset task
+              in
+              say "  random task %d (%s, size %d): %s rounds=%d" task.Task.id
+                (Dataset.domain_name domain) (Task.size task)
+                (if r.Session.solved then "solved" else "FAILED")
+                r.Session.examples_used;
+              r)
+            tasks
+        in
+        let solved = List.filter (fun r -> r.Session.solved) results in
+        let rounds = List.map (fun r -> float_of_int r.Session.examples_used) solved in
+        [
+          Dataset.domain_name domain;
+          Printf.sprintf "%d/%d" (List.length solved) (List.length results);
+          Tablefmt.fmt_float (Stats.mean rounds);
+        ])
+      Dataset.all_domains
+  in
+  say "%s"
+    (Tablefmt.render ~header:[ "Dataset"; "# solved"; "Avg. # Examples" ] ~rows);
+  say "(sanity check that the synthesizer is not overfit to the curated benchmark suite)"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: one Test.make per table/figure            *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  heading "Bechamel microbenchmarks (one per experiment)";
+  let open Bechamel in
+  let wedding_small = Dataset.generate ~n_images:6 ~seed Dataset.Wedding in
+  let objects_small = Dataset.generate ~n_images:20 ~seed Dataset.Objects in
+  let task1 = Benchmarks.by_id 1 in
+  let task30 = Benchmarks.by_id 30 in
+  let u = Imageeye_vision.Batch.universe_of_scenes wedding_small.scenes in
+  let gt_edit = Imageeye_core.Edit.induced_by_program u task1.Task.ground_truth in
+  let spec = Imageeye_core.Edit.Spec.make u [ (0, gt_edit) ] in
+  let cfg = { Synthesizer.default_config with timeout_s = 5.0 } in
+  let tests =
+    [
+      Test.make ~name:"table1/dataset-generation"
+        (Staged.stage (fun () -> ignore (Dataset.generate ~n_images:8 ~seed Dataset.Wedding)));
+      Test.make ~name:"table2/synthesize-task1"
+        (Staged.stage (fun () -> ignore (Synthesizer.synthesize ~config:cfg spec)));
+      Test.make ~name:"fig15/eusolver-task1"
+        (Staged.stage (fun () ->
+             ignore
+               (Eusolver.synthesize
+                  ~config:{ Eusolver.default_config with timeout_s = 5.0 }
+                  spec)));
+      Test.make ~name:"fig16/ablation-no-equiv-task1"
+        (Staged.stage (fun () ->
+             ignore
+               (Synthesizer.synthesize
+                  ~config:{ cfg with Synthesizer.equiv_reduction = false }
+                  spec)));
+      Test.make ~name:"rq5/noisy-detection"
+        (Staged.stage (fun () ->
+             ignore
+               (Imageeye_vision.Batch.universe_of_scenes ~noise:Noise.default_imperfect
+                  ~seed objects_small.scenes)));
+      Test.make ~name:"core/apply-program-to-raster"
+        (Staged.stage (fun () ->
+             let scene = List.hd objects_small.scenes in
+             let img = Imageeye_scene.Render.scene scene in
+             let su = Imageeye_vision.Batch.universe_of_scenes [ scene ] in
+             ignore (Imageeye_core.Apply.program su img task30.Task.ground_truth)));
+      (* Component throughput: the primitives the search spends its time in. *)
+      Test.make ~name:"component/eval-extractor"
+        (Staged.stage (fun () ->
+             ignore
+               (Imageeye_core.Eval.extractor u
+                  (fst (List.hd task1.Task.ground_truth)))));
+      Test.make ~name:"component/universe-build"
+        (Staged.stage (fun () ->
+             ignore (Imageeye_vision.Batch.universe_of_scenes wedding_small.scenes)));
+      Test.make ~name:"component/bitset-ops"
+        (Staged.stage
+           (let a = Imageeye_util.Bitset.of_list 512 (List.init 200 (fun i -> i * 2)) in
+            let b = Imageeye_util.Bitset.of_list 512 (List.init 200 (fun i -> i * 2 + 1)) in
+            fun () ->
+              ignore
+                (Imageeye_util.Bitset.subset
+                   (Imageeye_util.Bitset.inter a b)
+                   (Imageeye_util.Bitset.union a b))));
+      Test.make ~name:"component/pqueue-push-pop"
+        (Staged.stage (fun () ->
+             let q =
+               List.fold_left
+                 (fun q i -> Imageeye_util.Pqueue.push q (i mod 17, i) i)
+                 (Imageeye_util.Pqueue.empty ~compare:Stdlib.compare)
+                 (List.init 256 Fun.id)
+             in
+             ignore (Imageeye_util.Pqueue.to_sorted_list q)));
+    ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg_bench = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~kde:None () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg_bench instances test in
+      let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let estimate =
+            match Analyze.OLS.estimates ols_result with Some [ e ] -> e | _ -> nan
+          in
+          say "  %-36s %14.1f ns/run" name estimate)
+        analyzed)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let sections =
+    match Array.to_list Sys.argv with [] | [ _ ] -> [] | _ :: rest -> rest
+  in
+  let all =
+    [
+      ("table1", table1);
+      ("table2", table2);
+      ("fig15", fig15);
+      ("fig16", fig16);
+      ("rq5", rq5);
+      ("stress", stress);
+      ("micro", micro);
+    ]
+  in
+  let chosen =
+    match sections with
+    | [] -> all
+    | names ->
+        List.filter_map
+          (fun n ->
+            match List.assoc_opt n all with
+            | Some f -> Some (n, f)
+            | None ->
+                say "unknown section %S (known: %s)" n (String.concat ", " (List.map fst all));
+                None)
+          names
+  in
+  say "ImageEye experiment harness (%s mode, seed %d, timeout %.0fs)"
+    (if quick then "quick" else "full")
+    seed timeout;
+  List.iter (fun (_, f) -> f ()) chosen

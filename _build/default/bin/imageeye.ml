@@ -1,0 +1,401 @@
+(* The imageeye command-line interface.
+
+   Subcommands:
+     generate   make a synthetic dataset (scene metadata + rendered PPMs)
+     objects    list the detected objects of a dataset directory
+     synthesize learn a program from a demonstration file
+     explain    why a program selects / skips an object
+     tasks      list the 50 benchmark tasks
+     show       print one benchmark task and its ground-truth program
+     learn      run the demonstration loop for a benchmark task
+     apply      apply a DSL program file to a dataset directory
+     accuracy   measure a task's RQ5 accuracy under the imperfect detector
+     report     learn a task and write an HTML before/after gallery
+     parse      validate and pretty-print a DSL program file *)
+
+open Cmdliner
+module Lang = Imageeye_core.Lang
+module Parser = Imageeye_core.Parser
+module Synthesizer = Imageeye_core.Synthesizer
+module Apply = Imageeye_core.Apply
+module Dataset = Imageeye_scene.Dataset
+module Scene = Imageeye_scene.Scene
+module Scene_io = Imageeye_scene.Scene_io
+module Render = Imageeye_scene.Render
+module Batch = Imageeye_vision.Batch
+module Session = Imageeye_interact.Session
+module Benchmarks = Imageeye_tasks.Benchmarks
+module Task = Imageeye_tasks.Task
+module Ppm = Imageeye_raster.Ppm
+
+let domain_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "wedding" -> Ok Dataset.Wedding
+    | "receipts" -> Ok Dataset.Receipts
+    | "objects" -> Ok Dataset.Objects
+    | other -> Error (`Msg (Printf.sprintf "unknown domain %S (wedding|receipts|objects)" other))
+  in
+  let print fmt d = Format.pp_print_string fmt (String.lowercase_ascii (Dataset.domain_name d)) in
+  Arg.conv (parse, print)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Dataset generation seed.")
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_program path =
+  match Parser.program (read_file path) with
+  | Ok p -> p
+  | Error e -> failwith (Printf.sprintf "%s: %s" path (Parser.error_to_string e))
+
+(* ---------- generate ---------- *)
+
+let generate domain count seed out render =
+  let count = Option.value count ~default:(Dataset.default_image_count domain) in
+  let dataset = Dataset.generate ~n_images:count ~seed domain in
+  ensure_dir out;
+  Scene_io.save_dataset dataset ~dir:out;
+  if render then
+    List.iter
+      (fun (s : Scene.t) ->
+        Ppm.write (Render.scene s) (Filename.concat out (Printf.sprintf "%04d.ppm" s.image_id)))
+      dataset.scenes;
+  Printf.printf "wrote %d %s scene(s)%s to %s\n" count (Dataset.domain_name dataset.domain)
+    (if render then " and rendered PPMs" else "")
+    out
+
+let generate_cmd =
+  let domain =
+    Arg.(required & pos 0 (some domain_conv) None & info [] ~docv:"DOMAIN")
+  in
+  let count =
+    Arg.(value & opt (some int) None & info [ "n"; "count" ] ~docv:"N"
+           ~doc:"Number of images (default: the paper's count for the domain).")
+  in
+  let out = Arg.(value & opt string "dataset" & info [ "o"; "out" ] ~docv:"DIR") in
+  let render =
+    Arg.(value & flag & info [ "render" ] ~doc:"Also write rendered PPM images.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic dataset for a domain.")
+    Term.(const generate $ domain $ count $ seed_arg $ out $ render)
+
+(* ---------- tasks / show ---------- *)
+
+let list_tasks () =
+  List.iter
+    (fun t ->
+      Printf.printf "%2d  %-8s size %2d  %s\n" t.Task.id
+        (Dataset.domain_name t.Task.domain) (Task.size t) t.Task.description)
+    Benchmarks.all
+
+let tasks_cmd =
+  Cmd.v (Cmd.info "tasks" ~doc:"List the 50 benchmark tasks of Appendix B.")
+    Term.(const list_tasks $ const ())
+
+let task_id_arg = Arg.(required & pos 0 (some int) None & info [] ~docv:"TASK-ID")
+
+let show id =
+  let t = Benchmarks.by_id id in
+  Printf.printf "task %d (%s, size %d)\n%s\n%s\n" t.Task.id
+    (Dataset.domain_name t.Task.domain) (Task.size t) t.Task.description
+    (Lang.program_to_string t.Task.ground_truth)
+
+let show_cmd =
+  Cmd.v (Cmd.info "show" ~doc:"Print one benchmark task and its ground truth.")
+    Term.(const show $ task_id_arg)
+
+(* ---------- learn ---------- *)
+
+let learn id images seed timeout save =
+  let t = Benchmarks.by_id id in
+  let n = Option.value images ~default:(Dataset.default_image_count t.Task.domain) in
+  let dataset = Dataset.generate ~n_images:n ~seed t.Task.domain in
+  Printf.printf "task %d: %s\n" id t.Task.description;
+  let config = { Synthesizer.default_config with timeout_s = timeout } in
+  let result = Session.run ~config ~dataset t in
+  List.iter
+    (fun (r : Session.round) ->
+      Printf.printf "  round %d: demo image %d, %.2fs -> %s\n" r.round_index r.demo_image
+        r.synth_time
+        (match r.candidate with Some p -> Lang.program_to_string p | None -> "(failed)"))
+    result.Session.rounds;
+  match result.Session.program with
+  | Some p ->
+      Printf.printf "solved with %d demonstration(s): %s\n" result.Session.examples_used
+        (Lang.program_to_string p);
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc (Lang.program_to_string p);
+          close_out oc;
+          Printf.printf "saved to %s\n" path)
+        save
+  | None ->
+      Printf.printf "FAILED (%s)\n"
+        (match result.Session.failure with
+        | Some Session.Synth_failed -> "synthesis timed out"
+        | Some Session.Rounds_exhausted -> "too many rounds"
+        | Some Session.No_useful_image -> "no useful demonstration image"
+        | None -> "unknown");
+      exit 1
+
+let learn_cmd =
+  let images =
+    Arg.(value & opt (some int) None & info [ "n"; "images" ] ~docv:"N"
+           ~doc:"Dataset size (default: the paper's).")
+  in
+  let timeout =
+    Arg.(value & opt float 120.0 & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Per-round synthesis timeout.")
+  in
+  let save =
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
+           ~doc:"Write the learned program to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "learn"
+       ~doc:"Run the demonstration loop for a benchmark task and print the learned program.")
+    Term.(const learn $ task_id_arg $ images $ seed_arg $ timeout $ save)
+
+(* ---------- apply ---------- *)
+
+let apply_cmd_impl program_path scenes_dir out =
+  let program = load_program program_path in
+  let scenes = Scene_io.load_scenes ~dir:scenes_dir in
+  if scenes = [] then failwith (Printf.sprintf "no .scene files in %s" scenes_dir);
+  ensure_dir out;
+  List.iter
+    (fun (s : Scene.t) ->
+      let img = Render.scene s in
+      let u = Batch.universe_of_scenes [ s ] in
+      let edited = Apply.program u img program in
+      Ppm.write edited (Filename.concat out (Printf.sprintf "%04d.ppm" s.image_id)))
+    scenes;
+  Printf.printf "applied %s to %d image(s); output in %s\n"
+    (Lang.program_to_string program)
+    (List.length scenes) out
+
+let apply_cmd =
+  let program =
+    Arg.(required & opt (some file) None & info [ "p"; "program" ] ~docv:"FILE")
+  in
+  let scenes = Arg.(required & opt (some dir) None & info [ "scenes" ] ~docv:"DIR") in
+  let out = Arg.(value & opt string "edited" & info [ "o"; "out" ] ~docv:"DIR") in
+  Cmd.v
+    (Cmd.info "apply" ~doc:"Apply a DSL program to every image of a dataset directory.")
+    Term.(const apply_cmd_impl $ program $ scenes $ out)
+
+(* ---------- accuracy ---------- *)
+
+let accuracy id samples seed =
+  let t = Benchmarks.by_id id in
+  let dataset =
+    Dataset.generate ~n_images:(Dataset.default_image_count t.Task.domain) ~seed t.Task.domain
+  in
+  let report =
+    Imageeye_interact.Accuracy.evaluate ~noise:Imageeye_vision.Noise.default_imperfect ~seed
+      ~samples t.Task.ground_truth dataset
+  in
+  Printf.printf
+    "task %d: intended edit on %d of %d sampled images (%.1f%%) under the imperfect detector
+"
+    id report.Imageeye_interact.Accuracy.correct report.Imageeye_interact.Accuracy.sampled
+    (100.0 *. report.Imageeye_interact.Accuracy.accuracy)
+
+let accuracy_cmd =
+  let samples =
+    Arg.(value & opt int 20 & info [ "samples" ] ~docv:"N"
+           ~doc:"Images to sample (with non-empty intended edit).")
+  in
+  Cmd.v
+    (Cmd.info "accuracy"
+       ~doc:"Measure a task's RQ5 accuracy: how often its ground-truth program produces              the intended edit when the neural models are imperfect.")
+    Term.(const accuracy $ task_id_arg $ samples $ seed_arg)
+
+(* ---------- objects ---------- *)
+
+let list_objects scenes_dir =
+  let scenes = Scene_io.load_scenes ~dir:scenes_dir in
+  if scenes = [] then failwith (Printf.sprintf "no .scene files in %s" scenes_dir);
+  List.iter
+    (fun (s : Scene.t) ->
+      Printf.printf "image %d (%dx%d)
+" s.image_id s.width s.height;
+      let u = Batch.universe_of_scenes [ s ] in
+      List.iteri
+        (fun pos id ->
+          let e = Imageeye_symbolic.Universe.entity u id in
+          let b = e.Imageeye_symbolic.Entity.bbox in
+          let extra =
+            match e.Imageeye_symbolic.Entity.kind with
+            | Imageeye_symbolic.Entity.Face f ->
+                Printf.sprintf " faceId=%d smiling=%b eyesOpen=%b age=%d-%d" f.face_id
+                  f.smiling f.eyes_open f.age_low f.age_high
+            | Imageeye_symbolic.Entity.Text body -> Printf.sprintf " %S" body
+            | Imageeye_symbolic.Entity.Thing _ -> ""
+          in
+          Printf.printf "  #%d %-8s at (%d,%d)-(%d,%d)%s
+" pos
+            (Imageeye_symbolic.Entity.object_type e)
+            b.Imageeye_geometry.Bbox.left b.top b.right b.bottom extra)
+        (Imageeye_symbolic.Universe.objects_of_image u s.image_id))
+    scenes
+
+let objects_cmd =
+  let scenes = Arg.(required & opt (some dir) None & info [ "scenes" ] ~docv:"DIR") in
+  Cmd.v
+    (Cmd.info "objects"
+       ~doc:"List the detected objects of each image in a dataset directory; the printed              #numbers are what demonstration files refer to.")
+    Term.(const list_objects $ scenes)
+
+(* ---------- synthesize ---------- *)
+
+let synthesize_cmd_impl scenes_dir demos_path timeout save =
+  let scenes = Scene_io.load_scenes ~dir:scenes_dir in
+  if scenes = [] then failwith (Printf.sprintf "no .scene files in %s" scenes_dir);
+  let demos =
+    match Imageeye_interact.Demo_io.load demos_path with
+    | Ok d -> d
+    | Error e -> failwith (Imageeye_interact.Demo_io.error_to_string e)
+  in
+  let spec =
+    match Imageeye_interact.Demo_io.to_spec ~scenes demos with
+    | Ok s -> s
+    | Error msg -> failwith msg
+  in
+  let config = { Synthesizer.default_config with timeout_s = timeout } in
+  match Synthesizer.synthesize ~config spec with
+  | Synthesizer.Success (program, stats) ->
+      Printf.printf "synthesized in %.2fs: %s
+" stats.elapsed_s
+        (Lang.program_to_string program);
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc (Lang.program_to_string program);
+          close_out oc;
+          Printf.printf "saved to %s
+" path)
+        save
+  | Synthesizer.Timeout _ ->
+      Printf.printf "synthesis timed out
+";
+      exit 1
+  | Synthesizer.Exhausted _ ->
+      Printf.printf "no program in the search space matches the demonstrations
+";
+      exit 1
+
+let synthesize_cmd =
+  let scenes = Arg.(required & opt (some dir) None & info [ "scenes" ] ~docv:"DIR") in
+  let demos = Arg.(required & opt (some file) None & info [ "demos" ] ~docv:"FILE") in
+  let timeout = Arg.(value & opt float 120.0 & info [ "timeout" ] ~docv:"SECONDS") in
+  let save = Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "synthesize"
+       ~doc:"Learn a program from a demonstration file over a dataset directory.")
+    Term.(const synthesize_cmd_impl $ scenes $ demos $ timeout $ save)
+
+(* ---------- explain ---------- *)
+
+let explain_cmd_impl program_path scenes_dir image obj =
+  let program = load_program program_path in
+  let scenes = Scene_io.load_scenes ~dir:scenes_dir in
+  let scene =
+    match List.find_opt (fun (s : Scene.t) -> s.image_id = image) scenes with
+    | Some s -> s
+    | None -> failwith (Printf.sprintf "no image %d in %s" image scenes_dir)
+  in
+  let u = Batch.universe_of_scenes [ scene ] in
+  let ids = Imageeye_symbolic.Universe.objects_of_image u image in
+  match List.nth_opt ids obj with
+  | None -> failwith (Printf.sprintf "image %d has only %d objects" image (List.length ids))
+  | Some id ->
+      List.iteri
+        (fun i (extractor, action) ->
+          Printf.printf "guarded action %d (%s): %s" (i + 1) (Lang.action_to_string action)
+            (Imageeye_core.Explain.explain u extractor id))
+        program
+
+let explain_cmd =
+  let program = Arg.(required & opt (some file) None & info [ "p"; "program" ] ~docv:"FILE") in
+  let scenes = Arg.(required & opt (some dir) None & info [ "scenes" ] ~docv:"DIR") in
+  let image = Arg.(required & opt (some int) None & info [ "image" ] ~docv:"IMAGE-ID") in
+  let obj = Arg.(required & opt (some int) None & info [ "object" ] ~docv:"OBJECT-NUMBER") in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Explain why a program's extractors select or skip one object of one image.")
+    Term.(const explain_cmd_impl $ program $ scenes $ image $ obj)
+
+(* ---------- report ---------- *)
+
+let report id images seed timeout out =
+  let t = Benchmarks.by_id id in
+  let n = Option.value images ~default:24 in
+  let dataset = Dataset.generate ~n_images:n ~seed t.Task.domain in
+  let config = { Synthesizer.default_config with timeout_s = timeout } in
+  let result = Session.run ~config ~dataset t in
+  match result.Session.program with
+  | None ->
+      Printf.printf "task %d failed to synthesize; no report written
+" id;
+      exit 1
+  | Some program ->
+      ensure_dir out;
+      let entries =
+        Imageeye_report.Html_report.generate ~dir:out
+          ~title:(Printf.sprintf "Task %d: %s" id t.Task.description)
+          ~program dataset.scenes
+      in
+      let edited =
+        List.length (List.filter (fun e -> e.Imageeye_report.Html_report.edited) entries)
+      in
+      Printf.printf "wrote %s/index.html (%d images, %d edited)
+" out (List.length entries)
+        edited
+
+let report_cmd =
+  let images =
+    Arg.(value & opt (some int) None & info [ "n"; "images" ] ~docv:"N"
+           ~doc:"Dataset size (default 24, kept small for a browsable page).")
+  in
+  let timeout =
+    Arg.(value & opt float 120.0 & info [ "timeout" ] ~docv:"SECONDS")
+  in
+  let out = Arg.(value & opt string "report" & info [ "o"; "out" ] ~docv:"DIR") in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Learn a benchmark task and write an HTML before/after gallery of the batch.")
+    Term.(const report $ task_id_arg $ images $ seed_arg $ timeout $ out)
+
+(* ---------- parse ---------- *)
+
+let parse_impl path =
+  let p = load_program path in
+  Printf.printf "%s\n(size %d)\n" (Lang.program_to_string p) (Lang.program_size p)
+
+let parse_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v (Cmd.info "parse" ~doc:"Validate and pretty-print a DSL program file.")
+    Term.(const parse_impl $ file)
+
+let () =
+  let info =
+    Cmd.info "imageeye" ~version:"1.0.0"
+      ~doc:"Batch image processing by program synthesis (PLDI 2023 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd; objects_cmd; synthesize_cmd; explain_cmd; tasks_cmd; show_cmd;
+            learn_cmd; apply_cmd; accuracy_cmd; report_cmd; parse_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/active_learning.mli:

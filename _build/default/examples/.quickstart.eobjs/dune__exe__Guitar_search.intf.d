@@ -1,0 +1,1 @@
+examples/guitar_search.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Filename Imageeye_core Imageeye_raster Imageeye_scene Imageeye_symbolic Imageeye_vision List Printf String Sys Unix

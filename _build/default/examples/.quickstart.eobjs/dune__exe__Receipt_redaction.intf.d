@@ -1,0 +1,1 @@
+examples/receipt_redaction.mli:

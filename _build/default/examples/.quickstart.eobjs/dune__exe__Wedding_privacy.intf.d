@@ -1,0 +1,1 @@
+examples/wedding_privacy.mli:

@@ -1,0 +1,1 @@
+lib/baseline/eusolver.ml: Array Hashtbl Imageeye_core Imageeye_symbolic List Unix

@@ -1,0 +1,1 @@
+lib/baseline/eusolver.mli: Imageeye_core Imageeye_symbolic

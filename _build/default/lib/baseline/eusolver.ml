@@ -1,0 +1,210 @@
+module Simage = Imageeye_symbolic.Simage
+module Universe = Imageeye_symbolic.Universe
+module Lang = Imageeye_core.Lang
+module Pred = Imageeye_core.Pred
+module Eval = Imageeye_core.Eval
+module Edit = Imageeye_core.Edit
+module Vocab = Imageeye_core.Vocab
+
+type config = {
+  timeout_s : float;
+  max_size : int;
+  max_operands : int;
+  max_bank_per_size : int;
+  age_thresholds : int list;
+  enable_dnc : bool;
+}
+
+let default_config =
+  {
+    timeout_s = 20.0;
+    max_size = 9;
+    max_operands = 3;
+    max_bank_per_size = 20_000;
+    age_thresholds = [ 18 ];
+    enable_dnc = true;
+  }
+
+type stats = { terms_enumerated : int; distinct_values : int; elapsed_s : float }
+
+type 'a outcome = Success of 'a * stats | Timeout of stats | Exhausted of stats
+
+type term = { extractor : Lang.extractor; value : Simage.t }
+
+exception Found of Lang.extractor
+exception Timed_out
+
+module ValueTbl = Hashtbl.Make (struct
+  type t = Simage.t
+
+  let equal = Simage.equal
+  let hash = Simage.hash
+end)
+
+let synthesize_extractor ?(config = default_config) u target =
+  let vocab = Vocab.of_universe ~age_thresholds:config.age_thresholds u in
+  let preds = Vocab.predicates vocab in
+  let funcs = Vocab.functions vocab in
+  let start = Unix.gettimeofday () in
+  let enumerated = ref 0 in
+  let seen = ValueTbl.create 4096 in
+  (* bank.(s) holds one representative term per distinct value of size s. *)
+  let bank = Array.make (config.max_size + 1) [] in
+  let bank_count = Array.make (config.max_size + 1) 0 in
+  let stats () =
+    {
+      terms_enumerated = !enumerated;
+      distinct_values = ValueTbl.length seen;
+      elapsed_s = Unix.gettimeofday () -. start;
+    }
+  in
+  let check_time () =
+    if Unix.gettimeofday () -. start > config.timeout_s then raise Timed_out
+  in
+  let offer size extractor value =
+    incr enumerated;
+    if !enumerated land 1023 = 0 then check_time ();
+    if Simage.equal value target then raise (Found extractor);
+    if
+      (not (ValueTbl.mem seen value))
+      && size <= config.max_size
+      && bank_count.(size) < config.max_bank_per_size
+    then begin
+      ValueTbl.add seen value ();
+      bank.(size) <- { extractor; value } :: bank.(size);
+      bank_count.(size) <- bank_count.(size) + 1
+    end
+  in
+  (* Divide and conquer: assemble the target as a Union of banked terms
+     whose values are subsets of it (greedy cover, largest residual gain
+     first, ties to the smaller term).  The cover is bounded by the Union
+     arity of the DSL — this is the set-domain analogue of EUSolver's
+     unification of per-example partial solutions, not an unbounded
+     overfitting device. *)
+  let try_cover () =
+    let usable =
+      Array.to_list bank |> List.concat
+      |> List.filter (fun t -> Simage.subset t.value target && not (Simage.is_empty t.value))
+    in
+    let rec greedy chosen covered steps =
+      if Simage.equal covered target then Some (List.rev chosen)
+      else if steps >= config.max_operands then None
+      else
+        let gain t = Simage.cardinal (Simage.diff t.value covered) in
+        let better a b =
+          let ga = gain a and gb = gain b in
+          ga > gb || (ga = gb && Lang.size a.extractor < Lang.size b.extractor)
+        in
+        let best =
+          List.fold_left
+            (fun acc t ->
+              if gain t = 0 then acc
+              else match acc with Some b when better b t -> acc | _ -> Some t)
+            None usable
+        in
+        match best with
+        | None -> None
+        | Some t -> greedy (t :: chosen) (Simage.union covered t.value) (steps + 1)
+    in
+    match greedy [] (Simage.empty u) 0 with
+    | Some [ t ] -> raise (Found t.extractor)
+    | Some (_ :: _ :: _ as ts) ->
+        let union = Lang.Union (List.map (fun t -> t.extractor) ts) in
+        (* The assembled program must still fit in the solver's term-size
+           budget: unification is not a way around the search bound. *)
+        if Lang.size union <= config.max_size then raise (Found union)
+    | Some [] | None -> ()
+  in
+  let eval_is phi = Simage.filter (fun e -> Pred.entails e phi) (Simage.full u) in
+  (* Enumerate all terms of exactly [size], building values compositionally
+     from banked subterm values. *)
+  let enumerate_size size =
+    (* Leaves *)
+    if size = 1 then offer 1 Lang.All (Simage.full u);
+    List.iter
+      (fun p -> if 1 + Pred.size p = size then offer size (Lang.Is p) (eval_is p))
+      preds;
+    (* Complement *)
+    if size >= 2 then
+      List.iter
+        (fun t ->
+          offer size (Lang.Complement t.extractor) (Simage.complement t.value))
+        bank.(size - 1);
+    (* Find and Filter *)
+    List.iter
+      (fun p ->
+        let sub_size_find = size - 2 - Pred.size p in
+        if sub_size_find >= 1 then
+          List.iter
+            (fun t ->
+              List.iter
+                (fun f ->
+                  offer size
+                    (Lang.Find (t.extractor, p, f))
+                    (Eval.find_from u t.value p f))
+                funcs)
+            bank.(sub_size_find);
+        let sub_size_filter = size - 1 - Pred.size p in
+        if sub_size_filter >= 1 then
+          List.iter
+            (fun t ->
+              offer size (Lang.Filter (t.extractor, p)) (Eval.filter_from u t.value p))
+            bank.(sub_size_filter))
+      preds;
+    (* Union / Intersect of arity 2 .. max_operands: all size splits. *)
+    let rec splits k total =
+      if k = 1 then if total >= 1 && total <= config.max_size then [ [ total ] ] else []
+      else
+        List.concat_map
+          (fun first ->
+            List.map (fun rest -> first :: rest) (splits (k - 1) (total - first)))
+          (List.init (max 0 (total - (k - 1))) (fun i -> i + 1))
+    in
+    for arity = 2 to config.max_operands do
+      List.iter
+        (fun split ->
+          let rec combine chosen = function
+            | [] ->
+                let terms = List.rev chosen in
+                let es = List.map (fun t -> t.extractor) terms in
+                let vs = List.map (fun t -> t.value) terms in
+                offer size (Lang.Union es) (Simage.union_all u vs);
+                offer size (Lang.Intersect es) (Simage.inter_all u vs)
+            | s :: rest -> List.iter (fun t -> combine (t :: chosen) rest) bank.(s)
+          in
+          combine [] split)
+        (splits arity (size - 1))
+    done
+  in
+  match
+    for size = 1 to config.max_size do
+      enumerate_size size;
+      check_time ();
+      if config.enable_dnc then try_cover ()
+    done
+  with
+  | () -> Exhausted (stats ())
+  | exception Found e -> Success (e, stats ())
+  | exception Timed_out -> Timeout (stats ())
+
+let synthesize ?(config = default_config) (spec : Edit.Spec.t) =
+  let u = spec.universe in
+  let actions = Edit.Spec.demonstrated_actions spec in
+  let add a b =
+    {
+      terms_enumerated = a.terms_enumerated + b.terms_enumerated;
+      distinct_values = a.distinct_values + b.distinct_values;
+      elapsed_s = a.elapsed_s +. b.elapsed_s;
+    }
+  in
+  let empty = { terms_enumerated = 0; distinct_values = 0; elapsed_s = 0.0 } in
+  let rec go acc st = function
+    | [] -> Success (List.rev acc, st)
+    | action :: rest -> (
+        let i_out = Edit.Spec.output_for_action spec action in
+        match synthesize_extractor ~config u i_out with
+        | Success (e, s) -> go ((e, action) :: acc) (add st s) rest
+        | Timeout s -> Timeout (add st s)
+        | Exhausted s -> Exhausted (add st s))
+  in
+  go [] empty actions

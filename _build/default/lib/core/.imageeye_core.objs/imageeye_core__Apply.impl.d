@@ -1,0 +1,1 @@
+lib/core/apply.ml: Eval Imageeye_raster Imageeye_symbolic Lang List

@@ -1,0 +1,1 @@
+lib/core/apply.mli: Imageeye_geometry Imageeye_raster Imageeye_symbolic Lang

@@ -1,0 +1,1 @@
+lib/core/edit.ml: Eval Format Imageeye_symbolic Int Lang List Map Option Stdlib String

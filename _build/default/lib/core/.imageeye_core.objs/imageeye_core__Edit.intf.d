@@ -1,0 +1,1 @@
+lib/core/edit.mli: Format Imageeye_symbolic Lang

@@ -1,0 +1,1 @@
+lib/core/eval.ml: Array Func Imageeye_symbolic Lang List Pred

@@ -1,0 +1,1 @@
+lib/core/eval.mli: Func Imageeye_symbolic Lang Pred

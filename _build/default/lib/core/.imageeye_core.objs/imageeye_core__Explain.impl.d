@@ -1,0 +1,1 @@
+lib/core/explain.ml: Array Buffer Eval Func Imageeye_symbolic Lang List Pred Printf String

@@ -1,0 +1,1 @@
+lib/core/explain.mli: Imageeye_symbolic Lang

@@ -1,0 +1,1 @@
+lib/core/func.ml: Format Imageeye_symbolic Stdlib

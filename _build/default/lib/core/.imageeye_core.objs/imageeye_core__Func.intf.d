@@ -1,0 +1,1 @@
+lib/core/func.mli: Format Imageeye_symbolic

@@ -1,0 +1,1 @@
+lib/core/lang.ml: Format Func List Pred Stdlib

@@ -1,0 +1,1 @@
+lib/core/parser.ml: Buffer Func Lang List Pred Printf Result String

@@ -1,0 +1,1 @@
+lib/core/partial.ml: Format Func Goal Lang List Option Pred

@@ -1,0 +1,1 @@
+lib/core/partial.mli: Format Func Goal Lang Pred

@@ -1,0 +1,1 @@
+lib/core/peval.ml: Eval Format Func Goal Hashtbl Imageeye_symbolic List Partial Pred Stdlib

@@ -1,0 +1,1 @@
+lib/core/peval.mli: Format Func Imageeye_symbolic Partial Pred

@@ -1,0 +1,1 @@
+lib/core/pred.ml: Format Imageeye_symbolic List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/core/pred.mli: Format Imageeye_symbolic

@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Imageeye_symbolic List Peval

@@ -1,0 +1,1 @@
+lib/core/synthesizer.ml: Array Edit Eval Func Goal Hashtbl Imageeye_symbolic Imageeye_util List Option Partial Peval Pred Rewrite Stdlib Unix Vocab

@@ -1,0 +1,1 @@
+lib/core/synthesizer.mli: Edit Imageeye_symbolic Lang

@@ -1,0 +1,1 @@
+lib/core/vocab.ml: Func Imageeye_symbolic Int List Pred Set String

@@ -1,0 +1,1 @@
+lib/core/vocab.mli: Func Imageeye_symbolic Pred

@@ -1,0 +1,40 @@
+module Simage = Imageeye_symbolic.Simage
+module Entity = Imageeye_symbolic.Entity
+module Ops = Imageeye_raster.Ops
+module Image = Imageeye_raster.Image
+
+let action_to_boxes img action boxes =
+  let img = Image.copy img in
+  match action with
+  | Lang.Crop -> Ops.crop_union img boxes
+  | Lang.Blur ->
+      List.iter (Ops.blur img) boxes;
+      img
+  | Lang.Blackout ->
+      List.iter (Ops.blackout img) boxes;
+      img
+  | Lang.Sharpen ->
+      List.iter (Ops.sharpen img) boxes;
+      img
+  | Lang.Brighten ->
+      List.iter (Ops.brighten img) boxes;
+      img
+  | Lang.Recolor ->
+      List.iter (Ops.recolor img) boxes;
+      img
+
+let is_crop = function Lang.Crop -> true | _ -> false
+
+let program u img prog =
+  let boxes_of extractor =
+    Simage.fold (fun e acc -> e.Entity.bbox :: acc) (Eval.extractor u extractor) []
+  in
+  (* Crop changes coordinates, so all in-place actions run first. *)
+  let in_place, crops = List.partition (fun (_, a) -> not (is_crop a)) prog in
+  let img =
+    List.fold_left (fun img (e, a) -> action_to_boxes img a (boxes_of e)) img in_place
+  in
+  List.fold_left
+    (fun img (e, a) ->
+      match boxes_of e with [] -> img | boxes -> action_to_boxes img a boxes)
+    img crops

@@ -1,0 +1,22 @@
+(** Applying a synthesized program to a raw raster image.
+
+    ⟦P⟧(I) of Fig. 6: each guarded action [E -> A] is evaluated on the
+    image's symbolic representation, and [A] is applied to the pixels of
+    every extracted object's bounding box.  In-place actions run first in
+    a fixed order; [Crop] — which changes the image extent — runs last and
+    crops to the hull of its extracted boxes. *)
+
+val program :
+  Imageeye_symbolic.Universe.t ->
+  Imageeye_raster.Image.t ->
+  Lang.program ->
+  Imageeye_raster.Image.t
+(** [program u img p] where [u] is the single-image universe of [img].
+    Returns a new image; [img] is not modified. *)
+
+val action_to_boxes :
+  Imageeye_raster.Image.t ->
+  Lang.action ->
+  Imageeye_geometry.Bbox.t list ->
+  Imageeye_raster.Image.t
+(** Apply one action to the given regions of (a copy of) the image. *)

@@ -1,0 +1,63 @@
+module IM = Map.Make (Int)
+module Simage = Imageeye_symbolic.Simage
+module Universe = Imageeye_symbolic.Universe
+
+type t = Lang.action list IM.t
+
+let empty = IM.empty
+
+let add t obj action =
+  let existing = Option.value ~default:[] (IM.find_opt obj t) in
+  if List.mem action existing then t else IM.add obj (existing @ [ action ]) t
+
+let actions_of t obj = Option.value ~default:[] (IM.find_opt obj t)
+
+let objects_with t action =
+  IM.fold (fun obj acts acc -> if List.mem action acts then obj :: acc else acc) t []
+  |> List.rev
+
+let domain t = List.map fst (IM.bindings t)
+let is_empty t = IM.is_empty t
+
+let normalize t = IM.map (List.sort_uniq Stdlib.compare) t
+let equal a b = IM.equal ( = ) (normalize a) (normalize b)
+
+let of_list l =
+  List.fold_left (fun t (obj, acts) -> List.fold_left (fun t a -> add t obj a) t acts) empty l
+
+let bindings t = IM.bindings t
+
+let induced_by_program u prog =
+  List.fold_left
+    (fun edit (extractor, action) ->
+      let objs = Eval.extractor u extractor in
+      Simage.fold (fun ent edit -> add edit ent.Imageeye_symbolic.Entity.id action) objs edit)
+    empty prog
+
+let pp fmt t =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ")
+       (fun fmt (obj, acts) ->
+         Format.fprintf fmt "%d -> [%s]" obj
+           (String.concat ", " (List.map Lang.action_to_string acts))))
+    (bindings t)
+
+module Spec = struct
+  type edit = t
+
+  type nonrec t = { universe : Universe.t; demos : (int * edit) list }
+
+  let make universe demos = { universe; demos }
+
+  let output_for_action t action =
+    List.fold_left
+      (fun acc (_img, edit) ->
+        List.fold_left (fun acc obj -> Simage.add acc obj) acc (objects_with edit action))
+      (Simage.empty t.universe) t.demos
+
+  let demonstrated_actions t =
+    List.filter
+      (fun a -> not (Simage.is_empty (output_for_action t a)))
+      Lang.all_actions
+end

@@ -1,0 +1,51 @@
+(** Edits ξ and specifications Ψ (Definitions 4.1 and 4.2).
+
+    An edit maps object ids to the list of actions the user applied to
+    them; a specification maps demonstrated raw images to edits.  The
+    top-level synthesis algorithm turns a specification into one PBE
+    problem per action (Fig. 8), and the interaction loop compares the
+    edit induced by a candidate program against the ground-truth edit. *)
+
+type t
+(** An edit over some universe: object id -> action list. *)
+
+val empty : t
+val add : t -> int -> Lang.action -> t
+(** Appends the action to the object's list (idempotent per action). *)
+
+val actions_of : t -> int -> Lang.action list
+val objects_with : t -> Lang.action -> int list
+(** Ids demonstrated with the given action, ascending. *)
+
+val domain : t -> int list
+val is_empty : t -> bool
+val equal : t -> t -> bool
+val of_list : (int * Lang.action list) list -> t
+val bindings : t -> (int * Lang.action list) list
+
+val induced_by_program :
+  Imageeye_symbolic.Universe.t -> Lang.program -> t
+(** The edit a program performs on a universe: for each guarded action
+    [E -> A], every object of ⟦E⟧ receives [A].  This is how candidate
+    programs are compared against demonstrations and ground truth. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Specifications Ψ. *)
+module Spec : sig
+  type edit = t
+
+  type t = { universe : Imageeye_symbolic.Universe.t; demos : (int * edit) list }
+  (** [demos] associates demonstrated raw-image ids with their edits.  The
+      universe must contain (at least) the objects of those images. *)
+
+  val make : Imageeye_symbolic.Universe.t -> (int * edit) list -> t
+
+  val output_for_action :
+    t -> Lang.action -> Imageeye_symbolic.Simage.t
+  (** Î_out for one action: all demonstrated objects tagged with it
+      (line 5 of Fig. 8). *)
+
+  val demonstrated_actions : t -> Lang.action list
+  (** Actions with non-empty Î_out, in canonical order. *)
+end

@@ -1,0 +1,47 @@
+module Simage = Imageeye_symbolic.Simage
+module Universe = Imageeye_symbolic.Universe
+
+let nodes_evaluated = ref 0
+
+let count_nodes_evaluated () = !nodes_evaluated
+
+let find_first u f phi o =
+  let candidates = Func.apply u f o in
+  let n = Array.length candidates in
+  let rec go i =
+    if i >= n then None
+    else
+      let c = candidates.(i) in
+      if Pred.entails (Universe.entity u c) phi then Some c else go (i + 1)
+  in
+  go 0
+
+let find_from u sources phi f =
+  Simage.fold
+    (fun ent acc ->
+      match find_first u f phi ent.Imageeye_symbolic.Entity.id with
+      | Some target -> Simage.add acc target
+      | None -> acc)
+    sources (Simage.empty u)
+
+let filter_from u sources phi =
+  Simage.fold
+    (fun ent acc ->
+      Array.fold_left
+        (fun acc inner ->
+          if Pred.entails (Universe.entity u inner) phi then Simage.add acc inner
+          else acc)
+        acc
+        (Universe.contents u ent.Imageeye_symbolic.Entity.id))
+    sources (Simage.empty u)
+
+let rec extractor u e =
+  incr nodes_evaluated;
+  match e with
+  | Lang.All -> Simage.full u
+  | Lang.Is phi -> Simage.filter (fun ent -> Pred.entails ent phi) (Simage.full u)
+  | Lang.Complement e1 -> Simage.complement (extractor u e1)
+  | Lang.Union es -> Simage.union_all u (List.map (extractor u) es)
+  | Lang.Intersect es -> Simage.inter_all u (List.map (extractor u) es)
+  | Lang.Find (e1, phi, f) -> find_from u (extractor u e1) phi f
+  | Lang.Filter (e1, phi) -> filter_from u (extractor u e1) phi

@@ -1,0 +1,38 @@
+(** Denotational semantics of extractors over symbolic images (Fig. 6).
+
+    Extractors are evaluated with respect to a whole universe: the input
+    symbolic image Î is always the full set of detected objects (Section 3
+    folds an entire batch into one symbolic image; per-image application
+    just uses a single-image universe).  [Complement] is therefore
+    complement within the universe, and the candidate pools of [Find] and
+    [Filter] range over the universe, restricted — through the universe's
+    spatial indices — to objects of the same raw image. *)
+
+val extractor :
+  Imageeye_symbolic.Universe.t -> Lang.extractor -> Imageeye_symbolic.Simage.t
+(** [extractor u e] is ⟦e⟧(Î) where Î contains every object of [u]. *)
+
+val find_first :
+  Imageeye_symbolic.Universe.t -> Func.t -> Pred.t -> int -> int option
+(** [find_first u f phi o] is the f_φ(o) of Fig. 6: the first object along
+    [f] from [o] that satisfies [phi], if any. *)
+
+val find_from :
+  Imageeye_symbolic.Universe.t ->
+  Imageeye_symbolic.Simage.t ->
+  Pred.t ->
+  Func.t ->
+  Imageeye_symbolic.Simage.t
+(** Semantics of [Find] given the already-computed value of its nested
+    extractor; shared with the partial evaluator. *)
+
+val filter_from :
+  Imageeye_symbolic.Universe.t ->
+  Imageeye_symbolic.Simage.t ->
+  Pred.t ->
+  Imageeye_symbolic.Simage.t
+(** Semantics of [Filter] given the nested extractor's value. *)
+
+val count_nodes_evaluated : unit -> int
+(** Total number of extractor AST nodes evaluated since program start;
+    instrumentation for the benchmarks. *)

@@ -1,0 +1,155 @@
+module Simage = Imageeye_symbolic.Simage
+module Universe = Imageeye_symbolic.Universe
+module Entity = Imageeye_symbolic.Entity
+
+type tree = { what : string; children : tree list }
+
+let leaf what = { what; children = [] }
+
+let describe_obj u id =
+  let e = Universe.entity u id in
+  Printf.sprintf "object %d (%s in image %d)" id (Entity.object_type e) e.Entity.image_id
+
+(* Positive explanation: obj is in [[e]]; produce the derivation. *)
+let rec selected u (e : Lang.extractor) obj =
+  let value = Eval.extractor u e in
+  if not (Simage.mem value obj) then None
+  else
+    Some
+      (match e with
+      | Lang.All -> leaf "All selects every object"
+      | Lang.Is p ->
+          leaf (Printf.sprintf "%s satisfies %s" (describe_obj u obj) (Pred.to_string p))
+      | Lang.Complement e1 ->
+          {
+            what = "Complement: the nested extractor does not select it";
+            children = (match why_not u e1 obj with Some t -> [ t ] | None -> []);
+          }
+      | Lang.Union es ->
+          let firing =
+            List.filteri (fun _ e1 -> Simage.mem (Eval.extractor u e1) obj) es
+          in
+          {
+            what =
+              Printf.sprintf "Union: selected by %d of %d operand(s)" (List.length firing)
+                (List.length es);
+            children = List.filter_map (fun e1 -> selected u e1 obj) firing;
+          }
+      | Lang.Intersect es ->
+          {
+            what = Printf.sprintf "Intersect: selected by all %d operands" (List.length es);
+            children = List.filter_map (fun e1 -> selected u e1 obj) es;
+          }
+      | Lang.Find (e1, p, f) ->
+          (* find a source object whose first-phi along f is obj *)
+          let sources = Eval.extractor u e1 in
+          let witness =
+            Simage.fold
+              (fun src acc ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                    if Eval.find_first u f p src.Entity.id = Some obj then Some src.Entity.id
+                    else None)
+              sources None
+          in
+          let what =
+            match witness with
+            | Some src ->
+                Printf.sprintf "Find: first %s along %s from %s" (Pred.to_string p)
+                  (Func.to_string f) (describe_obj u src)
+            | None -> "Find"
+          in
+          {
+            what;
+            children =
+              (match witness with
+              | Some src -> ( match selected u e1 src with Some t -> [ t ] | None -> [])
+              | None -> []);
+          }
+      | Lang.Filter (e1, p) ->
+          let sources = Eval.extractor u e1 in
+          let container =
+            Simage.fold
+              (fun src acc ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                    if Array.exists (( = ) obj) (Universe.contents u src.Entity.id) then
+                      Some src.Entity.id
+                    else None)
+              sources None
+          in
+          let what =
+            match container with
+            | Some src ->
+                Printf.sprintf "Filter: satisfies %s and lies inside %s" (Pred.to_string p)
+                  (describe_obj u src)
+            | None -> "Filter"
+          in
+          {
+            what;
+            children =
+              (match container with
+              | Some src -> ( match selected u e1 src with Some t -> [ t ] | None -> [])
+              | None -> []);
+          })
+
+(* Negative explanation: obj is not in [[e]]. *)
+and why_not u (e : Lang.extractor) obj =
+  let value = Eval.extractor u e in
+  if Simage.mem value obj then None
+  else
+    Some
+      (match e with
+      | Lang.All -> leaf "unreachable: All selects everything" (* cannot happen *)
+      | Lang.Is p ->
+          leaf
+            (Printf.sprintf "%s does not satisfy %s" (describe_obj u obj) (Pred.to_string p))
+      | Lang.Complement e1 ->
+          {
+            what = "Complement: the nested extractor selects it";
+            children = (match selected u e1 obj with Some t -> [ t ] | None -> []);
+          }
+      | Lang.Union es ->
+          {
+            what = Printf.sprintf "Union: none of the %d operands select it" (List.length es);
+            children = List.filter_map (fun e1 -> why_not u e1 obj) es;
+          }
+      | Lang.Intersect es ->
+          let blocking = List.filter (fun e1 -> not (Simage.mem (Eval.extractor u e1) obj)) es in
+          {
+            what =
+              Printf.sprintf "Intersect: %d of %d operand(s) reject it" (List.length blocking)
+                (List.length es);
+            children = List.filter_map (fun e1 -> why_not u e1 obj) blocking;
+          }
+      | Lang.Find (_, p, f) ->
+          leaf
+            (Printf.sprintf
+               "Find: no selected source object has %s as its first %s along %s"
+               (describe_obj u obj) (Pred.to_string p) (Func.to_string f))
+      | Lang.Filter (_, p) ->
+          leaf
+            (Printf.sprintf
+               "Filter: %s does not satisfy %s inside any selected container"
+               (describe_obj u obj) (Pred.to_string p)))
+
+let render tree =
+  let buf = Buffer.create 128 in
+  let rec go indent t =
+    Buffer.add_string buf (String.make indent ' ');
+    Buffer.add_string buf t.what;
+    Buffer.add_char buf '\n';
+    List.iter (go (indent + 2)) t.children
+  in
+  go 0 tree;
+  Buffer.contents buf
+
+let explain u e obj =
+  match selected u e obj with
+  | Some t -> "selected:\n" ^ render t
+  | None -> (
+      match why_not u e obj with
+      | Some t -> "not selected:\n" ^ render t
+      | None -> "not selected:\n")

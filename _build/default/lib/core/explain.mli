@@ -1,0 +1,31 @@
+(** Selection provenance: why did an extractor select (or not select) an
+    object?
+
+    Section 8 of the paper notes that users struggle to tell whether a
+    surprising output comes from the program or from the neural models.
+    This module answers the first half: given an extractor and an object,
+    it produces a human-readable derivation tree mirroring the extractor's
+    structure — which Union operand fired, which source object a Find
+    walked from, which predicate an Is matched. *)
+
+type tree = {
+  what : string;  (** one line, e.g. ["Union: selected by operand 2"] *)
+  children : tree list;
+}
+
+val selected :
+  Imageeye_symbolic.Universe.t -> Lang.extractor -> int -> tree option
+(** [selected u e obj] is [Some derivation] when [obj] is in ⟦e⟧, and
+    [None] otherwise. *)
+
+val why_not :
+  Imageeye_symbolic.Universe.t -> Lang.extractor -> int -> tree option
+(** The dual: an explanation of why [obj] is {e not} selected; [None] when
+    it actually is selected. *)
+
+val explain : Imageeye_symbolic.Universe.t -> Lang.extractor -> int -> string
+(** Render whichever of {!selected} / {!why_not} applies, as an indented
+    multi-line string beginning with "selected:" or "not selected:". *)
+
+val render : tree -> string
+(** Indented rendering of a derivation tree. *)

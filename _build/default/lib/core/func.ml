@@ -1,0 +1,25 @@
+module Universe = Imageeye_symbolic.Universe
+
+type t = Get_left | Get_right | Get_above | Get_below | Get_parents
+
+let all = [ Get_left; Get_right; Get_above; Get_below; Get_parents ]
+
+let apply u f o =
+  match f with
+  | Get_left -> Universe.left_of u o
+  | Get_right -> Universe.right_of u o
+  | Get_above -> Universe.above u o
+  | Get_below -> Universe.below u o
+  | Get_parents -> Universe.parents u o
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let to_string = function
+  | Get_left -> "GetLeft"
+  | Get_right -> "GetRight"
+  | Get_above -> "GetAbove"
+  | Get_below -> "GetBelow"
+  | Get_parents -> "GetParents"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,20 @@
+(** Built-in spatial functions f used by the Find construct (Fig. 3, 7).
+
+    [apply u f o] returns the list of candidate object ids for source
+    object [o], in the order Fig. 7 prescribes (nearest first), restricted
+    to objects of the same raw image.  The heavy lifting is precomputed in
+    {!Imageeye_symbolic.Universe}. *)
+
+type t = Get_left | Get_right | Get_above | Get_below | Get_parents
+
+val all : t list
+(** The five functions, in a fixed enumeration order. *)
+
+val apply : Imageeye_symbolic.Universe.t -> t -> int -> int array
+(** Candidate ids, nearest first. The returned array is shared with the
+    universe's internal index and must not be mutated. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

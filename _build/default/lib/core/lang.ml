@@ -1,0 +1,78 @@
+type extractor =
+  | All
+  | Is of Pred.t
+  | Complement of extractor
+  | Union of extractor list
+  | Intersect of extractor list
+  | Find of extractor * Pred.t * Func.t
+  | Filter of extractor * Pred.t
+
+type action = Blur | Blackout | Sharpen | Brighten | Recolor | Crop
+
+type program = (extractor * action) list
+
+let rec size = function
+  | All -> 1
+  | Is p -> 1 + Pred.size p
+  | Complement e -> 1 + size e
+  | Union es | Intersect es -> 1 + List.fold_left (fun acc e -> acc + size e) 0 es
+  | Find (e, p, _f) -> 1 + size e + Pred.size p + 1
+  | Filter (e, p) -> 1 + size e + Pred.size p
+
+let rec depth = function
+  | All | Is _ -> 1
+  | Complement e | Find (e, _, _) | Filter (e, _) -> 1 + depth e
+  | Union es | Intersect es -> 1 + List.fold_left (fun acc e -> max acc (depth e)) 0 es
+
+let program_size prog = List.fold_left (fun acc (e, _) -> acc + size e) 0 prog
+
+let all_actions = [ Blur; Blackout; Sharpen; Brighten; Recolor; Crop ]
+
+let action_to_string = function
+  | Blur -> "Blur"
+  | Blackout -> "Blackout"
+  | Sharpen -> "Sharpen"
+  | Brighten -> "Brighten"
+  | Recolor -> "Recolor"
+  | Crop -> "Crop"
+
+let action_of_string = function
+  | "Blur" -> Some Blur
+  | "Blackout" -> Some Blackout
+  | "Sharpen" -> Some Sharpen
+  | "Brighten" -> Some Brighten
+  | "Recolor" -> Some Recolor
+  | "Crop" -> Some Crop
+  | _ -> None
+
+let equal_extractor a b = a = b
+let compare_extractor = Stdlib.compare
+
+let equal_program a b = a = b
+
+let rec pp_extractor fmt = function
+  | All -> Format.pp_print_string fmt "All"
+  | Is p -> Format.fprintf fmt "Is(%a)" Pred.pp p
+  | Complement e -> Format.fprintf fmt "Complement(%a)" pp_extractor e
+  | Union es -> Format.fprintf fmt "Union(%a)" pp_operands es
+  | Intersect es -> Format.fprintf fmt "Intersect(%a)" pp_operands es
+  | Find (e, p, f) ->
+      Format.fprintf fmt "Find(%a, %a, %a)" pp_extractor e Pred.pp p Func.pp f
+  | Filter (e, p) -> Format.fprintf fmt "Filter(%a, %a)" pp_extractor e Pred.pp p
+
+and pp_operands fmt es =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+    pp_extractor fmt es
+
+let pp_action fmt a = Format.pp_print_string fmt (action_to_string a)
+
+let pp_program fmt prog =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@ ")
+       (fun fmt (e, a) -> Format.fprintf fmt "%a -> %a" pp_extractor e pp_action a))
+    prog
+
+let extractor_to_string e = Format.asprintf "%a" pp_extractor e
+let program_to_string p = Format.asprintf "%a" pp_program p

@@ -1,0 +1,228 @@
+type error = { position : int; message : string }
+
+let error_to_string e = Printf.sprintf "parse error at offset %d: %s" e.position e.message
+
+type token =
+  | Ident of string
+  | Int of int
+  | Str of string
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Comma
+  | Arrow
+
+exception Error of error
+
+let fail position message = raise (Error { position; message })
+
+let tokenize s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let push tok = tokens := (tok, !i) :: !tokens in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '(' then (push Lparen; incr i)
+    else if c = ')' then (push Rparen; incr i)
+    else if c = '{' then (push Lbrace; incr i)
+    else if c = '}' then (push Rbrace; incr i)
+    else if c = ',' then (push Comma; incr i)
+    else if c = '-' && !i + 1 < n && s.[!i + 1] = '>' then (push Arrow; i := !i + 2)
+    else if c = '"' then begin
+      let j = ref (!i + 1) in
+      let buf = Buffer.create 8 in
+      while !j < n && s.[!j] <> '"' do
+        if s.[!j] = '\\' && !j + 1 < n then begin
+          Buffer.add_char buf s.[!j + 1];
+          j := !j + 2
+        end
+        else begin
+          Buffer.add_char buf s.[!j];
+          incr j
+        end
+      done;
+      if !j >= n then fail !i "unterminated string literal";
+      push (Str (Buffer.contents buf));
+      i := !j + 1
+    end
+    else if (c >= '0' && c <= '9') || (c = '-' && !i + 1 < n && s.[!i + 1] >= '0' && s.[!i + 1] <= '9')
+    then begin
+      let j = ref (!i + 1) in
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do
+        incr j
+      done;
+      (match int_of_string_opt (String.sub s !i (!j - !i)) with
+      | Some v -> push (Int v)
+      | None -> fail !i "integer literal out of range");
+      i := !j
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let j = ref (!i + 1) in
+      let is_ident c =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+      in
+      while !j < n && is_ident s.[!j] do
+        incr j
+      done;
+      push (Ident (String.sub s !i (!j - !i)));
+      i := !j
+    end
+    else fail !i (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev !tokens
+
+(* A tiny state over the token list. *)
+type state = { mutable toks : (token * int) list; len : int }
+
+let peek st = match st.toks with [] -> None | (t, _) :: _ -> Some t
+
+let pos st = match st.toks with [] -> st.len | (_, p) :: _ -> p
+
+let next st =
+  match st.toks with
+  | [] -> fail st.len "unexpected end of input"
+  | (t, p) :: rest ->
+      st.toks <- rest;
+      (t, p)
+
+let expect st tok what =
+  let t, p = next st in
+  if t <> tok then fail p ("expected " ^ what)
+
+let ident st =
+  match next st with
+  | Ident name, _ -> name
+  | _, p -> fail p "expected identifier"
+
+let int_arg st =
+  expect st Lparen "'('";
+  let v = match next st with Int v, _ -> v | _, p -> fail p "expected integer" in
+  expect st Rparen "')'";
+  v
+
+let parse_pred st =
+  let name = ident st in
+  match name with
+  | "FaceObject" -> Pred.Face_object
+  | "Smiling" -> Pred.Smiling
+  | "EyesOpen" -> Pred.Eyes_open
+  | "MouthOpen" -> Pred.Mouth_open
+  | "TextObject" -> Pred.Text_object
+  | "PhoneNumber" -> Pred.Phone_number
+  | "Price" -> Pred.Price
+  | "Face" -> Pred.Face (int_arg st)
+  | "BelowAge" -> Pred.Below_age (int_arg st)
+  | "AboveAge" -> Pred.Above_age (int_arg st)
+  | "Word" -> (
+      expect st Lparen "'('";
+      let w =
+        match next st with
+        | Str w, _ -> w
+        | Ident w, _ -> w
+        | Int v, _ -> string_of_int v
+        | _, p -> fail p "expected word"
+      in
+      expect st Rparen "')'";
+      Pred.Word w)
+  | "Object" -> (
+      expect st Lparen "'('";
+      let cls = match next st with Ident c, _ -> c | Str c, _ -> c | _, p -> fail p "expected class" in
+      expect st Rparen "')'";
+      Pred.Object cls)
+  | other -> fail (pos st) (Printf.sprintf "unknown predicate %s" other)
+
+let parse_func st =
+  let name = ident st in
+  match name with
+  | "GetLeft" -> Func.Get_left
+  | "GetRight" -> Func.Get_right
+  | "GetAbove" -> Func.Get_above
+  | "GetBelow" -> Func.Get_below
+  | "GetParents" -> Func.Get_parents
+  | other -> fail (pos st) (Printf.sprintf "unknown function %s" other)
+
+let rec parse_extractor st =
+  let name = ident st in
+  match name with
+  | "All" -> Lang.All
+  | "Is" ->
+      expect st Lparen "'('";
+      let p = parse_pred st in
+      expect st Rparen "')'";
+      Lang.Is p
+  | "Complement" ->
+      expect st Lparen "'('";
+      let e = parse_extractor st in
+      expect st Rparen "')'";
+      Lang.Complement e
+  | "Union" | "Intersect" | "Intersection" ->
+      expect st Lparen "'('";
+      let args = parse_extractor_list st in
+      expect st Rparen "')'";
+      if List.length args < 2 then fail (pos st) (name ^ " needs at least two operands");
+      if name = "Union" then Lang.Union args else Lang.Intersect args
+  | "Find" ->
+      expect st Lparen "'('";
+      let e = parse_extractor st in
+      expect st Comma "','";
+      let p = parse_pred st in
+      expect st Comma "','";
+      let f = parse_func st in
+      expect st Rparen "')'";
+      Lang.Find (e, p, f)
+  | "Filter" ->
+      expect st Lparen "'('";
+      let e = parse_extractor st in
+      expect st Comma "','";
+      let p = parse_pred st in
+      expect st Rparen "')'";
+      Lang.Filter (e, p)
+  | other -> fail (pos st) (Printf.sprintf "unknown extractor %s" other)
+
+and parse_extractor_list st =
+  let e = parse_extractor st in
+  match peek st with
+  | Some Comma ->
+      let _ = next st in
+      e :: parse_extractor_list st
+  | _ -> [ e ]
+
+let parse_action st =
+  let name = ident st in
+  match Lang.action_of_string name with
+  | Some a -> a
+  | None -> fail (pos st) (Printf.sprintf "unknown action %s" name)
+
+let parse_program st =
+  expect st Lbrace "'{'";
+  let rec guarded_actions () =
+    let e = parse_extractor st in
+    expect st Arrow "'->'";
+    let a = parse_action st in
+    match peek st with
+    | Some Comma ->
+        let _ = next st in
+        (e, a) :: guarded_actions ()
+    | _ -> [ (e, a) ]
+  in
+  let prog = guarded_actions () in
+  expect st Rbrace "'}'";
+  prog
+
+let with_input s f =
+  match
+    let toks = tokenize s in
+    let st = { toks; len = String.length s } in
+    let result = f st in
+    (match st.toks with [] -> () | (_, p) :: _ -> fail p "trailing input");
+    result
+  with
+  | result -> Ok result
+  | exception Error e -> Result.Error e
+
+let program s = with_input s parse_program
+let extractor s = with_input s parse_extractor
+let pred s = with_input s parse_pred

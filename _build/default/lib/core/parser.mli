@@ -1,0 +1,15 @@
+(** Concrete syntax for the DSL.
+
+    Parses the notation the paper (and {!Lang.pp_program}) uses, e.g.
+    [{Find(Is(Word("total")), Price, GetRight) -> Brighten}], so programs
+    can be stored in files, passed to the CLI, and round-tripped through
+    the pretty-printer.  [Intersection] is accepted as an alias for
+    [Intersect] (the paper uses both spellings). *)
+
+type error = { position : int; message : string }
+
+val program : string -> (Lang.program, error) result
+val extractor : string -> (Lang.extractor, error) result
+val pred : string -> (Pred.t, error) result
+
+val error_to_string : error -> string

@@ -1,0 +1,46 @@
+(** Partial programs: extractor ASTs with holes and per-node goal
+    annotations (Definition 5.1).
+
+    The worklist of the top-down search stores these.  Holes are always
+    extractor-shaped — predicates and spatial functions are filled in at
+    expansion time — and every node carries the goal inferred for it when
+    its parent was expanded. *)
+
+type t = { goal : Goal.t; node : node }
+
+and node =
+  | Hole
+  | All
+  | Is of Pred.t
+  | Complement of t
+  | Union of t list
+  | Intersect of t list
+  | Find of t * Pred.t * Func.t
+  | Filter of t * Pred.t
+
+val hole : Goal.t -> t
+(** A single-node partial program (the CreateProg of Section 5.1). *)
+
+val of_extractor : Goal.t -> Lang.extractor -> t
+(** Embed a complete extractor, annotating every node with the same goal;
+    used by tests and by the baseline bridge. *)
+
+val is_complete : t -> bool
+(** No holes anywhere. *)
+
+val to_extractor : t -> Lang.extractor option
+(** [Some e] iff complete. *)
+
+val size : t -> int
+(** AST size with each hole counted as 1 (the smallest completion of a
+    hole has size 1, so this ordering enumerates programs in ascending
+    order of final size). *)
+
+val depth : t -> int
+
+val has_hole : t -> bool
+
+val count_holes : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

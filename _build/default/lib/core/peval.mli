@@ -1,0 +1,59 @@
+(** Partial evaluation of partial programs (Fig. 12).
+
+    Partial evaluation walks a partial program bottom-up, evaluates every
+    complete subtree on the input image, checks the result against the
+    subtree's goal annotation (the Complete rule), and — in its standard
+    mode — replaces the subtree with the resulting constant symbolic image
+    (the Const rule).  The output is a {!Form.t}, the shape the rewrite
+    system of {!Rewrite} operates on: this is precisely the paper's insight
+    that rewriting becomes far more powerful after constants have been
+    folded, because subset-based rules can then fire.
+
+    The two ablations of Section 7.4 are expressed through the flags:
+    [~check_goals:false] disables goal-directed pruning (the Complete rule
+    never fails), and [~collapse:false] leaves complete subtrees in
+    syntactic form so rewriting is purely syntactic. *)
+
+module Form : sig
+  (** Partially evaluated programs.  [Const] only appears when collapsing;
+      [All]/[Is] only when not. *)
+  type t =
+    | Hole
+    | Const of Imageeye_symbolic.Simage.t
+    | All
+    | Is of Pred.t
+    | Complement of t
+    | Union of t list
+    | Intersect of t list
+    | Find of t * Pred.t * Func.t
+    | Filter of t * Pred.t
+
+  val hash : t -> int
+  (** Structural hash compatible with {!equal}; constants hash by their
+      set value. *)
+
+  val compare : t -> t -> int
+  (** Total term order used to canonicalize commutative operators:
+      constants first (by set value), then composite terms structurally,
+      holes last — so that completing a hole on the right of an already
+      concrete operand keeps the term canonical. *)
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+val run :
+  ?eval_is:(Pred.t -> Imageeye_symbolic.Simage.t) ->
+  check_goals:bool ->
+  collapse:bool ->
+  Imageeye_symbolic.Universe.t ->
+  Partial.t ->
+  Form.t option
+(** [run ~check_goals ~collapse u p] partially evaluates [p] on the input
+    image Î_in = all objects of [u].  Returns [None] (the paper's ⊥) when
+    [check_goals] is set and some complete subtree's value is inconsistent
+    with its goal annotation. *)
+
+val value_of_complete :
+  Imageeye_symbolic.Universe.t -> Partial.t -> Imageeye_symbolic.Simage.t option
+(** Evaluate a complete partial program; [None] if it has holes. *)

@@ -1,0 +1,99 @@
+module Attr = Imageeye_symbolic.Attr
+module Entity = Imageeye_symbolic.Entity
+
+type t =
+  | Face_object
+  | Face of int
+  | Smiling
+  | Eyes_open
+  | Mouth_open
+  | Below_age of int
+  | Above_age of int
+  | Text_object
+  | Word of string
+  | Phone_number
+  | Price
+  | Object of string
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* Prices: optional '$', digits, optional '.' and exactly two decimals. *)
+let is_price_string s =
+  let n = String.length s in
+  if n = 0 then false
+  else
+    let start = if s.[0] = '$' then 1 else 0 in
+    let rec digits i = if i < n && is_digit s.[i] then digits (i + 1) else i in
+    let after_int = digits start in
+    if after_int = start then false
+    else if after_int = n then s.[0] = '$' (* bare integers only count with $ *)
+    else
+      s.[after_int] = '.' && n - after_int = 3 && is_digit s.[after_int + 1]
+      && is_digit s.[after_int + 2]
+
+(* North American phone numbers: 555-0100 style with optional area code,
+   "XXX-XXX-XXXX" or "(XXX) XXX-XXXX" or "XXX-XXXX". *)
+let is_phone_string s =
+  let digit_groups =
+    String.split_on_char '-' (String.concat "-" (String.split_on_char ' ' s))
+  in
+  let strip g =
+    let g = if String.length g > 0 && g.[0] = '(' then String.sub g 1 (String.length g - 1) else g in
+    if String.length g > 0 && g.[String.length g - 1] = ')' then
+      String.sub g 0 (String.length g - 1)
+    else g
+  in
+  let groups = List.filter (fun g -> g <> "") (List.map strip digit_groups) in
+  let all_digits g = g <> "" && String.for_all is_digit g in
+  match List.map String.length groups with
+  | [ 3; 4 ] | [ 3; 3; 4 ] -> List.for_all all_digits groups
+  | _ -> false
+
+let bool_attr e name =
+  match Attr.find name (Entity.attrs e) with Some (Attr.Bool b) -> b | _ -> false
+
+let int_attr e name =
+  match Attr.find name (Entity.attrs e) with Some (Attr.Int i) -> Some i | _ -> None
+
+let str_attr e name =
+  match Attr.find name (Entity.attrs e) with Some (Attr.Str s) -> Some s | _ -> None
+
+let entails e p =
+  match p with
+  | Face_object -> Entity.is_face e
+  | Face n -> int_attr e Attr.face_id = Some n
+  | Smiling -> bool_attr e Attr.smiling
+  | Eyes_open -> bool_attr e Attr.eyes_open
+  | Mouth_open -> bool_attr e Attr.mouth_open
+  | Below_age n -> ( match int_attr e Attr.age_high with Some hi -> hi < n | None -> false)
+  | Above_age n -> ( match int_attr e Attr.age_low with Some lo -> lo > n | None -> false)
+  | Text_object -> Entity.is_text e
+  | Word w -> str_attr e Attr.text_body = Some w
+  | Phone_number -> (
+      match str_attr e Attr.text_body with Some s -> is_phone_string s | None -> false)
+  | Price -> (
+      match str_attr e Attr.text_body with Some s -> is_price_string s | None -> false)
+  | Object cls -> ( match e.Entity.kind with Entity.Thing c -> c = cls | _ -> false)
+
+let size = function
+  | Face_object | Smiling | Eyes_open | Mouth_open | Text_object | Phone_number | Price -> 1
+  | Face _ | Below_age _ | Above_age _ | Word _ | Object _ -> 2
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let to_string = function
+  | Face_object -> "FaceObject"
+  | Face n -> Printf.sprintf "Face(%d)" n
+  | Smiling -> "Smiling"
+  | Eyes_open -> "EyesOpen"
+  | Mouth_open -> "MouthOpen"
+  | Below_age n -> Printf.sprintf "BelowAge(%d)" n
+  | Above_age n -> Printf.sprintf "AboveAge(%d)" n
+  | Text_object -> "TextObject"
+  | Word w -> Printf.sprintf "Word(%S)" w
+  | Phone_number -> "PhoneNumber"
+  | Price -> "Price"
+  | Object cls -> Printf.sprintf "Object(%s)" cls
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

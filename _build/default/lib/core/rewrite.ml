@@ -1,0 +1,106 @@
+module Simage = Imageeye_symbolic.Simage
+open Peval.Form
+
+let checks = ref 0
+
+let count_checks () = !checks
+
+let rec has_hole = function
+  | Hole -> true
+  | Const _ | All | Is _ -> false
+  | Complement t | Find (t, _, _) | Filter (t, _) -> has_hole t
+  | Union ts | Intersect ts -> List.exists has_hole ts
+
+(* Structural equality that never equates terms containing holes: two holes
+   may be completed differently, so they match no rewrite rule. *)
+let definitely_equal a b = (not (has_hole a)) && (not (has_hole b)) && equal a b
+
+let rec sorted_operands = function
+  | [] | [ _ ] -> true
+  | a :: (b :: _ as rest) -> compare a b <= 0 && sorted_operands rest
+
+let exists_pair p xs =
+  List.exists (fun (i, a) -> List.exists (fun (j, b) -> i <> j && p a b) xs) xs
+
+let indexed xs = List.mapi (fun i x -> (i, x)) xs
+
+let const_value = function Const v -> Some v | _ -> None
+
+(* Domination among constant operands (Example 5.11): for Union, an operand
+   that is a subset of another is redundant; for Intersect, a superset is. *)
+let const_domination xs =
+  exists_pair
+    (fun a b ->
+      match (const_value a, const_value b) with
+      | Some va, Some vb -> Simage.subset va vb
+      | _ -> false)
+    (indexed xs)
+
+let is_union = function Union _ -> true | _ -> false
+let is_intersect = function Intersect _ -> true | _ -> false
+let is_complement = function Complement _ -> true | _ -> false
+
+(* Absorption: some operand also occurs inside a sibling operand of the dual
+   operator, e.g. Union(A, Intersect(A, B)). *)
+let absorption ~dual_members xs =
+  let member_of a b =
+    match dual_members b with
+    | Some members -> List.exists (definitely_equal a) members
+    | None -> false
+  in
+  exists_pair member_of (indexed xs)
+
+(* Distribution: two operands of the dual operator share a common member,
+   e.g. Union(Intersect(A, B), Intersect(A, C)). *)
+let distribution ~dual_members xs =
+  let duals = List.filter_map dual_members xs in
+  let share ms ms' = List.exists (fun a -> List.exists (definitely_equal a) ms') ms in
+  let rec pairs = function
+    | [] -> false
+    | ms :: rest -> List.exists (share ms) rest || pairs rest
+  in
+  pairs duals
+
+let intersect_members = function Intersect ms -> Some ms | _ -> None
+let union_members = function Union ms -> Some ms | _ -> None
+
+(* Identical hole-free operands: idempotence (the syntactic-mode analogue of
+   constant domination). *)
+let syntactic_idempotence xs = exists_pair definitely_equal (indexed xs)
+
+let rule_matches t =
+  match t with
+  | Hole | Const _ | All | Is _ -> false
+  | Complement (Complement _) -> true
+  | Complement _ -> false
+  | Union xs ->
+      List.exists is_union xs (* associativity: flattened form is smaller *)
+      || (not (sorted_operands xs)) (* commutativity: canonical order only *)
+      || const_domination xs
+      || syntactic_idempotence xs
+      || absorption ~dual_members:intersect_members xs
+      || List.for_all is_complement xs (* De Morgan *)
+      || distribution ~dual_members:intersect_members xs
+  | Intersect xs ->
+      List.exists is_intersect xs
+      || (not (sorted_operands xs))
+      || const_domination xs
+      || syntactic_idempotence xs
+      || absorption ~dual_members:union_members xs
+      || List.for_all is_complement xs
+      || distribution ~dual_members:union_members xs
+  | Find _ | Filter _ -> false
+
+(* The Rec rule of Fig. 14: a term is reducible if any subterm matches a
+   rewrite rule. *)
+let rec reducible_rec t =
+  rule_matches t
+  ||
+  match t with
+  | Hole | Const _ | All | Is _ -> false
+  | Complement t1 | Find (t1, _, _) | Filter (t1, _) -> reducible_rec t1
+  | Union ts | Intersect ts -> List.exists reducible_rec ts
+
+let reducible t =
+  incr checks;
+  reducible_rec t

@@ -1,0 +1,70 @@
+(** The ImageEye synthesis algorithm (Section 5).
+
+    {!synthesize_extractor} is the SynthesizeExtractor procedure of Fig. 9:
+    top-down enumerative search over partial programs, ordered by AST size
+    then depth, pruning with goal-directed partial evaluation (Fig. 12) and
+    equivalence reduction by term rewriting (Figs. 13-14).
+
+    {!synthesize} is the top-level Synthesize procedure of Fig. 8: it
+    splits a demonstration specification into one PBE problem per action
+    and learns an extractor for each.
+
+    The three pruning techniques can be disabled independently through
+    {!config}, which is how the Section 7.4 ablation study is expressed. *)
+
+type config = {
+  goal_inference : bool;  (** Section 5.3 pruning *)
+  partial_eval : bool;  (** collapse complete subtrees before rewriting *)
+  equiv_reduction : bool;  (** Section 5.5 term rewriting *)
+  timeout_s : float;  (** wall-clock budget per extractor search *)
+  max_expansions : int;  (** hard cap on worklist pops *)
+  max_size : int;  (** partial programs above this size are not enqueued *)
+  max_operands : int;  (** maximum arity of Union/Intersect (paper uses
+                           variadic operators; every Appendix B ground
+                           truth fits within 3) *)
+  age_thresholds : int list;  (** constants for BelowAge/AboveAge *)
+}
+
+val default_config : config
+(** All pruning on, 120 s timeout, arity 3, age threshold 18. *)
+
+type stats = {
+  popped : int;  (** worklist entries dequeued *)
+  enqueued : int;  (** partial programs added to the worklist *)
+  pruned_infeasible : int;  (** rejected by partial evaluation (⊥) *)
+  pruned_reducible : int;  (** rejected by term rewriting *)
+  elapsed_s : float;
+}
+
+type 'a outcome =
+  | Success of 'a * stats
+  | Timeout of stats
+  | Exhausted of stats
+      (** the bounded search space was exhausted without a solution *)
+
+val synthesize_extractor :
+  ?config:config ->
+  Imageeye_symbolic.Universe.t ->
+  Imageeye_symbolic.Simage.t ->
+  Lang.extractor outcome
+(** [synthesize_extractor u i_out] searches for an extractor [e] with
+    ⟦e⟧(Î_in) = [i_out], where Î_in is the full universe [u]. *)
+
+val synthesize_extractors :
+  ?config:config ->
+  count:int ->
+  Imageeye_symbolic.Universe.t ->
+  Imageeye_symbolic.Simage.t ->
+  Lang.extractor list * stats
+(** Like {!synthesize_extractor} but keeps searching after the first
+    solution, returning up to [count] syntactically distinct extractors
+    that all match the examples, in the worklist's size-then-depth order.
+    All returned extractors agree on the input image but may disagree on
+    unseen images — the ambiguity that drives active example selection. *)
+
+val synthesize :
+  ?config:config -> Edit.Spec.t -> Lang.program outcome
+(** Top-level synthesis from demonstrations: one extractor per action that
+    appears in the spec.  The spec's universe should contain exactly the
+    objects of the demonstrated images (build a fresh universe for them).
+    Statistics are summed over the per-action searches. *)

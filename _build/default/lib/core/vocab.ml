@@ -1,0 +1,46 @@
+module Universe = Imageeye_symbolic.Universe
+module Entity = Imageeye_symbolic.Entity
+
+type t = { predicates : Pred.t list }
+
+module SS = Set.Make (String)
+module IS = Set.Make (Int)
+
+let of_universe ?(age_thresholds = [ 18 ]) u =
+  let faces = ref IS.empty in
+  let words = ref SS.empty in
+  let classes = ref SS.empty in
+  let any_face = ref false in
+  let any_text = ref false in
+  List.iter
+    (fun (e : Entity.t) ->
+      match e.kind with
+      | Entity.Face f ->
+          any_face := true;
+          faces := IS.add f.face_id !faces
+      | Entity.Text body ->
+          any_text := true;
+          words := SS.add body !words
+      | Entity.Thing cls -> classes := SS.add cls !classes)
+    (Universe.entities u);
+  let face_preds =
+    if not !any_face then []
+    else
+      [ Pred.Face_object; Pred.Smiling; Pred.Eyes_open; Pred.Mouth_open ]
+      @ List.map (fun n -> Pred.Face n) (IS.elements !faces)
+      @ List.concat_map
+          (fun n -> [ Pred.Below_age n; Pred.Above_age n ])
+          age_thresholds
+  in
+  let text_preds =
+    if not !any_text then []
+    else
+      [ Pred.Text_object; Pred.Phone_number; Pred.Price ]
+      @ List.map (fun w -> Pred.Word w) (SS.elements !words)
+  in
+  let thing_preds = List.map (fun c -> Pred.Object c) (SS.elements !classes) in
+  { predicates = face_preds @ text_preds @ thing_preds }
+
+let predicates t = t.predicates
+let functions _ = Func.all
+let cardinality t = List.length t.predicates

@@ -1,0 +1,26 @@
+(** The predicate vocabulary available to the synthesizer for a given
+    input.
+
+    Section 7.2 notes that "the number of constants in the DSL depends on
+    the number of objects in the target domain": a [Face n] predicate
+    exists for every distinct face identity detected in the input, a
+    [Word w] for every distinct text body, an [Object c] for every
+    distinct object class.  This module computes that instantiated
+    vocabulary from a universe, which is why synthesis on the object-dense
+    Receipts domain is slower than on the sparse Objects domain. *)
+
+type t
+
+val of_universe :
+  ?age_thresholds:int list -> Imageeye_symbolic.Universe.t -> t
+(** Build the vocabulary of a universe.  [age_thresholds] (default [18],
+    the only threshold Appendix B uses) instantiates [Below_age]/[Above_age]. *)
+
+val predicates : t -> Pred.t list
+(** All predicates, in a fixed deterministic order. *)
+
+val functions : t -> Func.t list
+(** The spatial functions (always all five). *)
+
+val cardinality : t -> int
+(** Number of predicates; a proxy for the branching factor of the search. *)

@@ -1,0 +1,60 @@
+type t = { left : int; right : int; top : int; bottom : int }
+
+let make ~left ~right ~top ~bottom =
+  if left > right then invalid_arg "Bbox.make: left > right";
+  if top > bottom then invalid_arg "Bbox.make: top > bottom";
+  { left; right; top; bottom }
+
+let of_corner ~x ~y ~w ~h =
+  if w < 1 || h < 1 then invalid_arg "Bbox.of_corner: empty box";
+  { left = x; right = x + w - 1; top = y; bottom = y + h - 1 }
+
+let width t = t.right - t.left + 1
+let height t = t.bottom - t.top + 1
+let area t = width t * height t
+
+let center_x t = (t.left + t.right) / 2
+let center_y t = (t.top + t.bottom) / 2
+
+let contains ~outer ~inner =
+  outer.left <= inner.left && inner.right <= outer.right && outer.top <= inner.top
+  && inner.bottom <= outer.bottom
+
+let strictly_contains ~outer ~inner = contains ~outer ~inner && outer <> inner
+
+let contains_point t ~x ~y = t.left <= x && x <= t.right && t.top <= y && y <= t.bottom
+
+let overlaps a b =
+  a.left <= b.right && b.left <= a.right && a.top <= b.bottom && b.top <= a.bottom
+
+let intersect a b =
+  if overlaps a b then
+    Some
+      {
+        left = max a.left b.left;
+        right = min a.right b.right;
+        top = max a.top b.top;
+        bottom = min a.bottom b.bottom;
+      }
+  else None
+
+let hull a b =
+  {
+    left = min a.left b.left;
+    right = max a.right b.right;
+    top = min a.top b.top;
+    bottom = max a.bottom b.bottom;
+  }
+
+let hull_all = function [] -> None | b :: bs -> Some (List.fold_left hull b bs)
+
+let is_left_of a b = a.right < b.left
+let is_right_of a b = a.left > b.right
+let is_above a b = a.bottom < b.top
+let is_below a b = a.top > b.bottom
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let to_string t = Printf.sprintf "(l=%d,r=%d,t=%d,b=%d)" t.left t.right t.top t.bottom
+let pp fmt t = Format.pp_print_string fmt (to_string t)

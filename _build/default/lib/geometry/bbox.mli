@@ -1,0 +1,57 @@
+(** Axis-aligned bounding boxes in pixel coordinates.
+
+    A box is Δ = (left, right, top, bottom) as in Definition 3.1 of the
+    paper, with the image origin at the top-left corner: [left <= right],
+    [top <= bottom], y grows downward.  All spatial constructs of the DSL
+    (GetLeft, GetRight, GetAbove, GetBelow, GetParents, Filter containment)
+    are defined in terms of these boxes. *)
+
+type t = { left : int; right : int; top : int; bottom : int }
+
+val make : left:int -> right:int -> top:int -> bottom:int -> t
+(** Raises [Invalid_argument] if [left > right] or [top > bottom]. *)
+
+val of_corner : x:int -> y:int -> w:int -> h:int -> t
+(** [of_corner ~x ~y ~w ~h] spans [x .. x+w-1] by [y .. y+h-1].
+    Requires [w >= 1] and [h >= 1]. *)
+
+val width : t -> int
+val height : t -> int
+val area : t -> int
+
+val center_x : t -> int
+val center_y : t -> int
+
+val contains : outer:t -> inner:t -> bool
+(** Weak containment: every pixel of [inner] lies inside [outer]. *)
+
+val strictly_contains : outer:t -> inner:t -> bool
+(** Containment with [outer <> inner]. *)
+
+val contains_point : t -> x:int -> y:int -> bool
+
+val overlaps : t -> t -> bool
+
+val intersect : t -> t -> t option
+(** Intersection box, or [None] when disjoint. *)
+
+val hull : t -> t -> t
+(** Smallest box covering both. *)
+
+val hull_all : t list -> t option
+(** Smallest box covering all; [None] on the empty list. *)
+
+val is_left_of : t -> t -> bool
+(** [is_left_of a b]: [a] lies entirely to the left of [b], i.e.
+    [a.right < b.left].  The paper bases the GetX relations on the edge
+    pixels of the bounding boxes; we use strict disjointness so that an
+    object is never beside itself. *)
+
+val is_right_of : t -> t -> bool
+val is_above : t -> t -> bool
+val is_below : t -> t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

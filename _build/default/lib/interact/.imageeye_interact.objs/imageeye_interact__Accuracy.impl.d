@@ -1,0 +1,1 @@
+lib/interact/accuracy.ml: Imageeye_core Imageeye_scene Imageeye_symbolic Imageeye_util Imageeye_vision List Stdlib

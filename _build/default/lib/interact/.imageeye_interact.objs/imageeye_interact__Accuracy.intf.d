@@ -1,0 +1,1 @@
+lib/interact/accuracy.mli: Imageeye_core Imageeye_scene Imageeye_vision

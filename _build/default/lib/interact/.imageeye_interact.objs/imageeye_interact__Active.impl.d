@@ -1,0 +1,1 @@
+lib/interact/active.ml: Imageeye_core Imageeye_scene Imageeye_symbolic Imageeye_tasks Imageeye_vision List Option Session Stdlib Unix

@@ -1,0 +1,1 @@
+lib/interact/active.mli: Imageeye_core Imageeye_scene Imageeye_symbolic Imageeye_tasks Session

@@ -1,0 +1,1 @@
+lib/interact/demo_io.ml: Buffer Fun Imageeye_core Imageeye_scene Imageeye_symbolic Imageeye_vision List Printf String

@@ -1,0 +1,1 @@
+lib/interact/demo_io.mli: Imageeye_core Imageeye_scene

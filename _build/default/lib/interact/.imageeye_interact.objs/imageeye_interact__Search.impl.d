@@ -1,0 +1,1 @@
+lib/interact/search.ml: Imageeye_core Imageeye_symbolic Int List Set

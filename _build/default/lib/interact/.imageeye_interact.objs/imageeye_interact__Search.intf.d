@@ -1,0 +1,1 @@
+lib/interact/search.mli: Imageeye_core Imageeye_symbolic

@@ -1,0 +1,44 @@
+module Lang = Imageeye_core.Lang
+module Edit = Imageeye_core.Edit
+module Universe = Imageeye_symbolic.Universe
+module Entity = Imageeye_symbolic.Entity
+module Batch = Imageeye_vision.Batch
+module Noise = Imageeye_vision.Noise
+module Scene = Imageeye_scene.Scene
+module Dataset = Imageeye_scene.Dataset
+module Rng = Imageeye_util.Rng
+
+type report = { sampled : int; correct : int; accuracy : float }
+
+(* An edit as the set of visible effects: (action, bounding box) pairs. *)
+let visible_effects u prog =
+  let edit = Edit.induced_by_program u prog in
+  Edit.bindings edit
+  |> List.concat_map (fun (id, actions) ->
+         let e = Universe.entity u id in
+         List.map (fun a -> (a, e.Entity.bbox)) actions)
+  |> List.sort_uniq Stdlib.compare
+
+let image_intended_vs_noisy ~noise ~seed prog scene =
+  let perfect_u = Batch.universe_of_scenes [ scene ] in
+  let noisy_u = Batch.universe_of_scenes ~noise ~seed:(seed + scene.Scene.image_id) [ scene ] in
+  visible_effects perfect_u prog = visible_effects noisy_u prog
+
+let evaluate ~noise ~seed ~samples prog (dataset : Dataset.t) =
+  let rng = Rng.create seed in
+  (* Footnote 2: resample when the intended output is empty. *)
+  let eligible =
+    List.filter
+      (fun scene -> visible_effects (Batch.universe_of_scenes [ scene ]) prog <> [])
+      dataset.scenes
+  in
+  let chosen = Rng.sample_without_replacement rng samples eligible in
+  let correct =
+    List.length (List.filter (image_intended_vs_noisy ~noise ~seed prog) chosen)
+  in
+  let sampled = List.length chosen in
+  {
+    sampled;
+    correct;
+    accuracy = (if sampled = 0 then 0.0 else float_of_int correct /. float_of_int sampled);
+  }

@@ -1,0 +1,35 @@
+(** RQ5: how often does a (semantically correct) synthesized program
+    produce the intended edit, given imperfect neural models?
+
+    For each sampled image we compare the edit a program performs when the
+    detector is perfect (the user's intent) against the edit it performs on
+    the same image seen through a noisy detector.  Because the two
+    universes may not even contain the same objects, edits are compared by
+    the (action, bounding-box) pairs they touch — i.e. by what would
+    visibly happen to the pixels.  Following footnote 2 of the paper,
+    sampling rejects images where the program's intended edit is empty. *)
+
+type report = {
+  sampled : int;
+  correct : int;  (** images whose noisy edit equals the intended edit *)
+  accuracy : float;
+}
+
+val image_intended_vs_noisy :
+  noise:Imageeye_vision.Noise.t ->
+  seed:int ->
+  Imageeye_core.Lang.program ->
+  Imageeye_scene.Scene.t ->
+  bool
+(** [true] when the noisy-detector edit of the image matches the intended
+    (perfect-detector) edit. *)
+
+val evaluate :
+  noise:Imageeye_vision.Noise.t ->
+  seed:int ->
+  samples:int ->
+  Imageeye_core.Lang.program ->
+  Imageeye_scene.Dataset.t ->
+  report
+(** Sample [samples] images (with non-empty intended edit) from the
+    dataset and measure the fraction edited as intended. *)

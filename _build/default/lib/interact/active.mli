@@ -1,0 +1,40 @@
+(** Active example selection (the future-work direction of Section 8).
+
+    The standard interaction loop leaves it to the user to find an image
+    where the batch output looks wrong.  The paper suggests an active
+    variant where the tool proposes which image to label next.  This
+    module implements it by synthesizing several candidate programs that
+    all match the current demonstrations and suggesting the image on which
+    the candidates disagree the most — labeling it maximally narrows the
+    space of consistent programs.
+
+    When the candidates agree everywhere (yet the batch output is still
+    wrong), selection falls back to the standard sparsest-mismatch rule,
+    which models the user spotting the error themselves. *)
+
+val disagreement :
+  Imageeye_symbolic.Universe.t -> Imageeye_core.Lang.program list -> int -> int
+(** [disagreement u candidates img]: the number of distinct edits the
+    candidate programs produce on raw image [img] minus one (0 = full
+    agreement). *)
+
+val suggest :
+  Imageeye_symbolic.Universe.t ->
+  exclude:int list ->
+  Imageeye_core.Lang.program list ->
+  int option
+(** The not-yet-demonstrated image with the highest candidate
+    disagreement; ties go to the image with fewer objects.  [None] when
+    the candidates agree on every remaining image. *)
+
+val run :
+  ?config:Imageeye_core.Synthesizer.config ->
+  ?max_rounds:int ->
+  ?candidates:int ->
+  ?batch_universe:Imageeye_symbolic.Universe.t ->
+  dataset:Imageeye_scene.Dataset.t ->
+  Imageeye_tasks.Task.t ->
+  Session.result
+(** The interaction loop of {!Session.run} with active image selection:
+    each round synthesizes up to [candidates] (default 4) programs and
+    demonstrates next on the suggested image. *)

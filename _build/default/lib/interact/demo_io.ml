@@ -1,0 +1,126 @@
+module Lang = Imageeye_core.Lang
+module Edit = Imageeye_core.Edit
+module Scene = Imageeye_scene.Scene
+module Universe = Imageeye_symbolic.Universe
+module Batch = Imageeye_vision.Batch
+
+type demo = { image_id : int; edits : (int * Lang.action) list }
+
+type error = { line : int; message : string }
+
+let error_to_string e = Printf.sprintf "demo file, line %d: %s" e.line e.message
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let parse text =
+  let exception E of error in
+  let fail line message = raise (E { line; message }) in
+  try
+    let demos = ref [] in
+    (* current block, accumulated in reverse *)
+    let current = ref None in
+    let flush () =
+      match !current with
+      | None -> ()
+      | Some (img, edits) ->
+          demos := { image_id = img; edits = List.rev edits } :: !demos;
+          current := None
+    in
+    List.iteri
+      (fun idx raw ->
+        let lineno = idx + 1 in
+        let line = String.trim (strip_comment raw) in
+        if line = "" then ()
+        else
+          match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+          | [ "image"; n ] -> (
+              flush ();
+              match int_of_string_opt n with
+              | Some img -> current := Some (img, [])
+              | None -> fail lineno (Printf.sprintf "bad image id %S" n))
+          | [ action_name; n ] -> (
+              let action =
+                match Lang.action_of_string (String.capitalize_ascii action_name) with
+                | Some a -> a
+                | None -> fail lineno (Printf.sprintf "unknown action %S" action_name)
+              in
+              match (int_of_string_opt n, !current) with
+              | None, _ -> fail lineno (Printf.sprintf "bad object number %S" n)
+              | Some _, None -> fail lineno "edit before any 'image' line"
+              | Some obj, Some (img, edits) ->
+                  if obj < 0 then fail lineno "object numbers are non-negative";
+                  current := Some (img, (obj, action) :: edits))
+          | _ -> fail lineno (Printf.sprintf "unrecognized line %S" line))
+      (String.split_on_char '\n' text);
+    flush ();
+    Ok (List.rev !demos)
+  with E e -> Error e
+
+let to_string demos =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun d ->
+      Buffer.add_string buf (Printf.sprintf "image %d\n" d.image_id);
+      List.iter
+        (fun (obj, action) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s %d\n" (String.lowercase_ascii (Lang.action_to_string action)) obj))
+        d.edits)
+    demos;
+  Buffer.contents buf
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+let save demos path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string demos))
+
+let to_spec ~scenes demos =
+  let find_scene img = List.find_opt (fun s -> s.Scene.image_id = img) scenes in
+  match
+    List.find_opt (fun d -> find_scene d.image_id = None) demos
+  with
+  | Some d -> Error (Printf.sprintf "demonstrated image %d is not in the dataset" d.image_id)
+  | None -> (
+      let demo_scenes =
+        List.filter_map (fun d -> find_scene d.image_id) demos
+      in
+      if demo_scenes = [] then Error "no demonstrated images"
+      else
+        let u = Batch.universe_of_scenes demo_scenes in
+        (* position of each object within its image, by universe id order *)
+        let ids_of_image img = Universe.objects_of_image u img in
+        let lookup img pos =
+          let ids = ids_of_image img in
+          List.nth_opt ids pos
+        in
+        let exception Bad of string in
+        try
+          let edit =
+            List.fold_left
+              (fun edit d ->
+                List.fold_left
+                  (fun edit (pos, action) ->
+                    match lookup d.image_id pos with
+                    | Some id -> Edit.add edit id action
+                    | None ->
+                        raise
+                          (Bad
+                             (Printf.sprintf
+                                "image %d has no object #%d (it has %d objects)" d.image_id
+                                pos
+                                (List.length (ids_of_image d.image_id)))))
+                  edit d.edits)
+              Edit.empty demos
+          in
+          Ok (Edit.Spec.make u [ ((List.hd demos).image_id, edit) ])
+        with Bad msg -> Error msg)

@@ -1,0 +1,42 @@
+module Lang = Imageeye_core.Lang
+module Eval = Imageeye_core.Eval
+module Simage = Imageeye_symbolic.Simage
+module Universe = Imageeye_symbolic.Universe
+
+let selected_objects u (program : Lang.program) =
+  List.fold_left
+    (fun acc (extractor, _) -> Simage.union acc (Eval.extractor u extractor))
+    (Simage.empty u) program
+
+let matches u program img =
+  not (Simage.is_empty (Simage.restrict_to_image (selected_objects u program) img))
+
+let classify u program =
+  let selected = selected_objects u program in
+  List.filter
+    (fun img -> not (Simage.is_empty (Simage.restrict_to_image selected img)))
+    (Universe.image_ids u)
+
+type metrics = {
+  true_positives : int;
+  false_positives : int;
+  false_negatives : int;
+  precision : float;
+  recall : float;
+}
+
+let evaluate u ~expected ~actual =
+  let module IS = Set.Make (Int) in
+  let want = IS.of_list (classify u expected) in
+  let got = IS.of_list (classify u actual) in
+  let tp = IS.cardinal (IS.inter want got) in
+  let fp = IS.cardinal (IS.diff got want) in
+  let fn = IS.cardinal (IS.diff want got) in
+  let ratio num den = if den = 0 then 1.0 else float_of_int num /. float_of_int den in
+  {
+    true_positives = tp;
+    false_positives = fp;
+    false_negatives = fn;
+    precision = ratio tp (tp + fp);
+    recall = ratio tp (tp + fn);
+  }

@@ -1,0 +1,32 @@
+(** Image search mode (Section 6).
+
+    Besides editing, the ImageEye GUI supports *search*: the user marks a
+    few images as interesting or irrelevant, a program is synthesized from
+    object selections on the interesting ones, and the batch is then
+    classified — an image matches when the program's extractors select
+    anything in it.  This module provides the classification side and the
+    quality metrics used to judge a search program against ground truth. *)
+
+val matches :
+  Imageeye_symbolic.Universe.t -> Imageeye_core.Lang.program -> int -> bool
+(** [matches u program img] is [true] when some guarded action of
+    [program] selects at least one object of raw image [img] in [u]. *)
+
+val classify :
+  Imageeye_symbolic.Universe.t -> Imageeye_core.Lang.program -> int list
+(** The raw-image ids of the batch that match, ascending. *)
+
+type metrics = {
+  true_positives : int;
+  false_positives : int;
+  false_negatives : int;
+  precision : float;  (** 1.0 when there are no predicted positives *)
+  recall : float;  (** 1.0 when there are no actual positives *)
+}
+
+val evaluate :
+  Imageeye_symbolic.Universe.t ->
+  expected:Imageeye_core.Lang.program ->
+  actual:Imageeye_core.Lang.program ->
+  metrics
+(** Compare the image sets selected by two programs over a batch. *)

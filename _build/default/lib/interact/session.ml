@@ -1,0 +1,152 @@
+module Lang = Imageeye_core.Lang
+module Edit = Imageeye_core.Edit
+module Synthesizer = Imageeye_core.Synthesizer
+module Universe = Imageeye_symbolic.Universe
+module Scene = Imageeye_scene.Scene
+module Dataset = Imageeye_scene.Dataset
+module Batch = Imageeye_vision.Batch
+module Task = Imageeye_tasks.Task
+
+type engine_result = {
+  program : Lang.program option;
+  time : float;
+  stats : Synthesizer.stats option;
+}
+
+type engine = Edit.Spec.t -> engine_result
+
+let imageeye_engine config spec =
+  match Synthesizer.synthesize ~config spec with
+  | Synthesizer.Success (prog, st) ->
+      { program = Some prog; time = st.elapsed_s; stats = Some st }
+  | Synthesizer.Timeout st | Synthesizer.Exhausted st ->
+      { program = None; time = st.elapsed_s; stats = Some st }
+
+let eusolver_engine ~timeout_s spec =
+  let config = { Imageeye_baseline.Eusolver.default_config with timeout_s } in
+  match Imageeye_baseline.Eusolver.synthesize ~config spec with
+  | Imageeye_baseline.Eusolver.Success (prog, st) ->
+      { program = Some prog; time = st.elapsed_s; stats = None }
+  | Imageeye_baseline.Eusolver.Timeout st | Imageeye_baseline.Eusolver.Exhausted st ->
+      { program = None; time = st.elapsed_s; stats = None }
+
+type round = {
+  round_index : int;
+  demo_image : int;
+  synth_time : float;
+  synth_stats : Synthesizer.stats option;
+  candidate : Lang.program option;
+}
+
+type failure_reason = Synth_failed | Rounds_exhausted | No_useful_image
+
+type result = {
+  task : Task.t;
+  solved : bool;
+  failure : failure_reason option;
+  rounds : round list;
+  program : Lang.program option;
+  examples_used : int;
+  last_round_time : float;
+}
+
+let edits_agree_on_image u a b img =
+  let ids = Universe.objects_of_image u img in
+  List.for_all
+    (fun id ->
+      List.sort_uniq Stdlib.compare (Edit.actions_of a id)
+      = List.sort_uniq Stdlib.compare (Edit.actions_of b id))
+    ids
+
+(* The image (among [candidates]) with the fewest detected objects — the
+   paper's user picks sparse images because they are the least work to
+   annotate. *)
+let sparsest u candidates =
+  let weight img = List.length (Universe.objects_of_image u img) in
+  match candidates with
+  | [] -> None
+  | c :: cs ->
+      Some
+        (List.fold_left (fun best img -> if weight img < weight best then img else best) c cs)
+
+let run_with ~engine ?(max_rounds = 10) ?batch_universe ~dataset task =
+  let scenes = dataset.Dataset.scenes in
+  let batch_u =
+    match batch_universe with Some u -> u | None -> Batch.universe_of_scenes scenes
+  in
+  let gt_edit = Edit.induced_by_program batch_u task.Task.ground_truth in
+  let image_ids = List.map (fun s -> s.Scene.image_id) scenes in
+  let scene_of img = List.find (fun s -> s.Scene.image_id = img) scenes in
+  (* Images on which the ground-truth program actually does something:
+     only these are useful demonstrations. *)
+  let useful =
+    List.filter
+      (fun img ->
+        List.exists
+          (fun id -> Edit.actions_of gt_edit id <> [])
+          (Universe.objects_of_image batch_u img))
+      image_ids
+  in
+  let finish ~solved ~failure ~rounds ~program =
+    let rounds = List.rev rounds in
+    {
+      task;
+      solved;
+      failure;
+      rounds;
+      program;
+      examples_used = List.length rounds;
+      last_round_time =
+        (match List.rev rounds with [] -> 0.0 | r :: _ -> r.synth_time);
+    }
+  in
+  match sparsest batch_u useful with
+  | None -> finish ~solved:false ~failure:(Some No_useful_image) ~rounds:[] ~program:None
+  | Some first_demo ->
+      let rec loop demo_images rounds round_index =
+        (* Build the demonstration universe (only demonstrated images) and
+           the edit the user performs on it. *)
+        let demo_scenes = List.map scene_of demo_images in
+        let demo_u = Batch.universe_of_scenes demo_scenes in
+        let demo_edit = Edit.induced_by_program demo_u task.Task.ground_truth in
+        let spec = Edit.Spec.make demo_u [ (List.hd demo_images, demo_edit) ] in
+        let er = engine spec in
+        let round =
+          {
+            round_index;
+            demo_image = List.hd demo_images;
+            synth_time = er.time;
+            synth_stats = er.stats;
+            candidate = er.program;
+          }
+        in
+        match er.program with
+        | None ->
+            finish ~solved:false ~failure:(Some Synth_failed) ~rounds:(round :: rounds)
+              ~program:None
+        | Some prog -> (
+            let rounds = round :: rounds in
+            let cand_edit = Edit.induced_by_program batch_u prog in
+            let mismatches =
+              List.filter
+                (fun img -> not (edits_agree_on_image batch_u gt_edit cand_edit img))
+                image_ids
+            in
+            match mismatches with
+            | [] -> finish ~solved:true ~failure:None ~rounds ~program:(Some prog)
+            | _ when round_index >= max_rounds ->
+                finish ~solved:false ~failure:(Some Rounds_exhausted) ~rounds ~program:None
+            | _ -> (
+                let fresh = List.filter (fun i -> not (List.mem i demo_images)) mismatches in
+                match sparsest batch_u fresh with
+                | None ->
+                    (* Every mismatching image is already demonstrated: more
+                       examples cannot help. *)
+                    finish ~solved:false ~failure:(Some Rounds_exhausted) ~rounds
+                      ~program:None
+                | Some next -> loop (next :: demo_images) rounds (round_index + 1)))
+      in
+      loop [ first_demo ] [] 1
+
+let run ?(config = Synthesizer.default_config) ?max_rounds ?batch_universe ~dataset task =
+  run_with ~engine:(imageeye_engine config) ?max_rounds ?batch_universe ~dataset task

@@ -1,0 +1,77 @@
+(** Simulation of the user-interaction methodology of Section 7.1.
+
+    The simulated user plays the role the paper assigns to its authors:
+
+    + pick the image with the fewest objects on which the task's
+      ground-truth program performs a non-empty edit, and demonstrate the
+      ground-truth edit on it;
+    + synthesize from the accumulated demonstrations;
+    + apply the synthesized program to the whole dataset; if its edit
+      matches the ground truth everywhere, the task is automated;
+    + otherwise add the mismatching image with the fewest objects as a new
+      demonstration and repeat, for at most [max_rounds] rounds.
+
+    Demonstrations are edits induced by the ground-truth program, exactly
+    what a user would do through the GUI.  The synthesis engine is
+    pluggable so the EUSolver baseline runs under the identical protocol
+    (Section 7.3). *)
+
+type engine_result = {
+  program : Imageeye_core.Lang.program option;
+      (** [None] when the engine timed out or exhausted its budget *)
+  time : float;
+  stats : Imageeye_core.Synthesizer.stats option;
+      (** search statistics, when the engine is the ImageEye synthesizer *)
+}
+
+type engine = Imageeye_core.Edit.Spec.t -> engine_result
+(** A synthesis engine under test. *)
+
+val imageeye_engine : Imageeye_core.Synthesizer.config -> engine
+val eusolver_engine : timeout_s:float -> engine
+
+type round = {
+  round_index : int;  (** 1-based *)
+  demo_image : int;  (** the image added in this round *)
+  synth_time : float;
+  synth_stats : Imageeye_core.Synthesizer.stats option;
+  candidate : Imageeye_core.Lang.program option;
+}
+
+type failure_reason = Synth_failed | Rounds_exhausted | No_useful_image
+
+type result = {
+  task : Imageeye_tasks.Task.t;
+  solved : bool;
+  failure : failure_reason option;
+  rounds : round list;  (** in order; length = number of demonstrations *)
+  program : Imageeye_core.Lang.program option;  (** final successful program *)
+  examples_used : int;
+  last_round_time : float;  (** synthesis time of the final round *)
+}
+
+val run :
+  ?config:Imageeye_core.Synthesizer.config ->
+  ?max_rounds:int ->
+  ?batch_universe:Imageeye_symbolic.Universe.t ->
+  dataset:Imageeye_scene.Dataset.t ->
+  Imageeye_tasks.Task.t ->
+  result
+(** Run the loop with the ImageEye engine and perfect detection (the
+    setting of RQ1/RQ2/RQ4).  [batch_universe], when given, must be the
+    perfect-detection universe of the dataset's scenes; passing it avoids
+    rebuilding the spatial indices for every task over the same dataset. *)
+
+val run_with :
+  engine:engine ->
+  ?max_rounds:int ->
+  ?batch_universe:Imageeye_symbolic.Universe.t ->
+  dataset:Imageeye_scene.Dataset.t ->
+  Imageeye_tasks.Task.t ->
+  result
+(** Same protocol with an arbitrary engine (used for RQ3). *)
+
+val edits_agree_on_image :
+  Imageeye_symbolic.Universe.t -> Imageeye_core.Edit.t -> Imageeye_core.Edit.t -> int -> bool
+(** Whether two edits over the same universe coincide when restricted to
+    the objects of one raw image (exposed for tests). *)

@@ -1,0 +1,1 @@
+lib/raster/bmp.ml: Buffer Char Fun Image String

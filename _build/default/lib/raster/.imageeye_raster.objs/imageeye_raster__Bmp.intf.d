@@ -1,0 +1,1 @@
+lib/raster/bmp.mli: Image

@@ -1,0 +1,1 @@
+lib/raster/draw.ml: Array Char Image Imageeye_geometry List String

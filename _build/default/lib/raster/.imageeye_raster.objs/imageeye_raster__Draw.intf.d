@@ -1,0 +1,1 @@
+lib/raster/draw.mli: Image Imageeye_geometry

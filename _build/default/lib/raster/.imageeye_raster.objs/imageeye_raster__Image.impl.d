@@ -1,0 +1,1 @@
+lib/raster/image.ml: Bytes Char Imageeye_geometry Printf

@@ -1,0 +1,1 @@
+lib/raster/image.mli: Imageeye_geometry

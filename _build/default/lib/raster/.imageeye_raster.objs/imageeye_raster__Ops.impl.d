@@ -1,0 +1,1 @@
+lib/raster/ops.ml: Image Imageeye_geometry

@@ -1,0 +1,1 @@
+lib/raster/ops.mli: Image Imageeye_geometry

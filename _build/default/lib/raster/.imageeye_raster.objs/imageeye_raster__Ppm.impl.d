@@ -1,0 +1,1 @@
+lib/raster/ppm.ml: Buffer Char Fun Image Printf String

@@ -1,0 +1,1 @@
+lib/raster/ppm.mli: Image

@@ -1,0 +1,85 @@
+(* Little-endian field writers. *)
+let le16 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff))
+
+let le32 buf v =
+  le16 buf (v land 0xffff);
+  le16 buf ((v lsr 16) land 0xffff)
+
+let row_size width = (width * 3 + 3) / 4 * 4
+
+let to_string img =
+  let w = Image.width img and h = Image.height img in
+  let data_size = row_size w * h in
+  let file_size = 14 + 40 + data_size in
+  let buf = Buffer.create file_size in
+  (* BITMAPFILEHEADER *)
+  Buffer.add_string buf "BM";
+  le32 buf file_size;
+  le32 buf 0;
+  le32 buf 54;
+  (* BITMAPINFOHEADER *)
+  le32 buf 40;
+  le32 buf w;
+  le32 buf h;
+  le16 buf 1;
+  le16 buf 24;
+  le32 buf 0;
+  le32 buf data_size;
+  le32 buf 2835;
+  le32 buf 2835;
+  le32 buf 0;
+  le32 buf 0;
+  (* pixel rows, bottom-up, BGR, padded to 4 bytes *)
+  let pad = row_size w - (w * 3) in
+  for y = h - 1 downto 0 do
+    for x = 0 to w - 1 do
+      let c = Image.get img ~x ~y in
+      Buffer.add_char buf (Char.chr c.Image.b);
+      Buffer.add_char buf (Char.chr c.Image.g);
+      Buffer.add_char buf (Char.chr c.Image.r)
+    done;
+    for _ = 1 to pad do
+      Buffer.add_char buf '\000'
+    done
+  done;
+  Buffer.contents buf
+
+let write img path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string img))
+
+let of_string s =
+  let fail msg = failwith ("Bmp.of_string: " ^ msg) in
+  let len = String.length s in
+  if len < 54 || String.sub s 0 2 <> "BM" then fail "not a BMP";
+  let u8 i = Char.code s.[i] in
+  let u16 i = u8 i lor (u8 (i + 1) lsl 8) in
+  let u32 i = u16 i lor (u16 (i + 2) lsl 16) in
+  let data_offset = u32 10 in
+  let header_size = u32 14 in
+  if header_size < 40 then fail "unsupported header";
+  let w = u32 18 and h = u32 22 in
+  if u16 28 <> 24 then fail "only 24bpp supported";
+  if u32 30 <> 0 then fail "only uncompressed supported";
+  if w <= 0 || h <= 0 then fail "bad dimensions";
+  let stride = row_size w in
+  if len < data_offset + (stride * h) then fail "truncated pixel data";
+  let img = Image.create ~width:w ~height:h Image.black in
+  for y = 0 to h - 1 do
+    let row = data_offset + ((h - 1 - y) * stride) in
+    for x = 0 to w - 1 do
+      let i = row + (x * 3) in
+      Image.set img ~x ~y (Image.rgb (u8 (i + 2)) (u8 (i + 1)) (u8 i))
+    done
+  done;
+  img
+
+let read path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,16 @@
+(** Uncompressed 24-bit BMP serialization.
+
+    Browsers render BMP but not PPM, so the HTML report generator uses
+    this format for the before/after galleries.  Only the classic
+    BITMAPINFOHEADER, 24 bits per pixel, bottom-up row order. *)
+
+val to_string : Image.t -> string
+(** Serialize to an in-memory BMP byte string. *)
+
+val write : Image.t -> string -> unit
+
+val of_string : string -> Image.t
+(** Parse a BMP as produced by {!to_string} (24bpp, uncompressed,
+    bottom-up).  Raises [Failure] on other variants or malformed input. *)
+
+val read : string -> Image.t

@@ -1,0 +1,107 @@
+module Bbox = Imageeye_geometry.Bbox
+
+let fill_rect img box color = Image.map_region img box (fun _ -> color)
+
+let outline_rect img (box : Bbox.t) color =
+  let w = Image.width img and h = Image.height img in
+  let plot x y =
+    if x >= 0 && x < w && y >= 0 && y < h then Image.set img ~x ~y color
+  in
+  for x = box.left to box.right do
+    plot x box.top;
+    plot x box.bottom
+  done;
+  for y = box.top to box.bottom do
+    plot box.left y;
+    plot box.right y
+  done
+
+let fill_disc img ~cx ~cy ~radius color =
+  let w = Image.width img and h = Image.height img in
+  for y = cy - radius to cy + radius do
+    for x = cx - radius to cx + radius do
+      let dx = x - cx and dy = y - cy in
+      if
+        (dx * dx) + (dy * dy) <= radius * radius
+        && x >= 0 && x < w && y >= 0 && y < h
+      then Image.set img ~x ~y color
+    done
+  done
+
+(* 5x7 bitmap font: each glyph is 7 rows of 5 bits, most significant bit on
+   the left.  Covers what receipts and license plates need. *)
+let glyphs : (char * int array) list =
+  [
+    ('A', [| 0b01110; 0b10001; 0b10001; 0b11111; 0b10001; 0b10001; 0b10001 |]);
+    ('B', [| 0b11110; 0b10001; 0b10001; 0b11110; 0b10001; 0b10001; 0b11110 |]);
+    ('C', [| 0b01110; 0b10001; 0b10000; 0b10000; 0b10000; 0b10001; 0b01110 |]);
+    ('D', [| 0b11110; 0b10001; 0b10001; 0b10001; 0b10001; 0b10001; 0b11110 |]);
+    ('E', [| 0b11111; 0b10000; 0b10000; 0b11110; 0b10000; 0b10000; 0b11111 |]);
+    ('F', [| 0b11111; 0b10000; 0b10000; 0b11110; 0b10000; 0b10000; 0b10000 |]);
+    ('G', [| 0b01110; 0b10001; 0b10000; 0b10111; 0b10001; 0b10001; 0b01111 |]);
+    ('H', [| 0b10001; 0b10001; 0b10001; 0b11111; 0b10001; 0b10001; 0b10001 |]);
+    ('I', [| 0b01110; 0b00100; 0b00100; 0b00100; 0b00100; 0b00100; 0b01110 |]);
+    ('J', [| 0b00111; 0b00010; 0b00010; 0b00010; 0b00010; 0b10010; 0b01100 |]);
+    ('K', [| 0b10001; 0b10010; 0b10100; 0b11000; 0b10100; 0b10010; 0b10001 |]);
+    ('L', [| 0b10000; 0b10000; 0b10000; 0b10000; 0b10000; 0b10000; 0b11111 |]);
+    ('M', [| 0b10001; 0b11011; 0b10101; 0b10101; 0b10001; 0b10001; 0b10001 |]);
+    ('N', [| 0b10001; 0b11001; 0b10101; 0b10011; 0b10001; 0b10001; 0b10001 |]);
+    ('O', [| 0b01110; 0b10001; 0b10001; 0b10001; 0b10001; 0b10001; 0b01110 |]);
+    ('P', [| 0b11110; 0b10001; 0b10001; 0b11110; 0b10000; 0b10000; 0b10000 |]);
+    ('Q', [| 0b01110; 0b10001; 0b10001; 0b10001; 0b10101; 0b10010; 0b01101 |]);
+    ('R', [| 0b11110; 0b10001; 0b10001; 0b11110; 0b10100; 0b10010; 0b10001 |]);
+    ('S', [| 0b01111; 0b10000; 0b10000; 0b01110; 0b00001; 0b00001; 0b11110 |]);
+    ('T', [| 0b11111; 0b00100; 0b00100; 0b00100; 0b00100; 0b00100; 0b00100 |]);
+    ('U', [| 0b10001; 0b10001; 0b10001; 0b10001; 0b10001; 0b10001; 0b01110 |]);
+    ('V', [| 0b10001; 0b10001; 0b10001; 0b10001; 0b10001; 0b01010; 0b00100 |]);
+    ('W', [| 0b10001; 0b10001; 0b10001; 0b10101; 0b10101; 0b10101; 0b01010 |]);
+    ('X', [| 0b10001; 0b10001; 0b01010; 0b00100; 0b01010; 0b10001; 0b10001 |]);
+    ('Y', [| 0b10001; 0b10001; 0b01010; 0b00100; 0b00100; 0b00100; 0b00100 |]);
+    ('Z', [| 0b11111; 0b00001; 0b00010; 0b00100; 0b01000; 0b10000; 0b11111 |]);
+    ('0', [| 0b01110; 0b10001; 0b10011; 0b10101; 0b11001; 0b10001; 0b01110 |]);
+    ('1', [| 0b00100; 0b01100; 0b00100; 0b00100; 0b00100; 0b00100; 0b01110 |]);
+    ('2', [| 0b01110; 0b10001; 0b00001; 0b00010; 0b00100; 0b01000; 0b11111 |]);
+    ('3', [| 0b11111; 0b00010; 0b00100; 0b00010; 0b00001; 0b10001; 0b01110 |]);
+    ('4', [| 0b00010; 0b00110; 0b01010; 0b10010; 0b11111; 0b00010; 0b00010 |]);
+    ('5', [| 0b11111; 0b10000; 0b11110; 0b00001; 0b00001; 0b10001; 0b01110 |]);
+    ('6', [| 0b00110; 0b01000; 0b10000; 0b11110; 0b10001; 0b10001; 0b01110 |]);
+    ('7', [| 0b11111; 0b00001; 0b00010; 0b00100; 0b01000; 0b01000; 0b01000 |]);
+    ('8', [| 0b01110; 0b10001; 0b10001; 0b01110; 0b10001; 0b10001; 0b01110 |]);
+    ('9', [| 0b01110; 0b10001; 0b10001; 0b01111; 0b00001; 0b00010; 0b01100 |]);
+    ('.', [| 0b00000; 0b00000; 0b00000; 0b00000; 0b00000; 0b01100; 0b01100 |]);
+    ('$', [| 0b00100; 0b01111; 0b10100; 0b01110; 0b00101; 0b11110; 0b00100 |]);
+    ('-', [| 0b00000; 0b00000; 0b00000; 0b11111; 0b00000; 0b00000; 0b00000 |]);
+    ('(', [| 0b00010; 0b00100; 0b01000; 0b01000; 0b01000; 0b00100; 0b00010 |]);
+    (')', [| 0b01000; 0b00100; 0b00010; 0b00010; 0b00010; 0b00100; 0b01000 |]);
+    (' ', [| 0; 0; 0; 0; 0; 0; 0 |]);
+  ]
+
+let unknown_glyph = [| 0b11111; 0b11111; 0b11111; 0b11111; 0b11111; 0b11111; 0b11111 |]
+
+let glyph_of_char c =
+  let c = Char.uppercase_ascii c in
+  match List.assoc_opt c glyphs with Some g -> g | None -> unknown_glyph
+
+let glyph_width = 6 (* 5 pixels + 1 spacing column *)
+let glyph_height = 7
+
+let text img ~x ~y color s =
+  let w = Image.width img and h = Image.height img in
+  String.iteri
+    (fun i c ->
+      let rows = glyph_of_char c in
+      Array.iteri
+        (fun row bits ->
+          for col = 0 to 4 do
+            if bits land (1 lsl (4 - col)) <> 0 then begin
+              let px = x + (i * glyph_width) + col and py = y + row in
+              if px >= 0 && px < w && py >= 0 && py < h then
+                Image.set img ~x:px ~y:py color
+            end
+          done)
+        rows)
+    s
+
+let text_extent s =
+  if String.length s = 0 then (0, 0)
+  else ((String.length s * glyph_width) - 1, glyph_height)

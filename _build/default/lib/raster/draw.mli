@@ -1,0 +1,28 @@
+(** Drawing primitives used by the synthetic scene renderer.
+
+    The generated datasets are rendered as flat-shaded compositions of
+    rectangles, discs and 5x7 bitmap glyph text: enough structure for the
+    edit actions to be visibly correct in the output images, without any
+    external graphics dependency. *)
+
+val fill_rect : Image.t -> Imageeye_geometry.Bbox.t -> Image.color -> unit
+(** Fill the (clipped) box with a solid color. *)
+
+val outline_rect : Image.t -> Imageeye_geometry.Bbox.t -> Image.color -> unit
+(** One-pixel rectangle outline. *)
+
+val fill_disc : Image.t -> cx:int -> cy:int -> radius:int -> Image.color -> unit
+(** Filled disc centered at [(cx, cy)]. *)
+
+val glyph_width : int
+(** Width in pixels of one glyph cell including spacing. *)
+
+val glyph_height : int
+
+val text : Image.t -> x:int -> y:int -> Image.color -> string -> unit
+(** Render uppercase A-Z, digits, and a few punctuation marks as 5x7
+    bitmaps with top-left corner at [(x, y)].  Unknown characters render
+    as a solid block. *)
+
+val text_extent : string -> int * int
+(** Width and height in pixels that {!text} would cover. *)

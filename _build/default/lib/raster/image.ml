@@ -1,0 +1,110 @@
+module Bbox = Imageeye_geometry.Bbox
+
+type t = { width : int; height : int; data : Bytes.t }
+
+type color = { r : int; g : int; b : int }
+
+let clamp v = if v < 0 then 0 else if v > 255 then 255 else v
+
+let rgb r g b = { r = clamp r; g = clamp g; b = clamp b }
+
+let black = rgb 0 0 0
+let white = rgb 255 255 255
+
+let create ~width ~height color =
+  if width <= 0 || height <= 0 then invalid_arg "Image.create: non-positive size";
+  let data = Bytes.create (width * height * 3) in
+  let t = { width; height; data } in
+  for i = 0 to (width * height) - 1 do
+    Bytes.unsafe_set data (3 * i) (Char.chr color.r);
+    Bytes.unsafe_set data ((3 * i) + 1) (Char.chr color.g);
+    Bytes.unsafe_set data ((3 * i) + 2) (Char.chr color.b)
+  done;
+  t
+
+let width t = t.width
+let height t = t.height
+
+let check t x y =
+  if x < 0 || x >= t.width || y < 0 || y >= t.height then
+    invalid_arg (Printf.sprintf "Image: pixel (%d,%d) outside %dx%d" x y t.width t.height)
+
+let get t ~x ~y =
+  check t x y;
+  let i = 3 * ((y * t.width) + x) in
+  {
+    r = Char.code (Bytes.unsafe_get t.data i);
+    g = Char.code (Bytes.unsafe_get t.data (i + 1));
+    b = Char.code (Bytes.unsafe_get t.data (i + 2));
+  }
+
+let set t ~x ~y c =
+  check t x y;
+  let i = 3 * ((y * t.width) + x) in
+  Bytes.unsafe_set t.data i (Char.chr c.r);
+  Bytes.unsafe_set t.data (i + 1) (Char.chr c.g);
+  Bytes.unsafe_set t.data (i + 2) (Char.chr c.b)
+
+let copy t = { t with data = Bytes.copy t.data }
+
+(* Clip a box to the image bounds; None when disjoint. *)
+let clip t (box : Bbox.t) =
+  let image_box = Bbox.make ~left:0 ~right:(t.width - 1) ~top:0 ~bottom:(t.height - 1) in
+  Bbox.intersect box image_box
+
+let sub t box =
+  match clip t box with
+  | None -> invalid_arg "Image.sub: box outside image"
+  | Some b ->
+      let w = Bbox.width b and h = Bbox.height b in
+      let out = create ~width:w ~height:h black in
+      for y = 0 to h - 1 do
+        for x = 0 to w - 1 do
+          set out ~x ~y (get t ~x:(b.left + x) ~y:(b.top + y))
+        done
+      done;
+      out
+
+let blit ~src ~dst ~x ~y =
+  for sy = 0 to height src - 1 do
+    for sx = 0 to width src - 1 do
+      let dx = x + sx and dy = y + sy in
+      if dx >= 0 && dx < dst.width && dy >= 0 && dy < dst.height then
+        set dst ~x:dx ~y:dy (get src ~x:sx ~y:sy)
+    done
+  done
+
+let map_region t box f =
+  match clip t box with
+  | None -> ()
+  | Some b ->
+      for y = b.top to b.bottom do
+        for x = b.left to b.right do
+          set t ~x ~y (f (get t ~x ~y))
+        done
+      done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  for y = 0 to t.height - 1 do
+    for x = 0 to t.width - 1 do
+      acc := f !acc (get t ~x ~y)
+    done
+  done;
+  !acc
+
+let equal a b =
+  a.width = b.width && a.height = b.height && Bytes.equal a.data b.data
+
+let mean_brightness t box =
+  match clip t box with
+  | None -> 0.0
+  | Some b ->
+      let total = ref 0 in
+      for y = b.top to b.bottom do
+        for x = b.left to b.right do
+          let c = get t ~x ~y in
+          total := !total + c.r + c.g + c.b
+        done
+      done;
+      float_of_int !total /. (3.0 *. float_of_int (Bbox.area b))

@@ -1,0 +1,51 @@
+(** Mutable 8-bit RGB raster images.
+
+    This is the "raw image" of the paper: an [n x m] matrix of pixels.  The
+    edit actions of the DSL (blur, blackout, ...) are implemented on top of
+    this representation in {!Ops}, and the synthetic scene generators render
+    into it so that example programs produce actual images. *)
+
+type t
+
+type color = { r : int; g : int; b : int }
+(** Channel values in [0, 255]; constructors clamp. *)
+
+val rgb : int -> int -> int -> color
+(** Clamping constructor. *)
+
+val black : color
+val white : color
+
+val create : width:int -> height:int -> color -> t
+(** Solid-color image.  Raises [Invalid_argument] on non-positive sizes. *)
+
+val width : t -> int
+val height : t -> int
+
+val get : t -> x:int -> y:int -> color
+(** Raises [Invalid_argument] when out of bounds. *)
+
+val set : t -> x:int -> y:int -> color -> unit
+
+val copy : t -> t
+
+val sub : t -> Imageeye_geometry.Bbox.t -> t
+(** Extract the pixels under a box; the box is clipped to the image and
+    must intersect it. *)
+
+val blit : src:t -> dst:t -> x:int -> y:int -> unit
+(** Copy [src] into [dst] with its top-left corner at [(x, y)], clipping at
+    the destination edges. *)
+
+val map_region : t -> Imageeye_geometry.Bbox.t -> (color -> color) -> unit
+(** Apply a per-pixel function to every pixel inside the (clipped) box. *)
+
+val fold : t -> init:'a -> f:('a -> color -> 'a) -> 'a
+(** Fold over all pixels in row-major order. *)
+
+val equal : t -> t -> bool
+(** Structural pixel equality. *)
+
+val mean_brightness : t -> Imageeye_geometry.Bbox.t -> float
+(** Average of (r+g+b)/3 over the clipped region; used by tests to check
+    that actions really changed the pixels they were aimed at. *)

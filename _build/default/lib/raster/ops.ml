@@ -1,0 +1,81 @@
+module Bbox = Imageeye_geometry.Bbox
+
+let clip img (box : Bbox.t) =
+  Bbox.intersect box
+    (Bbox.make ~left:0 ~right:(Image.width img - 1) ~top:0 ~bottom:(Image.height img - 1))
+
+(* Mean color over the clamped (radius x radius) neighbourhood of (x, y),
+   reading from [src]. *)
+let box_mean src ~x ~y ~radius =
+  let w = Image.width src and h = Image.height src in
+  let x0 = max 0 (x - radius) and x1 = min (w - 1) (x + radius) in
+  let y0 = max 0 (y - radius) and y1 = min (h - 1) (y + radius) in
+  let r = ref 0 and g = ref 0 and b = ref 0 in
+  for yy = y0 to y1 do
+    for xx = x0 to x1 do
+      let c = Image.get src ~x:xx ~y:yy in
+      r := !r + c.r;
+      g := !g + c.g;
+      b := !b + c.b
+    done
+  done;
+  let n = (x1 - x0 + 1) * (y1 - y0 + 1) in
+  Image.rgb (!r / n) (!g / n) (!b / n)
+
+let blur ?(radius = 4) img box =
+  match clip img box with
+  | None -> ()
+  | Some b ->
+      let src = Image.copy img in
+      for y = b.top to b.bottom do
+        for x = b.left to b.right do
+          Image.set img ~x ~y (box_mean src ~x ~y ~radius)
+        done
+      done
+
+let blackout img box = Image.map_region img box (fun _ -> Image.black)
+
+let sharpen ?(amount = 0.8) img box =
+  match clip img box with
+  | None -> ()
+  | Some b ->
+      let src = Image.copy img in
+      let mix orig blurred =
+        let f o bl =
+          int_of_float (float_of_int o +. (amount *. float_of_int (o - bl)))
+        in
+        Image.rgb (f orig.Image.r blurred.Image.r) (f orig.g blurred.g) (f orig.b blurred.b)
+      in
+      for y = b.top to b.bottom do
+        for x = b.left to b.right do
+          let orig = Image.get src ~x ~y in
+          let blurred = box_mean src ~x ~y ~radius:2 in
+          Image.set img ~x ~y (mix orig blurred)
+        done
+      done
+
+let brighten ?(gain = 1.4) img box =
+  let f c =
+    let scale v = int_of_float (float_of_int v *. gain) in
+    Image.rgb (scale c.Image.r) (scale c.g) (scale c.b)
+  in
+  Image.map_region img box f
+
+let recolor ?(color = Image.rgb 220 30 30) img box =
+  let f c =
+    (* Keep the pixel's luminance, replace its chroma. *)
+    let lum = (float_of_int (c.Image.r + c.g + c.b) /. 3.0) /. 255.0 in
+    let scale v = int_of_float (float_of_int v *. lum) in
+    Image.rgb (scale color.Image.r) (scale color.g) (scale color.b)
+  in
+  Image.map_region img box f
+
+let crop img box =
+  match clip img box with
+  | None -> invalid_arg "Ops.crop: region outside image"
+  | Some b -> Image.sub img b
+
+let crop_union img boxes =
+  match Bbox.hull_all boxes with
+  | None -> Image.copy img
+  | Some hull -> crop img hull

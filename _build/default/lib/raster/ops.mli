@@ -1,0 +1,32 @@
+(** Pixel-level implementations of the six DSL actions (Fig. 3).
+
+    Every action except {!crop} edits a rectangular region of an image in
+    place; {!crop} produces a new image restricted to the region.  These
+    are real image-processing kernels, not markers: blur is a separable box
+    blur, sharpen is an unsharp mask, brighten is a linear gain, recolor is
+    a hue replacement preserving luminance. *)
+
+val blur : ?radius:int -> Image.t -> Imageeye_geometry.Bbox.t -> unit
+(** Box blur of the region with the given radius (default 4).  Pixels
+    outside the region are read for context but never written. *)
+
+val blackout : Image.t -> Imageeye_geometry.Bbox.t -> unit
+(** Fill the region with black. *)
+
+val sharpen : ?amount:float -> Image.t -> Imageeye_geometry.Bbox.t -> unit
+(** Unsharp mask: out = in + amount * (in - blurred in). Default 0.8. *)
+
+val brighten : ?gain:float -> Image.t -> Imageeye_geometry.Bbox.t -> unit
+(** Multiply channels by [gain] (default 1.4), clamped. *)
+
+val recolor : ?color:Image.color -> Image.t -> Imageeye_geometry.Bbox.t -> unit
+(** Replace the region's hue with [color] (default a saturated red),
+    scaling by each pixel's original luminance. *)
+
+val crop : Image.t -> Imageeye_geometry.Bbox.t -> Image.t
+(** New image containing exactly the (clipped) region. *)
+
+val crop_union : Image.t -> Imageeye_geometry.Bbox.t list -> Image.t
+(** Crop to the smallest box covering all the given boxes: this is how the
+    Crop action behaves when an extractor selects several objects.  With an
+    empty list, returns a copy of the image (nothing selected: no crop). *)

@@ -1,0 +1,74 @@
+let to_string img =
+  let w = Image.width img and h = Image.height img in
+  let buf = Buffer.create ((w * h * 3) + 32) in
+  Buffer.add_string buf (Printf.sprintf "P6\n%d %d\n255\n" w h);
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let c = Image.get img ~x ~y in
+      Buffer.add_char buf (Char.chr c.r);
+      Buffer.add_char buf (Char.chr c.g);
+      Buffer.add_char buf (Char.chr c.b)
+    done
+  done;
+  Buffer.contents buf
+
+let write img path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string img))
+
+(* A tiny tokenizer over the header: tokens are separated by whitespace and
+   '#' comments run to end of line, per the PPM spec. *)
+let of_string s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let fail msg = failwith ("Ppm.of_string: " ^ msg) in
+  let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r' in
+  let skip_space_and_comments () =
+    let continue = ref true in
+    while !continue && !pos < len do
+      if is_space s.[!pos] then incr pos
+      else if s.[!pos] = '#' then
+        while !pos < len && s.[!pos] <> '\n' do
+          incr pos
+        done
+      else continue := false
+    done
+  in
+  let token () =
+    skip_space_and_comments ();
+    let start = !pos in
+    while !pos < len && not (is_space s.[!pos]) do
+      incr pos
+    done;
+    if start = !pos then fail "unexpected end of header";
+    String.sub s start (!pos - start)
+  in
+  if token () <> "P6" then fail "not a P6 file";
+  let w = int_of_string (token ()) in
+  let h = int_of_string (token ()) in
+  let maxval = int_of_string (token ()) in
+  if maxval <> 255 then fail "only maxval 255 supported";
+  (* Exactly one whitespace byte separates the header from pixel data. *)
+  if !pos >= len || not (is_space s.[!pos]) then fail "missing header terminator";
+  incr pos;
+  if len - !pos < w * h * 3 then fail "truncated pixel data";
+  let img = Image.create ~width:w ~height:h Image.black in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let i = !pos + (3 * ((y * w) + x)) in
+      Image.set img ~x ~y
+        (Image.rgb (Char.code s.[i]) (Char.code s.[i + 1]) (Char.code s.[i + 2]))
+    done
+  done;
+  img
+
+let read path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let bytes = really_input_string ic n in
+      of_string bytes)

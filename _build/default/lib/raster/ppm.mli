@@ -1,0 +1,19 @@
+(** Binary PPM (P6) image serialization.
+
+    PPM is the simplest widely supported raster format, which lets the
+    example binaries write editable output without any external imaging
+    dependency (the container is sealed). *)
+
+val write : Image.t -> string -> unit
+(** [write img path] writes a binary P6 file. *)
+
+val read : string -> Image.t
+(** Reads a binary P6 file as written by {!write} (maxval 255, single
+    whitespace after each header token).  Raises [Failure] on malformed
+    input. *)
+
+val to_string : Image.t -> string
+(** Serialize to an in-memory P6 byte string. *)
+
+val of_string : string -> Image.t
+(** Parse an in-memory P6 byte string. *)

@@ -1,0 +1,1 @@
+lib/report/html_report.ml: Buffer Filename Fun Imageeye_core Imageeye_raster Imageeye_scene Imageeye_symbolic Imageeye_vision List Printf String

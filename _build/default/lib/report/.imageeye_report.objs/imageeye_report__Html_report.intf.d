@@ -1,0 +1,1 @@
+lib/report/html_report.mli: Imageeye_core Imageeye_scene

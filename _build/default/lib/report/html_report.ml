@@ -1,0 +1,99 @@
+module Lang = Imageeye_core.Lang
+module Apply = Imageeye_core.Apply
+module Scene = Imageeye_scene.Scene
+module Render = Imageeye_scene.Render
+module Batch = Imageeye_vision.Batch
+module Bmp = Imageeye_raster.Bmp
+module Simage = Imageeye_symbolic.Simage
+module Eval = Imageeye_core.Eval
+
+type entry = {
+  image_id : int;
+  edited : bool;
+  before_file : string;
+  after_file : string;
+}
+
+let html_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let page_template ~title ~program ~entries =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>%s</title>
+<style>
+  body { font-family: sans-serif; margin: 2em; background: #fafaf7; }
+  pre { background: #eee; padding: 0.8em; border-radius: 6px; overflow-x: auto; }
+  .pair { display: inline-block; margin: 0.6em; padding: 0.5em; background: #fff;
+          border: 1px solid #ddd; border-radius: 6px; vertical-align: top; }
+  .pair.edited { border-color: #c33; }
+  .pair img { display: block; max-width: 300px; margin-bottom: 0.3em; }
+  .tag { font-size: 0.8em; color: #666; }
+  .tag.edited { color: #c33; font-weight: bold; }
+</style></head>
+<body>
+<h1>%s</h1>
+<pre>%s</pre>
+|}
+       (html_escape title) (html_escape title)
+       (html_escape (Lang.program_to_string program)));
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|<div class="pair%s">
+  <span class="tag%s">image %d%s</span>
+  <img src="%s" alt="before %d">
+  <img src="%s" alt="after %d">
+</div>
+|}
+           (if e.edited then " edited" else "")
+           (if e.edited then " edited" else "")
+           e.image_id
+           (if e.edited then " (edited)" else "")
+           e.before_file e.image_id e.after_file e.image_id))
+    entries;
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf
+
+let generate ~dir ~title ~program scenes =
+  let entries =
+    List.map
+      (fun (scene : Scene.t) ->
+        let img = Render.scene scene in
+        let u = Batch.universe_of_scenes [ scene ] in
+        let out = Apply.program u img program in
+        let selected =
+          List.fold_left
+            (fun acc (extractor, _) -> Simage.union acc (Eval.extractor u extractor))
+            (Simage.empty u) program
+        in
+        let before_file = Printf.sprintf "before_%04d.bmp" scene.image_id in
+        let after_file = Printf.sprintf "after_%04d.bmp" scene.image_id in
+        Bmp.write img (Filename.concat dir before_file);
+        Bmp.write out (Filename.concat dir after_file);
+        {
+          image_id = scene.image_id;
+          edited = not (Simage.is_empty selected);
+          before_file;
+          after_file;
+        })
+      scenes
+  in
+  let oc = open_out (Filename.concat dir "index.html") in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (page_template ~title ~program ~entries));
+  entries

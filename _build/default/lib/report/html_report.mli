@@ -1,0 +1,24 @@
+(** HTML before/after galleries.
+
+    The paper's GUI lets the user eyeball the whole batch after applying a
+    synthesized program; this is the headless equivalent: a static HTML
+    page with the program, per-image before/after pairs (as BMP, which
+    browsers render natively), and a marker for the images the program
+    actually edited. *)
+
+type entry = {
+  image_id : int;
+  edited : bool;  (** the program selected at least one object here *)
+  before_file : string;  (** file names relative to the report directory *)
+  after_file : string;
+}
+
+val generate :
+  dir:string ->
+  title:string ->
+  program:Imageeye_core.Lang.program ->
+  Imageeye_scene.Scene.t list ->
+  entry list
+(** Render every scene, apply the program, write [before_NNN.bmp] /
+    [after_NNN.bmp] and an [index.html] into [dir] (which must exist), and
+    return the manifest in page order. *)

@@ -1,0 +1,1 @@
+lib/scene/dataset.ml: List Objects_gen Option Receipts_gen Scene Wedding_gen

@@ -1,0 +1,1 @@
+lib/scene/dataset.mli: Scene

@@ -1,0 +1,1 @@
+lib/scene/objects_gen.ml: Imageeye_geometry Imageeye_raster Imageeye_util List Printf Scene String

@@ -1,0 +1,1 @@
+lib/scene/objects_gen.mli: Scene

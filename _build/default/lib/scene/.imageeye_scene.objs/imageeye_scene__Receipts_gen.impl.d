@@ -1,0 +1,1 @@
+lib/scene/receipts_gen.ml: Array Imageeye_geometry Imageeye_raster Imageeye_util List Printf Scene String

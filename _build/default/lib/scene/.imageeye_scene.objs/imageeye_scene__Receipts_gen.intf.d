@@ -1,0 +1,1 @@
+lib/scene/receipts_gen.mli: Scene

@@ -1,0 +1,1 @@
+lib/scene/render.ml: Imageeye_geometry Imageeye_raster List Scene

@@ -1,0 +1,1 @@
+lib/scene/render.mli: Imageeye_raster Scene

@@ -1,0 +1,1 @@
+lib/scene/scene.ml: Format Imageeye_geometry List Printf

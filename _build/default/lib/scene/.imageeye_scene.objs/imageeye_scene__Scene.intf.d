@@ -1,0 +1,1 @@
+lib/scene/scene.mli: Format Imageeye_geometry

@@ -1,0 +1,1 @@
+lib/scene/scene_io.ml: Array Buffer Char Dataset Filename Fun Imageeye_geometry List Printf Scene String Sys

@@ -1,0 +1,1 @@
+lib/scene/scene_io.mli: Dataset Scene

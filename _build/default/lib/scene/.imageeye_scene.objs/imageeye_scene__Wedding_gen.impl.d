@@ -1,0 +1,1 @@
+lib/scene/wedding_gen.ml: Array Imageeye_geometry Imageeye_util List Scene

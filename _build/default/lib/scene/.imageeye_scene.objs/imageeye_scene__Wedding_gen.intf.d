@@ -1,0 +1,1 @@
+lib/scene/wedding_gen.mli: Scene

@@ -1,0 +1,29 @@
+type domain = Wedding | Receipts | Objects
+
+type t = { domain : domain; name : string; scenes : Scene.t list }
+
+let domain_name = function
+  | Wedding -> "Wedding"
+  | Receipts -> "Receipts"
+  | Objects -> "Objects"
+
+let default_image_count = function Wedding -> 121 | Receipts -> 38 | Objects -> 608
+
+let generate ?n_images ~seed domain =
+  let n_images = Option.value n_images ~default:(default_image_count domain) in
+  let scenes =
+    match domain with
+    | Wedding -> Wedding_gen.generate ~seed ~n_images
+    | Receipts -> Receipts_gen.generate ~seed ~n_images
+    | Objects -> Objects_gen.generate ~seed ~n_images
+  in
+  { domain; name = domain_name domain; scenes }
+
+let average_object_count t =
+  match t.scenes with
+  | [] -> 0.0
+  | scenes ->
+      let total = List.fold_left (fun acc s -> acc + Scene.item_count s) 0 scenes in
+      float_of_int total /. float_of_int (List.length scenes)
+
+let all_domains = [ Wedding; Receipts; Objects ]

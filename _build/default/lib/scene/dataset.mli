@@ -1,0 +1,21 @@
+(** The three evaluation datasets of Table 1.
+
+    A dataset is a named list of ground-truth scenes.  Image counts default
+    to the paper's (Wedding 121, Receipts 38, Objects 608); smaller counts
+    are useful for fast tests. *)
+
+type domain = Wedding | Receipts | Objects
+
+type t = { domain : domain; name : string; scenes : Scene.t list }
+
+val domain_name : domain -> string
+
+val generate : ?n_images:int -> seed:int -> domain -> t
+(** Generate a dataset with the paper's image count by default. *)
+
+val default_image_count : domain -> int
+(** 121 / 38 / 608. *)
+
+val average_object_count : t -> float
+
+val all_domains : domain list

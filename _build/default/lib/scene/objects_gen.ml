@@ -1,0 +1,144 @@
+module Bbox = Imageeye_geometry.Bbox
+module Rng = Imageeye_util.Rng
+module Draw = Imageeye_raster.Draw
+
+let width = 340
+let height = 340
+
+let face rng ~child =
+  let age_low, age_high =
+    if child then
+      let lo = Rng.int_in rng 6 10 in
+      (lo, lo + Rng.int_in rng 2 5)
+    else
+      let lo = Rng.int_in rng 22 40 in
+      (lo, lo + Rng.int_in rng 3 9)
+  in
+  {
+    Scene.face_id = 100 + Rng.int rng 40;
+    smiling = Rng.bernoulli rng 0.5;
+    eyes_open = Rng.bernoulli rng 0.7;
+    mouth_open = Rng.bernoulli rng 0.3;
+    age_low;
+    age_high;
+  }
+
+let item kind bbox = { Scene.kind; bbox }
+
+let thing cls bbox = item (Scene.Thing_item cls) bbox
+let face_item f bbox = item (Scene.Face_item f) bbox
+
+let text_at ~x ~y body =
+  let w, h = Draw.text_extent (String.uppercase_ascii body) in
+  item (Scene.Text_item body) (Bbox.of_corner ~x ~y ~w:(max 1 w) ~h:(max 1 h))
+
+(* Two to four cats side by side, vertically overlapping so no cat is above
+   another; or (column variant) stacked so exactly one cat is topmost. *)
+let cats rng =
+  let n = Rng.int_in rng 2 4 in
+  let size = 56 in
+  if Rng.bernoulli rng 0.6 then
+    (* horizontal row *)
+    let y = 120 + Rng.int rng 60 in
+    List.init n (fun i ->
+        thing "cat" (Bbox.of_corner ~x:(14 + (i * (size + 22))) ~y ~w:size ~h:size))
+  else
+    let n = min n 3 in
+    let x = 90 + Rng.int rng 80 in
+    List.init n (fun i ->
+        thing "cat" (Bbox.of_corner ~x ~y:(14 + (i * (size + 28))) ~w:size ~h:size))
+
+(* A car with a license plate (text inside the car's box), sometimes a face
+   inside the car, sometimes a standalone sign and a pedestrian. *)
+let street rng =
+  let car_w = 170 and car_h = 90 in
+  let cx = 14 + Rng.int rng 60 and cy = 170 + Rng.int rng 40 in
+  let car_box = Bbox.of_corner ~x:cx ~y:cy ~w:car_w ~h:car_h in
+  let plate =
+    let body =
+      if Rng.bernoulli rng 0.25 then "319" else Printf.sprintf "%03d" (Rng.int rng 1000)
+    in
+    text_at ~x:(cx + 12) ~y:(cy + car_h - 18) body
+  in
+  let passenger =
+    if Rng.bernoulli rng 0.5 then
+      let f = face rng ~child:(Rng.bernoulli rng 0.2) in
+      [ face_item f (Bbox.of_corner ~x:(cx + car_w - 50) ~y:(cy + 12) ~w:30 ~h:30) ]
+    else []
+  in
+  let sign =
+    if Rng.bernoulli rng 0.4 then [ text_at ~x:(cx + car_w + 20) ~y:(cy - 60) "stop" ] else []
+  in
+  let pedestrian =
+    if Rng.bernoulli rng 0.3 then
+      [ thing "person" (Bbox.of_corner ~x:(min (width - 40) (cx + car_w + 24)) ~y:(cy + 10) ~w:26 ~h:70) ]
+    else []
+  in
+  (thing "car" car_box :: plate :: passenger) @ sign @ pedestrian
+
+(* A bicycle that is either ridden (person above it, face above the person)
+   or parked, plus sometimes a bystander (person + face beside it, not
+   above). *)
+let riders rng =
+  let bike_w = 110 and bike_h = 56 in
+  let bx = 30 + Rng.int rng 100 and by = 230 + Rng.int rng 30 in
+  let bike = thing "bicycle" (Bbox.of_corner ~x:bx ~y:by ~w:bike_w ~h:bike_h) in
+  let ridden = Rng.bernoulli rng 0.55 in
+  let rider =
+    if ridden then begin
+      let person_h = 80 in
+      let py = by - person_h - 4 in
+      let person =
+        thing "person" (Bbox.of_corner ~x:(bx + 30) ~y:py ~w:34 ~h:person_h)
+      in
+      let f = face rng ~child:(Rng.bernoulli rng 0.45) in
+      let face_box = Bbox.of_corner ~x:(bx + 32) ~y:(py - 34) ~w:30 ~h:30 in
+      [ person; face_item f face_box ]
+    end
+    else []
+  in
+  let bystander =
+    if Rng.bernoulli rng 0.35 then begin
+      (* Beside the bicycle: overlapping vertical range so nothing here is
+         "above" the bicycle. *)
+      let px = bx + bike_w + 26 in
+      if px + 30 < width then
+        let f = face rng ~child:(Rng.bernoulli rng 0.3) in
+        [
+          thing "person" (Bbox.of_corner ~x:px ~y:(by - 30) ~w:26 ~h:70);
+          face_item f (Bbox.of_corner ~x:(px + 30 + 4) ~y:(by - 30) ~w:26 ~h:26);
+        ]
+      else []
+    end
+    else []
+  in
+  (bike :: rider) @ bystander
+
+(* A guitar with a face directly above it (playing) or off to the side. *)
+let music rng =
+  let gx = 60 + Rng.int rng 120 and gy = 200 + Rng.int rng 40 in
+  let guitar = thing "guitar" (Bbox.of_corner ~x:gx ~y:gy ~w:90 ~h:44) in
+  let f = face rng ~child:(Rng.bernoulli rng 0.25) in
+  let playing = Rng.bernoulli rng 0.6 in
+  let face_box =
+    if playing then Bbox.of_corner ~x:(gx + 28) ~y:(gy - 40) ~w:32 ~h:32
+    else
+      (* Same vertical band as the guitar, horizontally separate. *)
+      Bbox.of_corner ~x:(((gx + 130) mod (width - 40)) + 2) ~y:(gy + 4) ~w:32 ~h:32
+  in
+  let extra_cat =
+    if Rng.bernoulli rng 0.25 then [ thing "cat" (Bbox.of_corner ~x:12 ~y:40 ~w:44 ~h:44) ] else []
+  in
+  (guitar :: face_item f face_box :: extra_cat)
+
+let generate ~seed ~n_images =
+  List.init n_images (fun image_id ->
+      let rng = Rng.create ((seed * 3_000_017) + image_id) in
+      let items =
+        match Rng.int rng 4 with
+        | 0 -> cats rng
+        | 1 -> street rng
+        | 2 -> riders rng
+        | _ -> music rng
+      in
+      Scene.make ~image_id ~width ~height items)

@@ -1,0 +1,19 @@
+(** Generator for the Objects domain (Table 1: 608 images, ~3 objects per
+    image — the sparsest domain).
+
+    Images are drawn from four scene templates, chosen per image:
+
+    - {b cats}: two to four cats in a horizontal row, or stacked in a
+      vertical column (tasks about cats between cats / the topmost cat);
+    - {b street}: a car carrying a license-plate text (sometimes the
+      specific plate "319") and sometimes a face inside it, plus optional
+      standalone text and people;
+    - {b riders}: a bicycle with a person and a face stacked above it
+      (ridden) or standing beside it (not ridden); rider faces are
+      children or adults;
+    - {b music}: a guitar with a face directly above it (someone playing)
+      or a face elsewhere in the image.
+
+    Faces here use identities disjoint from the Wedding pool. *)
+
+val generate : seed:int -> n_images:int -> Scene.t list

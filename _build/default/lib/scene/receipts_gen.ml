@@ -1,0 +1,71 @@
+module Bbox = Imageeye_geometry.Bbox
+module Rng = Imageeye_util.Rng
+module Draw = Imageeye_raster.Draw
+
+let width = 320
+let height = 700
+
+let item_words =
+  [
+    "coffee"; "bread"; "milk"; "eggs"; "cheese"; "apples"; "rice"; "pasta"; "soap";
+    "tea"; "butter"; "juice"; "sugar"; "flour"; "beans"; "corn"; "salt"; "pepper";
+    "honey"; "jam"; "yogurt"; "cereal"; "onions"; "garlic"; "lemons"; "tomato";
+  ]
+
+let store_names = [ "acme"; "mart"; "bazaar"; "corner"; "pantry"; "grocer" ]
+
+let word_box ~x ~y body =
+  let w, h = Draw.text_extent (String.uppercase_ascii body) in
+  Bbox.of_corner ~x ~y ~w:(max 1 w) ~h:(max 1 h)
+
+let text_item ~x ~y body = { Scene.kind = Scene.Text_item body; bbox = word_box ~x ~y body }
+
+let price rng =
+  Printf.sprintf "$%d.%02d" (Rng.int_in rng 1 49) (Rng.int rng 100)
+
+let phone rng =
+  Printf.sprintf "512-555-%04d" (Rng.int rng 10000)
+
+let row_height = 19
+let left_margin = 12
+
+let generate ~seed ~n_images =
+  List.init n_images (fun image_id ->
+      let rng = Rng.create ((seed * 2_000_003) + image_id) in
+      let items = ref [] in
+      let y = ref 10 in
+      let emit item = items := item :: !items in
+      let next_row () = y := !y + row_height in
+      (* Store header: name and phone number. *)
+      emit (text_item ~x:left_margin ~y:!y (Rng.choose_list rng store_names));
+      next_row ();
+      emit (text_item ~x:left_margin ~y:!y (phone rng));
+      next_row ();
+      next_row ();
+      (* Item rows: a word in the left column and a price after it.  Item
+         word widths vary, so price left edges vary too (a ragged second
+         column, like a narrow till receipt). *)
+      let n_rows = Rng.int_in rng 23 26 in
+      let words = Array.of_list item_words in
+      (* Item prices live in a far column (left edge >= 130) while summary
+         prices directly follow their label.  This guarantees the property
+         the Receipts tasks rely on: the first text object to the right of
+         "total" / "subtotal" / "tax" is that row's own price. *)
+      for _ = 1 to n_rows do
+        let w = Rng.choose rng words in
+        emit (text_item ~x:left_margin ~y:!y w);
+        emit (text_item ~x:(130 + Rng.int rng 24) ~y:!y (price rng));
+        next_row ()
+      done;
+      next_row ();
+      (* Summary rows: subtotal, tax, total — each exactly once. *)
+      List.iter
+        (fun label ->
+          let lab = text_item ~x:left_margin ~y:!y label in
+          emit lab;
+          emit (text_item ~x:(lab.Scene.bbox.right + 8) ~y:!y (price rng));
+          next_row ())
+        [ "subtotal"; "tax"; "total" ];
+      next_row ();
+      emit (text_item ~x:left_margin ~y:!y "thanks");
+      Scene.make ~image_id ~width ~height (List.rev !items))

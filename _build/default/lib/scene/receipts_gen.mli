@@ -1,0 +1,15 @@
+(** Generator for the Receipts domain (Table 1: 38 images, ~59 objects per
+    image — the densest domain, because every word is its own text
+    object).
+
+    A receipt is a vertical sequence of rows: a store name, a phone
+    number, around two dozen item rows (item word followed by a price),
+    then subtotal / tax / total rows and a footer.  Words, prices and
+    phone numbers have the formats the [Price] and [PhoneNumber]
+    predicates match, and the words "total", "subtotal" and "tax" appear
+    exactly once each, as the Appendix B Receipts tasks require. *)
+
+val generate : seed:int -> n_images:int -> Scene.t list
+
+val item_words : string list
+(** The item-name vocabulary (exposed for tests). *)

@@ -1,0 +1,106 @@
+module Bbox = Imageeye_geometry.Bbox
+module Image = Imageeye_raster.Image
+module Draw = Imageeye_raster.Draw
+
+let background = Image.rgb 235 235 228
+
+let skin = Image.rgb 224 172 105
+let dark = Image.rgb 40 40 40
+let eye_open = Image.rgb 250 250 250
+
+let render_face img (f : Scene.face_spec) (b : Bbox.t) =
+  let cx = Bbox.center_x b and cy = Bbox.center_y b in
+  let radius = max 2 (min (Bbox.width b) (Bbox.height b) / 2) in
+  Draw.fill_disc img ~cx ~cy ~radius skin;
+  let eye_r = max 1 (radius / 5) in
+  let eye_dy = radius / 3 and eye_dx = radius / 3 in
+  let draw_eye ex =
+    if f.eyes_open then begin
+      Draw.fill_disc img ~cx:ex ~cy:(cy - eye_dy) ~radius:eye_r eye_open;
+      Draw.fill_disc img ~cx:ex ~cy:(cy - eye_dy) ~radius:(max 1 (eye_r / 2)) dark
+    end
+    else
+      Draw.fill_rect img
+        (Bbox.of_corner ~x:(ex - eye_r) ~y:(cy - eye_dy) ~w:(2 * eye_r) ~h:1)
+        dark
+  in
+  draw_eye (cx - eye_dx);
+  draw_eye (cx + eye_dx);
+  let mouth_w = radius and mouth_y = cy + (radius / 2) in
+  if f.mouth_open then
+    Draw.fill_disc img ~cx ~cy:mouth_y ~radius:(max 1 (radius / 4)) dark
+  else if f.smiling then begin
+    (* A smile: horizontal bar with raised corners. *)
+    Draw.fill_rect img
+      (Bbox.of_corner ~x:(cx - (mouth_w / 2)) ~y:mouth_y ~w:mouth_w ~h:2)
+      dark;
+    Draw.fill_rect img (Bbox.of_corner ~x:(cx - (mouth_w / 2)) ~y:(mouth_y - 2) ~w:2 ~h:2) dark;
+    Draw.fill_rect img (Bbox.of_corner ~x:(cx + (mouth_w / 2) - 2) ~y:(mouth_y - 2) ~w:2 ~h:2) dark
+  end
+  else
+    Draw.fill_rect img
+      (Bbox.of_corner ~x:(cx - (mouth_w / 2)) ~y:mouth_y ~w:mouth_w ~h:2)
+      dark
+
+let class_color = function
+  | "person" -> Image.rgb 70 90 160
+  | "car" -> Image.rgb 180 40 40
+  | "cat" -> Image.rgb 120 120 120
+  | "bicycle" -> Image.rgb 30 130 60
+  | "guitar" -> Image.rgb 150 100 40
+  | "violin" -> Image.rgb 120 70 30
+  | "dog" -> Image.rgb 160 120 80
+  | "table" -> Image.rgb 100 70 40
+  | _ -> Image.rgb 90 90 90
+
+let render_thing img cls (b : Bbox.t) =
+  let color = class_color cls in
+  (match cls with
+  | "car" ->
+      (* body with roof and wheels *)
+      let body_top = b.top + (Bbox.height b / 3) in
+      Draw.fill_rect img (Bbox.make ~left:b.left ~right:b.right ~top:body_top ~bottom:b.bottom) color;
+      let roof_l = b.left + (Bbox.width b / 4) and roof_r = b.right - (Bbox.width b / 4) in
+      Draw.fill_rect img (Bbox.make ~left:roof_l ~right:roof_r ~top:b.top ~bottom:body_top) color;
+      let wheel_r = max 1 (Bbox.height b / 6) in
+      Draw.fill_disc img ~cx:(b.left + wheel_r + 1) ~cy:(b.bottom - wheel_r) ~radius:wheel_r dark;
+      Draw.fill_disc img ~cx:(b.right - wheel_r - 1) ~cy:(b.bottom - wheel_r) ~radius:wheel_r dark
+  | "cat" ->
+      let cx = Bbox.center_x b and cy = Bbox.center_y b in
+      let r = max 2 (min (Bbox.width b) (Bbox.height b) / 2) in
+      Draw.fill_disc img ~cx ~cy ~radius:r color;
+      (* ears *)
+      Draw.fill_rect img (Bbox.of_corner ~x:(max 0 (cx - r)) ~y:(max 0 (cy - r)) ~w:(r / 2 + 1) ~h:(r / 2 + 1)) color;
+      Draw.fill_rect img (Bbox.of_corner ~x:(cx + r / 2) ~y:(max 0 (cy - r)) ~w:(r / 2 + 1) ~h:(r / 2 + 1)) color
+  | "bicycle" ->
+      let wheel_r = max 2 (Bbox.height b / 2 - 1) in
+      let cy = b.bottom - wheel_r in
+      Draw.fill_disc img ~cx:(b.left + wheel_r) ~cy ~radius:wheel_r color;
+      Draw.fill_disc img ~cx:(b.right - wheel_r) ~cy ~radius:wheel_r color;
+      Draw.fill_rect img
+        (Bbox.make ~left:(b.left + wheel_r) ~right:(b.right - wheel_r)
+           ~top:(b.top + (Bbox.height b / 3)) ~bottom:(b.top + (Bbox.height b / 3) + 1))
+        color
+  | _ -> Draw.fill_rect img b color);
+  Draw.outline_rect img b dark
+
+let render_text img body (b : Bbox.t) =
+  Draw.fill_rect img b Image.white;
+  Draw.text img ~x:b.left ~y:b.top dark body
+
+let scene (s : Scene.t) =
+  let img = Image.create ~width:s.width ~height:s.height background in
+  (* Big things first so nested items (text on cars, faces in cars) stay
+     visible. *)
+  let order (it : Scene.item) =
+    match it.kind with Scene.Thing_item _ -> 0 | Scene.Face_item _ -> 1 | Scene.Text_item _ -> 2
+  in
+  let items = List.stable_sort (fun a b -> compare (order a) (order b)) s.items in
+  List.iter
+    (fun (it : Scene.item) ->
+      match it.kind with
+      | Scene.Face_item f -> render_face img f it.bbox
+      | Scene.Text_item body -> render_text img body it.bbox
+      | Scene.Thing_item cls -> render_thing img cls it.bbox)
+    items;
+  img

@@ -1,0 +1,14 @@
+(** Rendering scenes to raster images.
+
+    Each object class has a distinctive flat-shaded appearance (faces are
+    skin-tone discs with visible eyes and mouth reflecting the ground-truth
+    attributes; text is drawn with the bitmap font; cars, cats, bicycles,
+    guitars and people are simple shape compositions).  The point is not
+    realism but that every object occupies exactly its bounding box, so
+    the pixel effects of Blur/Blackout/Crop/... are visibly correct in the
+    example programs' output. *)
+
+val scene : Scene.t -> Imageeye_raster.Image.t
+
+val background : Imageeye_raster.Image.color
+(** The canvas color, exposed so tests can detect edited regions. *)

@@ -1,0 +1,56 @@
+module Bbox = Imageeye_geometry.Bbox
+
+type face_spec = {
+  face_id : int;
+  smiling : bool;
+  eyes_open : bool;
+  mouth_open : bool;
+  age_low : int;
+  age_high : int;
+}
+
+type item_kind = Face_item of face_spec | Text_item of string | Thing_item of string
+
+type item = { kind : item_kind; bbox : Bbox.t }
+
+type t = { image_id : int; width : int; height : int; items : item list }
+
+let make ~image_id ~width ~height items =
+  List.iter
+    (fun { bbox; _ } ->
+      if bbox.Bbox.left < 0 || bbox.right >= width || bbox.top < 0 || bbox.bottom >= height
+      then
+        invalid_arg
+          (Printf.sprintf "Scene.make: box %s outside %dx%d image" (Bbox.to_string bbox)
+             width height))
+    items;
+  { image_id; width; height; items }
+
+let item_count t = List.length t.items
+
+let faces t =
+  List.filter_map
+    (fun { kind; bbox } -> match kind with Face_item f -> Some (f, bbox) | _ -> None)
+    t.items
+
+let texts t =
+  List.filter_map
+    (fun { kind; bbox } -> match kind with Text_item s -> Some (s, bbox) | _ -> None)
+    t.items
+
+let things t =
+  List.filter_map
+    (fun { kind; bbox } -> match kind with Thing_item c -> Some (c, bbox) | _ -> None)
+    t.items
+
+let pp_kind fmt = function
+  | Face_item f -> Format.fprintf fmt "face(id=%d)" f.face_id
+  | Text_item s -> Format.fprintf fmt "text(%S)" s
+  | Thing_item c -> Format.fprintf fmt "%s" c
+
+let pp fmt t =
+  Format.fprintf fmt "scene#%d %dx%d [%a]" t.image_id t.width t.height
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ")
+       (fun fmt { kind; bbox } -> Format.fprintf fmt "%a@%a" pp_kind kind Bbox.pp bbox))
+    t.items

@@ -1,0 +1,42 @@
+(** Ground-truth synthetic scenes.
+
+    A scene is the generative description of one raw image: what objects
+    it contains, where, and with which true attributes.  Scenes stand in
+    for the real photographs of the paper's datasets (which we cannot
+    ship); the renderer turns them into actual raster images, and the
+    simulated vision models in [imageeye_vision] turn them into symbolic
+    images — perfectly, or with injected classifier noise. *)
+
+type face_spec = {
+  face_id : int;
+  smiling : bool;
+  eyes_open : bool;
+  mouth_open : bool;
+  age_low : int;
+  age_high : int;
+}
+
+type item_kind =
+  | Face_item of face_spec
+  | Text_item of string
+  | Thing_item of string  (** object class: "person", "cat", "car", ... *)
+
+type item = { kind : item_kind; bbox : Imageeye_geometry.Bbox.t }
+
+type t = {
+  image_id : int;  (** position of this raw image within its dataset *)
+  width : int;
+  height : int;
+  items : item list;
+}
+
+val make : image_id:int -> width:int -> height:int -> item list -> t
+(** Validates that every item's box fits in the image. *)
+
+val item_count : t -> int
+
+val faces : t -> (face_spec * Imageeye_geometry.Bbox.t) list
+val texts : t -> (string * Imageeye_geometry.Bbox.t) list
+val things : t -> (string * Imageeye_geometry.Bbox.t) list
+
+val pp : Format.formatter -> t -> unit

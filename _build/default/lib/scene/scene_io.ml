@@ -1,0 +1,113 @@
+module Bbox = Imageeye_geometry.Bbox
+
+(* %XX escaping for text bodies so bodies may contain spaces. *)
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '%' || c = '\n' then Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))
+      else Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let i = ref 0 in
+  let n = String.length s in
+  while !i < n do
+    if s.[!i] = '%' && !i + 2 < n then begin
+      Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ String.sub s (!i + 1) 2)));
+      i := !i + 3
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let box_fields (b : Bbox.t) = Printf.sprintf "%d %d %d %d" b.left b.right b.top b.bottom
+
+let to_string (s : Scene.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "scene %d %d %d\n" s.image_id s.width s.height);
+  List.iter
+    (fun (it : Scene.item) ->
+      let line =
+        match it.kind with
+        | Scene.Face_item f ->
+            Printf.sprintf "face %s %d %b %b %b %d %d" (box_fields it.bbox) f.face_id
+              f.smiling f.eyes_open f.mouth_open f.age_low f.age_high
+        | Scene.Text_item body -> Printf.sprintf "text %s %s" (box_fields it.bbox) (escape body)
+        | Scene.Thing_item cls -> Printf.sprintf "thing %s %s" (box_fields it.bbox) cls
+      in
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    s.items;
+  Buffer.contents buf
+
+let of_string text =
+  let fail line msg = failwith (Printf.sprintf "Scene_io: line %S: %s" line msg) in
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> failwith "Scene_io: empty input"
+  | header :: rest ->
+      let image_id, width, height =
+        match String.split_on_char ' ' header with
+        | [ "scene"; i; w; h ] -> (int_of_string i, int_of_string w, int_of_string h)
+        | _ -> fail header "expected scene header"
+      in
+      let parse_box l r t b =
+        Bbox.make ~left:(int_of_string l) ~right:(int_of_string r) ~top:(int_of_string t)
+          ~bottom:(int_of_string b)
+      in
+      let items =
+        List.map
+          (fun line ->
+            match String.split_on_char ' ' line with
+            | [ "face"; l; r; t; b; fid; sm; eo; mo; alo; ahi ] ->
+                {
+                  Scene.kind =
+                    Scene.Face_item
+                      {
+                        Scene.face_id = int_of_string fid;
+                        smiling = bool_of_string sm;
+                        eyes_open = bool_of_string eo;
+                        mouth_open = bool_of_string mo;
+                        age_low = int_of_string alo;
+                        age_high = int_of_string ahi;
+                      };
+                  bbox = parse_box l r t b;
+                }
+            | [ "text"; l; r; t; b; body ] ->
+                { Scene.kind = Scene.Text_item (unescape body); bbox = parse_box l r t b }
+            | [ "thing"; l; r; t; b; cls ] ->
+                { Scene.kind = Scene.Thing_item cls; bbox = parse_box l r t b }
+            | _ -> fail line "unrecognized object line")
+          rest
+      in
+      Scene.make ~image_id ~width ~height items
+
+let save scene path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string scene))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let save_dataset (d : Dataset.t) ~dir =
+  List.iter
+    (fun (s : Scene.t) ->
+      save s (Filename.concat dir (Printf.sprintf "%04d.scene" s.image_id)))
+    d.scenes
+
+let load_scenes ~dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".scene")
+  |> List.sort compare
+  |> List.map (fun f -> load (Filename.concat dir f))

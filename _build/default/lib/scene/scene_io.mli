@@ -1,0 +1,28 @@
+(** Plain-text serialization of scenes.
+
+    One line per object, whitespace-separated:
+
+    {v
+    scene <image_id> <width> <height>
+    face <left> <right> <top> <bottom> <face_id> <smiling> <eyes_open> <mouth_open> <age_low> <age_high>
+    text <left> <right> <top> <bottom> <body-with-%XX-escapes>
+    thing <left> <right> <top> <bottom> <class>
+    v}
+
+    This lets the CLI write generated datasets to disk alongside their
+    rendered PPM images and re-load them for later synthesis or program
+    application, standing in for the object-detection metadata a real
+    deployment would cache. *)
+
+val to_string : Scene.t -> string
+val of_string : string -> Scene.t
+(** Raises [Failure] on malformed input. *)
+
+val save : Scene.t -> string -> unit
+val load : string -> Scene.t
+
+val save_dataset : Dataset.t -> dir:string -> unit
+(** Writes [NNN.scene] files (and nothing else) for each scene. *)
+
+val load_scenes : dir:string -> Scene.t list
+(** Loads every [*.scene] file in the directory, sorted by filename. *)

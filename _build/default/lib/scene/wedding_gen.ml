@@ -1,0 +1,112 @@
+module Bbox = Imageeye_geometry.Bbox
+module Rng = Imageeye_util.Rng
+
+let bride_id = 8
+let groom_id = 34
+
+let width = 420
+let height = 300
+
+let face_size = 34
+let body_height = 56
+let body_width = 26
+
+(* Horizontal slots leave gaps so faces in a row are pairwise disjoint and
+   GetLeft/GetRight behave as expected. *)
+let slot_x slot = 10 + (slot * (face_size + 18))
+
+let max_slots = 8
+
+let guest_pool = [ 3; 5; 11; 14; 17; 20; 22; 25; 27; 30 ]
+
+let make_face rng ~face_id ~child =
+  let age_low, age_high =
+    if child then
+      let lo = Rng.int_in rng 5 10 in
+      (lo, lo + Rng.int_in rng 2 5)
+    else
+      let lo = Rng.int_in rng 21 45 in
+      (lo, lo + Rng.int_in rng 3 10)
+  in
+  {
+    Scene.face_id;
+    smiling = Rng.bernoulli rng 0.55;
+    eyes_open = Rng.bernoulli rng 0.7;
+    mouth_open = Rng.bernoulli rng 0.3;
+    age_low;
+    age_high;
+  }
+
+(* One attendee: a face at the given slot/row plus the body below it. *)
+let attendee rng ~slot ~row ~face =
+  let x = slot_x slot in
+  (* Back row (row = 0) sits higher; front row faces start lower. *)
+  let y = if row = 0 then 18 + Rng.int rng 6 else 130 + Rng.int rng 6 in
+  let face_box = Bbox.of_corner ~x ~y ~w:face_size ~h:face_size in
+  let body_box =
+    Bbox.of_corner
+      ~x:(x + ((face_size - body_width) / 2))
+      ~y:(y + face_size + 2) ~w:body_width ~h:body_height
+  in
+  [
+    { Scene.kind = Scene.Face_item face; bbox = face_box };
+    { Scene.kind = Scene.Thing_item "person"; bbox = body_box };
+  ]
+
+let generate ~seed ~n_images =
+  List.init n_images (fun image_id ->
+      (* Each image gets its own deterministic stream, so scenes do not
+         depend on the evaluation order of List.init. *)
+      let rng = Rng.create ((seed * 1_000_003) + image_id) in
+      let n_front = Rng.int_in rng 2 4 in
+      let n_back = Rng.int_in rng 1 3 in
+      let has_bride = Rng.bernoulli rng 0.8 in
+      let has_groom = Rng.bernoulli rng 0.6 in
+      (* Choose distinct guest identities for the remaining spots. *)
+      let total = n_front + n_back in
+      let n_named = (if has_bride then 1 else 0) + (if has_groom then 1 else 0) in
+      let guests = Rng.sample_without_replacement rng (total - n_named) guest_pool in
+      let ids =
+        (if has_bride then [ bride_id ] else [])
+        @ (if has_groom then [ groom_id ] else [])
+        @ guests
+      in
+      let ids = Array.of_list ids in
+      Rng.shuffle rng ids;
+      (* Groom prefers the back row when the bride is present (task 12:
+         "the groom when he is behind her"). *)
+      let ids =
+        if has_bride && has_groom && Rng.bernoulli rng 0.5 then begin
+          let arr = Array.copy ids in
+          let swap i j =
+            let t = arr.(i) in
+            arr.(i) <- arr.(j);
+            arr.(j) <- t
+          in
+          (* Put the groom among the first n_back entries (the back row) and
+             the bride in the front row. *)
+          Array.iteri (fun i id -> if id = groom_id && i >= n_back then swap i 0) arr;
+          Array.iteri
+            (fun i id -> if id = bride_id && i < n_back then swap i (min (Array.length arr - 1) n_back))
+            arr;
+          arr
+        end
+        else ids
+      in
+      let items = ref [] in
+      (* Back row first (indices 0 .. n_back-1), then front row. *)
+      let back_slot = ref (Rng.int rng 2) in
+      let front_slot = ref (Rng.int rng 2) in
+      Array.iteri
+        (fun i face_id ->
+          let child = face_id <> bride_id && face_id <> groom_id && Rng.bernoulli rng 0.25 in
+          let face = make_face rng ~face_id ~child in
+          let row = if i < n_back then 0 else 1 in
+          let slot_ref = if row = 0 then back_slot else front_slot in
+          let slot = !slot_ref in
+          if slot < max_slots then begin
+            slot_ref := slot + 1 + (if Rng.bernoulli rng 0.3 then 1 else 0);
+            items := !items @ attendee rng ~slot ~row ~face
+          end)
+        ids;
+      Scene.make ~image_id ~width ~height !items)

@@ -1,0 +1,18 @@
+(** Generator for the Wedding domain (Table 1: 121 images, ~10 objects per
+    image).
+
+    Scenes are group photos: one or two horizontal rows of faces (a front
+    row and a back row) with a person body below each face.  The bride
+    always has face identity {!bride_id} and the groom {!groom_id}; guests
+    draw stable identities from a pool, true boolean attributes (smiling,
+    eyes open, mouth open) at natural frequencies, and age ranges with some
+    children under 18 — everything the 16 Wedding tasks of Appendix B
+    discriminate on. *)
+
+val bride_id : int
+(** 8, as in the Appendix B ground-truth programs. *)
+
+val groom_id : int
+(** 34, as in the Appendix B ground-truth programs. *)
+
+val generate : seed:int -> n_images:int -> Scene.t list

@@ -1,0 +1,1 @@
+lib/symbolic/attr.ml: Format List Map String

@@ -1,0 +1,1 @@
+lib/symbolic/attr.mli: Format

@@ -1,0 +1,1 @@
+lib/symbolic/entity.ml: Attr Format Imageeye_geometry

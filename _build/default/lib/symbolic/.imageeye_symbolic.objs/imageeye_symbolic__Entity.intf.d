@@ -1,0 +1,1 @@
+lib/symbolic/entity.mli: Attr Format Imageeye_geometry

@@ -1,0 +1,1 @@
+lib/symbolic/simage.ml: Entity Imageeye_util List Universe

@@ -1,0 +1,1 @@
+lib/symbolic/simage.mli: Entity Format Imageeye_util Universe

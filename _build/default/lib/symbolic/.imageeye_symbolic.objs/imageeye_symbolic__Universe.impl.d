@@ -1,0 +1,1 @@
+lib/symbolic/universe.ml: Array Entity Imageeye_geometry Int List Printf Set

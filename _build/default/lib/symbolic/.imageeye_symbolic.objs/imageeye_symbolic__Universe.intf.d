@@ -1,0 +1,1 @@
+lib/symbolic/universe.mli: Entity

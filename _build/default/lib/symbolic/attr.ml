@@ -1,0 +1,34 @@
+type value = Bool of bool | Int of int | Str of string
+
+module M = Map.Make (String)
+
+type t = value M.t
+
+let empty = M.empty
+let add = M.add
+let of_list l = List.fold_left (fun m (k, v) -> M.add k v m) M.empty l
+let find k t = M.find_opt k t
+let mem = M.mem
+let bindings = M.bindings
+let equal = M.equal ( = )
+
+let pp_value fmt = function
+  | Bool b -> Format.pp_print_bool fmt b
+  | Int i -> Format.pp_print_int fmt i
+  | Str s -> Format.fprintf fmt "%S" s
+
+let pp fmt t =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ")
+       (fun fmt (k, v) -> Format.fprintf fmt "%s -> %a" k pp_value v))
+    (bindings t)
+
+let object_type = "objectType"
+let face_id = "faceId"
+let smiling = "Smiling"
+let eyes_open = "EyesOpen"
+let mouth_open = "MouthOpen"
+let age_low = "ageLow"
+let age_high = "ageHigh"
+let text_body = "textBody"

@@ -1,0 +1,36 @@
+(** Attribute values and attribute maps (the Φ of Definition 3.1).
+
+    Each object of a symbolic image carries a mapping from attribute names
+    to values.  In the paper this mapping is produced by pre-trained neural
+    classifiers; here it is produced by the simulated detector in
+    [imageeye_vision].  The DSL's entailment relation (Fig. 5) looks
+    attributes up by name, so attribute maps are string-keyed. *)
+
+type value = Bool of bool | Int of int | Str of string
+
+type t
+(** An attribute map. *)
+
+val empty : t
+val add : string -> value -> t -> t
+val of_list : (string * value) list -> t
+val find : string -> t -> value option
+val mem : string -> t -> bool
+val bindings : t -> (string * value) list
+(** Sorted by attribute name. *)
+
+val equal : t -> t -> bool
+val pp_value : Format.formatter -> value -> unit
+val pp : Format.formatter -> t -> unit
+
+(** Canonical attribute names, shared between the detector that writes them
+    and the predicates that read them. *)
+
+val object_type : string
+val face_id : string
+val smiling : string
+val eyes_open : string
+val mouth_open : string
+val age_low : string
+val age_high : string
+val text_body : string

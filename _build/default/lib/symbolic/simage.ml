@@ -1,0 +1,51 @@
+module Bitset = Imageeye_util.Bitset
+
+type t = { universe : Universe.t; objs : Bitset.t }
+
+let universe t = t.universe
+
+let empty u = { universe = u; objs = Bitset.create (Universe.size u) }
+let full u = { universe = u; objs = Bitset.full (Universe.size u) }
+
+let of_ids u ids = { universe = u; objs = Bitset.of_list (Universe.size u) ids }
+let to_ids t = Bitset.to_list t.objs
+let of_bitset u b =
+  if Bitset.universe_size b <> Universe.size u then
+    invalid_arg "Simage.of_bitset: size mismatch";
+  { universe = u; objs = b }
+
+let bitset t = t.objs
+
+let mem t i = Bitset.mem t.objs i
+let add t i = { t with objs = Bitset.add t.objs i }
+let cardinal t = Bitset.cardinal t.objs
+let is_empty t = Bitset.is_empty t.objs
+
+let lift2 f a b = { a with objs = f a.objs b.objs }
+
+let union a b = lift2 Bitset.union a b
+let inter a b = lift2 Bitset.inter a b
+let diff a b = lift2 Bitset.diff a b
+let complement t = { t with objs = Bitset.complement t.objs }
+
+let union_all u = List.fold_left union (empty u)
+let inter_all u = List.fold_left inter (full u)
+
+let subset a b = Bitset.subset a.objs b.objs
+let equal a b = Bitset.equal a.objs b.objs
+let compare a b = Bitset.compare a.objs b.objs
+let hash t = Bitset.hash t.objs
+
+let filter p t =
+  { t with objs = Bitset.filter (fun i -> p (Universe.entity t.universe i)) t.objs }
+
+let iter f t = Bitset.iter (fun i -> f (Universe.entity t.universe i)) t.objs
+
+let fold f t init =
+  Bitset.fold (fun i acc -> f (Universe.entity t.universe i) acc) t.objs init
+
+let entities t = List.rev (fold (fun e acc -> e :: acc) t [])
+
+let restrict_to_image t img = filter (fun e -> e.Entity.image_id = img) t
+
+let pp fmt t = Bitset.pp fmt t.objs

@@ -1,0 +1,49 @@
+(** Symbolic images (Definition 3.1): sets of objects over a shared
+    universe.
+
+    A symbolic image is the set-of-objects abstraction of one — or, as in
+    Section 3, several — raw images.  All DSL extractor semantics and all
+    the synthesizer's goal reasoning are set operations on these values, so
+    they are thin wrappers around {!Imageeye_util.Bitset} carrying their
+    universe. *)
+
+type t
+
+val universe : t -> Universe.t
+
+val empty : Universe.t -> t
+val full : Universe.t -> t
+(** Every object of the universe: this is the Î_in of the search. *)
+
+val of_ids : Universe.t -> int list -> t
+val to_ids : t -> int list
+val of_bitset : Universe.t -> Imageeye_util.Bitset.t -> t
+val bitset : t -> Imageeye_util.Bitset.t
+
+val mem : t -> int -> bool
+val add : t -> int -> t
+val cardinal : t -> int
+val is_empty : t -> bool
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val complement : t -> t
+val union_all : Universe.t -> t list -> t
+val inter_all : Universe.t -> t list -> t
+(** [inter_all u \[\]] is [full u] (neutral element of intersection). *)
+
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val filter : (Entity.t -> bool) -> t -> t
+val iter : (Entity.t -> unit) -> t -> unit
+val fold : (Entity.t -> 'a -> 'a) -> t -> 'a -> 'a
+val entities : t -> Entity.t list
+
+val restrict_to_image : t -> int -> t
+(** Objects of the set that belong to the given raw image. *)
+
+val pp : Format.formatter -> t -> unit

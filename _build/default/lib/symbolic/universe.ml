@@ -1,0 +1,86 @@
+module Bbox = Imageeye_geometry.Bbox
+
+type t = {
+  entities : Entity.t array;
+  right_of : int array array;
+  left_of : int array array;
+  above : int array array;
+  below : int array array;
+  parents : int array array;
+  contents : int array array;
+}
+
+let sorted_related entities i ~related ~key ~ascending =
+  let o = entities.(i) in
+  let candidates = ref [] in
+  Array.iter
+    (fun (o' : Entity.t) ->
+      if o'.id <> o.Entity.id && o'.image_id = o.image_id && related o' o then
+        candidates := o'.id :: !candidates)
+    entities;
+  let arr = Array.of_list !candidates in
+  let cmp a b =
+    let ka = key entities.(a) and kb = key entities.(b) in
+    let c = compare ka kb in
+    (* Tie-break on id for determinism. *)
+    let c = if c = 0 then compare a b else c in
+    if ascending then c else -c
+  in
+  Array.sort cmp arr;
+  arr
+
+let of_entities ents =
+  let entities = Array.of_list ents in
+  Array.iteri
+    (fun i (e : Entity.t) ->
+      if e.id <> i then
+        invalid_arg
+          (Printf.sprintf "Universe.of_entities: entity at position %d has id %d" i e.id))
+    entities;
+  let n = Array.length entities in
+  let build related key ascending =
+    Array.init n (fun i -> sorted_related entities i ~related ~key ~ascending)
+  in
+  let box (e : Entity.t) = e.bbox in
+  {
+    entities;
+    (* o' is right of o when o'.left > o.right (Fig. 7), closest first. *)
+    right_of =
+      build (fun o' o -> Bbox.is_right_of (box o') (box o)) (fun e -> e.Entity.bbox.left) true;
+    left_of =
+      build (fun o' o -> Bbox.is_left_of (box o') (box o)) (fun e -> e.Entity.bbox.right) false;
+    above =
+      build (fun o' o -> Bbox.is_above (box o') (box o)) (fun e -> e.Entity.bbox.bottom) false;
+    below =
+      build (fun o' o -> Bbox.is_below (box o') (box o)) (fun e -> e.Entity.bbox.top) true;
+    parents =
+      build
+        (fun o' o -> Bbox.strictly_contains ~outer:(box o') ~inner:(box o))
+        (fun e -> Bbox.area e.Entity.bbox)
+        true;
+    contents =
+      build
+        (fun o' o -> Bbox.strictly_contains ~outer:(box o) ~inner:(box o'))
+        (fun e -> e.Entity.bbox.left)
+        true;
+  }
+
+let size t = Array.length t.entities
+let entity t i = t.entities.(i)
+let entities t = Array.to_list t.entities
+
+let image_ids t =
+  let module IS = Set.Make (Int) in
+  IS.elements
+    (Array.fold_left (fun s (e : Entity.t) -> IS.add e.image_id s) IS.empty t.entities)
+
+let objects_of_image t img =
+  Array.to_list t.entities
+  |> List.filter_map (fun (e : Entity.t) -> if e.image_id = img then Some e.id else None)
+
+let right_of t i = t.right_of.(i)
+let left_of t i = t.left_of.(i)
+let above t i = t.above.(i)
+let below t i = t.below.(i)
+let parents t i = t.parents.(i)
+let contents t i = t.contents.(i)

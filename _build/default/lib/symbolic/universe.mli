@@ -1,0 +1,38 @@
+(** The object universe of a batch, with precomputed spatial indices.
+
+    A universe fixes the set of all detected objects across the raw images
+    under consideration; symbolic images ({!Simage}) are subsets of it.
+    Because the DSL evaluator asks "what is to the right of object o" and
+    "what contains o" millions of times during search, those relations are
+    computed once per universe, restricted to objects of the same raw
+    image, and stored as sorted arrays using the orderings of Fig. 7:
+
+    - [right_of u i]: objects right of [i], ascending by left edge;
+    - [left_of u i]: objects left of [i], descending by right edge;
+    - [above u i]: objects above [i], descending by bottom edge;
+    - [below u i]: objects below [i], ascending by top edge;
+    - [parents u i]: objects whose box strictly contains [i]'s, innermost
+      (smallest area) first;
+    - [contents u i]: objects strictly inside [i]'s box. *)
+
+type t
+
+val of_entities : Entity.t list -> t
+(** Entities must have ids exactly [0 .. n-1]; raises [Invalid_argument]
+    otherwise. *)
+
+val size : t -> int
+val entity : t -> int -> Entity.t
+val entities : t -> Entity.t list
+val image_ids : t -> int list
+(** Distinct raw-image ids, ascending. *)
+
+val objects_of_image : t -> int -> int list
+(** Ids of all objects detected in one raw image. *)
+
+val right_of : t -> int -> int array
+val left_of : t -> int -> int array
+val above : t -> int -> int array
+val below : t -> int -> int array
+val parents : t -> int -> int array
+val contents : t -> int -> int array

@@ -1,0 +1,1 @@
+lib/tasks/benchmarks.ml: Imageeye_core Imageeye_scene List Task

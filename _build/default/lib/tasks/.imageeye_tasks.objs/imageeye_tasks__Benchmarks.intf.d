@@ -1,0 +1,1 @@
+lib/tasks/benchmarks.mli: Imageeye_scene Task

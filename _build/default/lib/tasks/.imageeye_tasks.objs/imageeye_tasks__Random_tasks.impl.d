@@ -1,0 +1,1 @@
+lib/tasks/random_tasks.ml: Hashtbl Imageeye_core Imageeye_scene Imageeye_symbolic Imageeye_util Imageeye_vision List Printf Task

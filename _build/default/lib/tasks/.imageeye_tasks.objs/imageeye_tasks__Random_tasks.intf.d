@@ -1,0 +1,1 @@
+lib/tasks/random_tasks.mli: Imageeye_core Imageeye_scene Imageeye_symbolic Task

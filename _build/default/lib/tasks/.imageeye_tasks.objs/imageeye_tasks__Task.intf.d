@@ -1,0 +1,1 @@
+lib/tasks/task.mli: Format Imageeye_core Imageeye_scene

@@ -1,0 +1,252 @@
+open Imageeye_core.Lang
+open Imageeye_core.Pred
+open Imageeye_core.Func
+module Dataset = Imageeye_scene.Dataset
+
+(* Appendix B uses Face(8) for the bride and Face(34) for the groom. *)
+let bride = Face 8
+let groom = Face 34
+
+let is p = Is p
+
+let task id domain description program =
+  { Task.id; domain; description; ground_truth = program }
+
+let wedding = Dataset.Wedding
+let receipts = Dataset.Receipts
+let objects = Dataset.Objects
+
+let all =
+  [
+    task 1 wedding "Brighten all faces that are smiling and have eyes open."
+      [ (Intersect [ is Smiling; is Eyes_open ], Brighten) ];
+    task 2 wedding "Brighten all faces in back."
+      [ (Find (is Face_object, Face_object, Get_above), Brighten) ];
+    task 3 wedding "Crop image to feature just faces of bride and groom."
+      [ (Union [ is bride; is groom ], Crop) ];
+    task 4 wedding "Blur all faces except the bride's face."
+      [ (Intersect [ is Face_object; Complement (is bride) ], Blur) ];
+    task 5 wedding "Brighten all faces except the leftmost two faces."
+      [
+        ( Find (Find (is Face_object, Face_object, Get_right), Face_object, Get_right),
+          Brighten );
+      ];
+    task 6 wedding "Blur all faces that are not both smiling and eyes-open."
+      [
+        ( Intersect [ is Face_object; Complement (Intersect [ is Smiling; is Eyes_open ]) ],
+          Blur );
+      ];
+    task 7 wedding "Blur all faces that are smiling and have eyes open, except the groom's."
+      [ (Intersect [ is Smiling; is Eyes_open; Complement (is groom) ], Blur) ];
+    task 8 wedding
+      "Crop image to feature the bride's face, plus faces that are smiling and have \
+       their eyes open."
+      [ (Union [ is bride; Intersect [ is Smiling; is Eyes_open ] ], Crop) ];
+    task 9 wedding "Blur all faces in the back that are not smiling."
+      [
+        ( Intersect
+            [ Complement (is Smiling); Find (is Face_object, Face_object, Get_above) ],
+          Blur );
+      ];
+    task 10 wedding "Blur all faces that are not smiling or are under 18."
+      [
+        ( Union
+            [ Intersect [ is Face_object; Complement (is Smiling) ]; is (Below_age 18) ],
+          Blur );
+      ];
+    task 11 wedding "Crop image to feature just the bride's face and the face directly to her right."
+      [ (Union [ is bride; Find (is bride, Face_object, Get_right) ], Crop) ];
+    task 12 wedding "Crop image to feature just the bride and the groom when he is behind her."
+      [ (Union [ is bride; Find (is bride, Face 34, Get_above) ], Crop) ];
+    task 13 wedding "Brighten all faces except leftmost and rightmost face."
+      [
+        ( Intersect
+            [
+              Find (is Face_object, Face_object, Get_right);
+              Find (is Face_object, Face_object, Get_left);
+            ],
+          Brighten );
+      ];
+    task 14 wedding "Sharpen the groom, and all smiling people and people with their eyes open."
+      [
+        ( Find (Union [ is groom; is Smiling; is Eyes_open ], Object "person", Get_below),
+          Sharpen );
+      ];
+    task 15 wedding "Crop image to feature just bride when someone is to her left and right."
+      [
+        ( Intersect
+            [
+              Find (is Face_object, Face 8, Get_right);
+              Find (is Face_object, Face 8, Get_left);
+            ],
+          Crop );
+      ];
+    task 16 wedding "Crop image to feature just the bride and the people to her left and right."
+      [
+        ( Union
+            [
+              Find (is bride, Face_object, Get_right);
+              Find (is bride, Face_object, Get_left);
+              is bride;
+            ],
+          Crop );
+      ];
+    task 17 receipts "Blackout all prices and phone numbers."
+      [ (Union [ is Price; is Phone_number ], Blackout) ];
+    task 18 receipts "Brighten text to the left of a price."
+      [ (Find (is Price, Text_object, Get_left), Brighten) ];
+    task 19 receipts "Blackout all text that is not a price."
+      [ (Intersect [ is Text_object; Complement (is Price) ], Blackout) ];
+    task 20 receipts "Brighten all prices to the right of the word \"total\"."
+      [ (Find (is (Word "total"), Price, Get_right), Brighten) ];
+    task 21 receipts "Brighten text to the right of the word \"total\"."
+      [ (Find (is (Word "total"), Text_object, Get_right), Brighten) ];
+    task 22 receipts "Blackout all text above the word \"tax\"."
+      [ (Find (is (Word "tax"), Text_object, Get_above), Blackout) ];
+    task 23 receipts "Brighten all text except rightmost two columns."
+      [
+        ( Find (Find (is Text_object, Text_object, Get_left), Text_object, Get_left),
+          Brighten );
+      ];
+    task 24 receipts "Blackout all text that is not a price or a phone number."
+      [
+        ( Intersect [ is Text_object; Complement (Union [ is Price; is Phone_number ]) ],
+          Blackout );
+      ];
+    task 25 receipts "Brighten the price that is above the total price."
+      [
+        ( Find (Find (is (Word "total"), Price, Get_right), Price, Get_above),
+          Brighten );
+      ];
+    task 26 receipts "Blackout bottom two rows of text."
+      [
+        ( Complement
+            (Find (Find (is Text_object, Text_object, Get_above), Text_object, Get_above)),
+          Blackout );
+      ];
+    task 27 receipts "Blackout all text except prices and the word \"total\"."
+      [
+        ( Intersect
+            [ is Text_object; Complement (Union [ is (Word "total"); is Price ]) ],
+          Blackout );
+      ];
+    task 28 receipts "Blackout all prices that are not the total price."
+      [
+        ( Intersect
+            [ is Price; Complement (Find (is (Word "total"), Text_object, Get_right)) ],
+          Blackout );
+      ];
+    task 29 receipts "Blackout all prices that are not the total price or subtotal price."
+      [
+        ( Union
+            [
+              Find (is (Word "total"), Text_object, Get_right);
+              Find (is (Word "subtotal"), Text_object, Get_right);
+            ],
+          Blackout );
+      ];
+    task 30 objects "Blur all objects except cars."
+      [ (Complement (is (Object "car")), Blur) ];
+    task 31 objects "Blur all faces in cars."
+      [ (Filter (is (Object "car"), Face_object), Blur) ];
+    task 32 objects "Blur all text on cars."
+      [ (Filter (is (Object "car"), Text_object), Blur) ];
+    task 33 objects "Blur all cars with text on them."
+      [ (Find (is Text_object, Object "car", Get_parents), Blur) ];
+    task 34 objects "Brighten all faces and all cats."
+      [ (Union [ is (Object "cat"); is Face_object ], Brighten) ];
+    task 35 objects "Brighten all faces with eyes open and all cats."
+      [ (Union [ is (Object "cat"); is Eyes_open ], Brighten) ];
+    task 36 objects "Sharpen faces of people playing guitar."
+      [ (Find (is (Object "guitar"), Face_object, Get_above), Sharpen) ];
+    task 37 objects "Blur car with number 319."
+      [ (Find (is (Word "319"), Object "car", Get_parents), Blur) ];
+    task 38 objects "Brighten all cars and bicycles."
+      [ (Union [ is (Object "car"); is (Object "bicycle") ], Brighten) ];
+    task 39 objects "Brighten all bicycles that are being ridden."
+      [ (Find (is (Object "person"), Object "bicycle", Get_below), Brighten) ];
+    task 40 objects "Blur the faces of children riding bicycles."
+      [ (Find (is (Object "bicycle"), Below_age 18, Get_above), Blur) ];
+    task 41 objects "Blackout all objects except cars and bicycles."
+      [ (Complement (Union [ is (Object "car"); is (Object "bicycle") ]), Blackout) ];
+    task 42 objects "Blackout all text not on a car."
+      [
+        ( Intersect
+            [ is Text_object; Complement (Filter (is (Object "car"), Text_object)) ],
+          Blackout );
+      ];
+    task 43 objects "Brighten all bicycles, cars, and people."
+      [
+        ( Union [ is (Object "bicycle"); is (Object "car"); is (Object "person") ],
+          Brighten );
+      ];
+    task 44 objects "Blur faces of people not riding bicycles."
+      [
+        ( Intersect
+            [
+              is Face_object;
+              Complement (Find (is (Object "bicycle"), Face_object, Get_above));
+            ],
+          Blur );
+      ];
+    task 45 objects "Brighten all guitars and people playing guitar."
+      [
+        ( Union
+            [ is (Object "guitar"); Find (is (Object "guitar"), Face_object, Get_above) ],
+          Brighten );
+      ];
+    task 46 objects "Blur faces of people not playing guitar."
+      [
+        ( Intersect
+            [
+              is Face_object;
+              Complement (Find (is (Object "guitar"), Face_object, Get_above));
+            ],
+          Blur );
+      ];
+    task 47 objects "Sharpen bicycles that are not being ridden."
+      [
+        ( Intersect
+            [
+              is (Object "bicycle");
+              Complement (Find (is (Object "person"), Object "bicycle", Get_below));
+            ],
+          Sharpen );
+      ];
+    task 48 objects "Sharpen all bicycles that are not ridden by a child."
+      [
+        ( Intersect
+            [
+              is (Object "bicycle");
+              Complement (Find (is (Below_age 18), Object "bicycle", Get_below));
+            ],
+          Sharpen );
+      ];
+    task 49 objects "Crop image to feature just topmost cat."
+      [
+        ( Intersect
+            [
+              is (Object "cat");
+              Complement (Find (is (Object "cat"), Object "cat", Get_below));
+            ],
+          Crop );
+      ];
+    task 50 objects "Brighten cats that are between two other cats."
+      [
+        ( Intersect
+            [
+              Find (is (Object "cat"), Object "cat", Get_right);
+              Find (is (Object "cat"), Object "cat", Get_left);
+            ],
+          Brighten );
+      ];
+  ]
+
+let by_id id =
+  match List.find_opt (fun t -> t.Task.id = id) all with
+  | Some t -> t
+  | None -> raise Not_found
+
+let for_domain domain = List.filter (fun t -> t.Task.domain = domain) all
+
+let count = List.length all

@@ -1,0 +1,16 @@
+(** The 50 benchmark tasks of Appendix B, transcribed with their
+    ground-truth programs.
+
+    Task ids, domains, descriptions and programs follow the appendix;
+    sizes are recomputed from the ASTs with {!Imageeye_core.Lang.size}
+    (they agree with the appendix's size column). *)
+
+val all : Task.t list
+(** Tasks 1-50 in order. *)
+
+val by_id : int -> Task.t
+(** Raises [Not_found] for ids outside 1-50. *)
+
+val for_domain : Imageeye_scene.Dataset.domain -> Task.t list
+
+val count : int

@@ -1,0 +1,80 @@
+module Lang = Imageeye_core.Lang
+module Pred = Imageeye_core.Pred
+module Func = Imageeye_core.Func
+module Vocab = Imageeye_core.Vocab
+module Edit = Imageeye_core.Edit
+module Eval = Imageeye_core.Eval
+module Universe = Imageeye_symbolic.Universe
+module Simage = Imageeye_symbolic.Simage
+module Rng = Imageeye_util.Rng
+module Dataset = Imageeye_scene.Dataset
+
+let is_nontrivial u program =
+  let edit = Edit.induced_by_program u program in
+  let images_edited =
+    List.filter
+      (fun img ->
+        List.exists (fun id -> Edit.actions_of edit id <> []) (Universe.objects_of_image u img))
+      (Universe.image_ids u)
+  in
+  let some_untouched =
+    List.exists
+      (fun (e : Imageeye_symbolic.Entity.t) -> Edit.actions_of edit e.id = [])
+      (Universe.entities u)
+  in
+  List.length images_edited >= 3 && some_untouched
+
+(* A random extractor over the dataset's own vocabulary, biased toward the
+   shapes that appear in Appendix B. *)
+let rec random_extractor rng preds depth =
+  let is () = Lang.Is (Rng.choose_list rng preds) in
+  if depth <= 0 then is ()
+  else
+    match Rng.int rng 10 with
+    | 0 | 1 | 2 -> is ()
+    | 3 -> Lang.Complement (random_extractor rng preds (depth - 1))
+    | 4 | 5 ->
+        Lang.Union
+          [ random_extractor rng preds (depth - 1); random_extractor rng preds (depth - 1) ]
+    | 6 ->
+        Lang.Intersect
+          [ random_extractor rng preds (depth - 1); random_extractor rng preds (depth - 1) ]
+    | 7 | 8 ->
+        Lang.Find
+          ( random_extractor rng preds (depth - 1),
+            Rng.choose_list rng preds,
+            Rng.choose_list rng Func.all )
+    | _ -> Lang.Filter (random_extractor rng preds (depth - 1), Rng.choose_list rng preds)
+
+let generate ~seed ~count ~dataset =
+  let u = Imageeye_vision.Batch.universe_of_scenes dataset.Dataset.scenes in
+  let preds = Vocab.predicates (Vocab.of_universe u) in
+  let rng = Rng.create seed in
+  let seen_values = Hashtbl.create 16 in
+  let rec sample acc accepted attempts =
+    if accepted >= count || attempts >= count * 200 then List.rev acc
+    else
+      let extractor = random_extractor rng preds (1 + Rng.int rng 3) in
+      let size = Lang.size extractor in
+      let action = Rng.choose_list rng Lang.all_actions in
+      let program = [ (extractor, action) ] in
+      let value = Eval.extractor u extractor in
+      let fresh = not (Hashtbl.mem seen_values (Simage.hash value, action)) in
+      if size >= 4 && size <= 13 && fresh && is_nontrivial u program then begin
+        Hashtbl.add seen_values (Simage.hash value, action) ();
+        let task =
+          {
+            Task.id = 1000 + accepted;
+            domain = dataset.Dataset.domain;
+            description =
+              Printf.sprintf "random task: %s with %s"
+                (Lang.extractor_to_string extractor)
+                (Lang.action_to_string action);
+            ground_truth = program;
+          }
+        in
+        sample (task :: acc) (accepted + 1) (attempts + 1)
+      end
+      else sample acc accepted (attempts + 1)
+  in
+  sample [] 0 0

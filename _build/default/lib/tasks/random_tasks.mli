@@ -1,0 +1,24 @@
+(** Randomly generated benchmark tasks.
+
+    The 50 Appendix B tasks are hand-curated; this module samples
+    additional well-formed tasks for stress-testing the synthesizer: a
+    random ground-truth program is drawn from the DSL restricted to the
+    vocabulary actually present in a dataset, and kept only if it is
+    {e non-trivial} there — it edits several images, leaves objects
+    untouched, and is not dataset-equivalent to a smaller program we
+    already generated.  Used by the harness's [stress] section. *)
+
+val generate :
+  seed:int ->
+  count:int ->
+  dataset:Imageeye_scene.Dataset.t ->
+  Task.t list
+(** [generate ~seed ~count ~dataset] samples up to [count] tasks (fewer if
+    the rejection sampling budget runs out).  Task ids start at 1000 and
+    are unique within the returned list.  Ground-truth sizes fall in
+    [4, 13]. *)
+
+val is_nontrivial :
+  Imageeye_symbolic.Universe.t -> Imageeye_core.Lang.program -> bool
+(** The acceptance predicate: the program edits at least 3 raw images of
+    the universe and leaves at least one object unedited. *)

@@ -1,0 +1,13 @@
+type t = {
+  id : int;
+  domain : Imageeye_scene.Dataset.domain;
+  description : string;
+  ground_truth : Imageeye_core.Lang.program;
+}
+
+let size t = Imageeye_core.Lang.program_size t.ground_truth
+
+let pp fmt t =
+  Format.fprintf fmt "task %d [%s, size %d]: %s@ %a" t.id
+    (Imageeye_scene.Dataset.domain_name t.domain)
+    (size t) t.description Imageeye_core.Lang.pp_program t.ground_truth

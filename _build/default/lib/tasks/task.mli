@@ -1,0 +1,17 @@
+(** Benchmark tasks: the 50 image-manipulation problems of Appendix B.
+
+    Each task carries its paper id, domain, informal description, and the
+    ground-truth DSL program against which synthesized programs are
+    checked (by behavioral equality on the dataset, as in Section 7.1). *)
+
+type t = {
+  id : int;  (** the Appendix B row number, 1-50 *)
+  domain : Imageeye_scene.Dataset.domain;
+  description : string;
+  ground_truth : Imageeye_core.Lang.program;
+}
+
+val size : t -> int
+(** AST size of the ground-truth program (the paper's difficulty metric). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,143 @@
+type t = { size : int; words : int array }
+
+let bits_per_word = 63 (* OCaml ints are 63-bit on 64-bit platforms *)
+
+let nwords n = (n + bits_per_word - 1) / bits_per_word
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative size";
+  { size = n; words = Array.make (max 1 (nwords n)) 0 }
+
+let universe_size t = t.size
+
+let check_elt t x =
+  if x < 0 || x >= t.size then
+    invalid_arg (Printf.sprintf "Bitset: element %d outside universe [0,%d)" x t.size)
+
+let check_same a b =
+  if a.size <> b.size then
+    invalid_arg
+      (Printf.sprintf "Bitset: universe mismatch (%d vs %d)" a.size b.size)
+
+(* Mask of valid bits in the last word, so [complement] and [full] never set
+   bits beyond the universe. *)
+let last_mask t =
+  let rem = t.size mod bits_per_word in
+  if rem = 0 then -1 else (1 lsl rem) - 1
+
+let full n =
+  let t = create n in
+  let w = Array.length t.words in
+  Array.fill t.words 0 w (-1);
+  if n > 0 then t.words.(w - 1) <- t.words.(w - 1) land last_mask t
+  else t.words.(0) <- 0;
+  t
+
+let mem t x =
+  check_elt t x;
+  t.words.(x / bits_per_word) land (1 lsl (x mod bits_per_word)) <> 0
+
+let add t x =
+  check_elt t x;
+  let words = Array.copy t.words in
+  words.(x / bits_per_word) <- words.(x / bits_per_word) lor (1 lsl (x mod bits_per_word));
+  { t with words }
+
+let remove t x =
+  check_elt t x;
+  let words = Array.copy t.words in
+  words.(x / bits_per_word) <-
+    words.(x / bits_per_word) land lnot (1 lsl (x mod bits_per_word));
+  { t with words }
+
+let of_list n elts =
+  let t = create n in
+  List.iter
+    (fun x ->
+      check_elt t x;
+      t.words.(x / bits_per_word) <-
+        t.words.(x / bits_per_word) lor (1 lsl (x mod bits_per_word)))
+    elts;
+  t
+
+let singleton n x = of_list n [ x ]
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let popcount w =
+  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+  go w 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let map2 f a b =
+  check_same a b;
+  let words = Array.mapi (fun i w -> f w b.words.(i)) a.words in
+  { size = a.size; words }
+
+let union a b = map2 ( lor ) a b
+let inter a b = map2 ( land ) a b
+let diff a b = map2 (fun x y -> x land lnot y) a b
+
+let complement t =
+  let words = Array.map lnot t.words in
+  let r = { size = t.size; words } in
+  let w = Array.length words in
+  if t.size > 0 then words.(w - 1) <- words.(w - 1) land last_mask t
+  else words.(0) <- 0;
+  r
+
+let subset a b =
+  check_same a b;
+  let n = Array.length a.words in
+  let rec go i = i >= n || (a.words.(i) land lnot b.words.(i) = 0 && go (i + 1)) in
+  go 0
+
+let equal a b =
+  check_same a b;
+  a.words = b.words
+
+let compare a b =
+  check_same a b;
+  Stdlib.compare a.words b.words
+
+let hash t = Hashtbl.hash t.words
+
+let iter f t =
+  for x = 0 to t.size - 1 do
+    if t.words.(x / bits_per_word) land (1 lsl (x mod bits_per_word)) <> 0 then f x
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun x -> acc := f x !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun x acc -> x :: acc) t [])
+
+let filter p t =
+  let r = create t.size in
+  iter
+    (fun x ->
+      if p x then
+        r.words.(x / bits_per_word) <-
+          r.words.(x / bits_per_word) lor (1 lsl (x mod bits_per_word)))
+    t;
+  r
+
+let for_all p t = fold (fun x acc -> acc && p x) t true
+let exists p t = fold (fun x acc -> acc || p x) t false
+
+let choose_opt t =
+  let exception Found of int in
+  try
+    iter (fun x -> raise (Found x)) t;
+    None
+  with Found x -> Some x
+
+let pp fmt t =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+       Format.pp_print_int)
+    (to_list t)

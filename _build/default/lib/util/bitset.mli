@@ -1,0 +1,58 @@
+(** Fixed-universe bitsets.
+
+    Symbolic images are sets of object identifiers drawn from a dense
+    universe [0 .. n-1].  The synthesizer performs an enormous number of
+    set operations (union, intersection, complement, subset tests) while
+    searching, and it hashes set values for observational-equivalence
+    reduction, so sets are represented as packed bit vectors.
+
+    All binary operations require both operands to share the same universe
+    size and raise [Invalid_argument] otherwise. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [0 .. n-1]. *)
+
+val universe_size : t -> int
+
+val full : int -> t
+(** [full n] contains every element of the universe. *)
+
+val of_list : int -> int list -> t
+(** [of_list n elts] builds a set over universe size [n]. Elements outside
+    [0 .. n-1] raise [Invalid_argument]. *)
+
+val to_list : t -> int list
+(** Elements in increasing order. *)
+
+val singleton : int -> int -> t
+(** [singleton n x] is [of_list n \[x\]]. *)
+
+val mem : t -> int -> bool
+val add : t -> int -> t
+val remove : t -> int -> t
+val is_empty : t -> bool
+val cardinal : t -> int
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val complement : t -> t
+
+val subset : t -> t -> bool
+(** [subset a b] is [true] iff every element of [a] is in [b]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val filter : (int -> bool) -> t -> t
+val for_all : (int -> bool) -> t -> bool
+val exists : (int -> bool) -> t -> bool
+val choose_opt : t -> int option
+(** Smallest element, if any. *)
+
+val pp : Format.formatter -> t -> unit

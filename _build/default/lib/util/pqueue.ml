@@ -1,0 +1,55 @@
+type ('p, 'a) node =
+  | Leaf
+  | Node of { rank : int; prio : 'p; seq : int; value : 'a; left : ('p, 'a) node; right : ('p, 'a) node }
+
+type ('p, 'a) t = {
+  compare : 'p -> 'p -> int;
+  heap : ('p, 'a) node;
+  size : int;
+  next_seq : int;
+}
+
+let empty ~compare = { compare; heap = Leaf; size = 0; next_seq = 0 }
+
+let is_empty t = t.size = 0
+
+let length t = t.size
+
+let rank = function Leaf -> 0 | Node { rank; _ } -> rank
+
+let make prio seq value a b =
+  if rank a >= rank b then Node { rank = rank b + 1; prio; seq; value; left = a; right = b }
+  else Node { rank = rank a + 1; prio; seq; value; left = b; right = a }
+
+(* Leftist-heap merge; the sequence number breaks priority ties FIFO. *)
+let rec merge cmp a b =
+  match (a, b) with
+  | Leaf, h | h, Leaf -> h
+  | Node na, Node nb ->
+      let a_first =
+        let c = cmp na.prio nb.prio in
+        c < 0 || (c = 0 && na.seq < nb.seq)
+      in
+      if a_first then make na.prio na.seq na.value na.left (merge cmp na.right b)
+      else make nb.prio nb.seq nb.value nb.left (merge cmp a nb.right)
+
+let push t prio value =
+  let single = Node { rank = 1; prio; seq = t.next_seq; value; left = Leaf; right = Leaf } in
+  { t with heap = merge t.compare t.heap single; size = t.size + 1; next_seq = t.next_seq + 1 }
+
+let pop t =
+  match t.heap with
+  | Leaf -> None
+  | Node { prio; value; left; right; _ } ->
+      Some (prio, value, { t with heap = merge t.compare left right; size = t.size - 1 })
+
+let of_list ~compare entries =
+  List.fold_left (fun t (p, v) -> push t p v) (empty ~compare) entries
+
+let to_sorted_list t =
+  let rec drain t acc =
+    match pop t with
+    | None -> List.rev acc
+    | Some (p, v, t') -> drain t' ((p, v) :: acc)
+  in
+  drain t []

@@ -1,0 +1,27 @@
+(** Purely functional min-priority queue (leftist heap).
+
+    The synthesizer's worklist dequeues partial programs in ascending order
+    of (AST size, AST depth), and both the main search and the ablations
+    push hundreds of thousands of entries, so insertion and extraction must
+    be logarithmic.  Ties are broken by insertion order, which makes the
+    search deterministic. *)
+
+type ('p, 'a) t
+(** Queue with priorities of type ['p] and payloads of type ['a]. *)
+
+val empty : compare:('p -> 'p -> int) -> ('p, 'a) t
+
+val is_empty : ('p, 'a) t -> bool
+
+val length : ('p, 'a) t -> int
+
+val push : ('p, 'a) t -> 'p -> 'a -> ('p, 'a) t
+
+val pop : ('p, 'a) t -> ('p * 'a * ('p, 'a) t) option
+(** Removes a minimum-priority entry; among equal priorities, the earliest
+    pushed entry is returned first. *)
+
+val of_list : compare:('p -> 'p -> int) -> ('p * 'a) list -> ('p, 'a) t
+
+val to_sorted_list : ('p, 'a) t -> ('p * 'a) list
+(** Drains the queue; ascending by priority, FIFO within equal priority. *)

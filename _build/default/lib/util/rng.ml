@@ -1,0 +1,63 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = bits64 t in
+  { state = s }
+
+(* Non-negative 62-bit value, safe to use as an OCaml int on 64-bit. *)
+let bits t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits t mod bound
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Rng.int_in: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let x = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  (* 53 random bits scaled to [0,1). *)
+  x /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+let choose_list t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.choose_list: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_without_replacement t k xs =
+  let arr = Array.of_list xs in
+  shuffle t arr;
+  let n = min k (Array.length arr) in
+  Array.to_list (Array.sub arr 0 n)

@@ -1,0 +1,51 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let sorted xs = List.sort Float.compare xs
+
+let median xs =
+  match sorted xs with
+  | [] -> 0.0
+  | s ->
+      let n = List.length s in
+      if n mod 2 = 1 then List.nth s (n / 2)
+      else (List.nth s ((n / 2) - 1) +. List.nth s (n / 2)) /. 2.0
+
+let stddev xs =
+  let n = List.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. float_of_int (n - 1))
+
+let confidence95 xs =
+  let n = List.length xs in
+  if n < 2 then 0.0 else 1.96 *. stddev xs /. sqrt (float_of_int n)
+
+let percentile p xs =
+  match sorted xs with
+  | [] -> 0.0
+  | [ x ] -> x
+  | s ->
+      let n = List.length s in
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = min (n - 1) (lo + 1) in
+      let frac = rank -. float_of_int lo in
+      (List.nth s lo *. (1.0 -. frac)) +. (List.nth s hi *. frac)
+
+let cumulative xs =
+  List.rev
+    (snd
+       (List.fold_left
+          (fun (sum, acc) x ->
+            let sum = sum +. x in
+            (sum, sum :: acc))
+          (0.0, []) xs))
+
+let histogram ~buckets xs =
+  List.map
+    (fun (lo, hi) -> List.length (List.filter (fun x -> x >= lo && x < hi) xs))
+    buckets

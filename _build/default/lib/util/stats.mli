@@ -1,0 +1,28 @@
+(** Small descriptive-statistics toolkit used by the experiment harness.
+
+    Table 2 of the paper reports averages with 95% confidence intervals and
+    medians; the ablation and baseline comparisons need cumulative sums and
+    bucketed counts.  Everything here operates on [float list] samples. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val median : float list -> float
+(** Median (average of middle two for even length); 0 on the empty list. *)
+
+val stddev : float list -> float
+(** Sample standard deviation (n-1 denominator); 0 for fewer than 2 points. *)
+
+val confidence95 : float list -> float
+(** Half-width of the normal-approximation 95% confidence interval,
+    [1.96 * stddev / sqrt n]; 0 for fewer than 2 points. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,100\]], linear interpolation. *)
+
+val cumulative : float list -> float list
+(** Running sums: [cumulative \[a;b;c\] = \[a; a+b; a+b+c\]]. *)
+
+val histogram : buckets:(float * float) list -> float list -> int list
+(** [histogram ~buckets xs] counts samples falling in each half-open bucket
+    [\[lo, hi)]. *)

@@ -1,0 +1,54 @@
+let pad s width = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let render ~header ~rows =
+  let ncols = List.length header in
+  let normalize row =
+    let len = List.length row in
+    if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun w row -> max w (String.length (List.nth row i))) (String.length h) rows)
+      header
+  in
+  let line row =
+    "| "
+    ^ String.concat " | " (List.mapi (fun i cell -> pad cell (List.nth widths i)) row)
+    ^ " |"
+  in
+  let sep =
+    "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "|"
+  in
+  String.concat "\n" (line header :: sep :: List.map line rows)
+
+let bar_chart ~title ~labels ~series =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (title ^ "\n");
+  let max_value =
+    List.fold_left (fun m (_, vals) -> List.fold_left max m vals) 1 series
+  in
+  let width = 40 in
+  let label_width =
+    List.fold_left (fun w l -> max w (String.length l)) 0 labels
+  in
+  let name_width =
+    List.fold_left (fun w (n, _) -> max w (String.length n)) 0 series
+  in
+  List.iteri
+    (fun i label ->
+      List.iter
+        (fun (name, vals) ->
+          let v = try List.nth vals i with _ -> 0 in
+          let n = v * width / max_value in
+          Buffer.add_string buf
+            (Printf.sprintf "  %s %s %s %d\n" (pad label label_width)
+               (pad name name_width)
+               (String.make n '#') v))
+        series;
+      if List.length series > 1 then Buffer.add_char buf '\n')
+    labels;
+  Buffer.contents buf
+
+let fmt_float ?(decimals = 1) x = Printf.sprintf "%.*f" decimals x

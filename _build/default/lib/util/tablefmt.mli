@@ -1,0 +1,18 @@
+(** ASCII table and bar-chart rendering for the experiment harness.
+
+    The bench binary regenerates each table and figure of the paper as
+    text; this module keeps the formatting in one place so every section
+    of the report looks the same. *)
+
+val render : header:string list -> rows:string list list -> string
+(** Render a table with a header row, column-aligned with [|] separators.
+    Rows shorter than the header are padded with empty cells. *)
+
+val bar_chart :
+  title:string -> labels:string list -> series:(string * int list) list -> string
+(** Horizontal ASCII bar chart.  Each label gets one bar per series, scaled
+    to a fixed width, with the numeric value appended.  Used for Figure 15
+    (grouped bars) and Figure 16 (cactus points rendered as rows). *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point formatting, default 1 decimal. *)

@@ -1,0 +1,1 @@
+lib/vision/batch.ml: Detector Imageeye_symbolic Imageeye_util List Noise

@@ -1,0 +1,1 @@
+lib/vision/batch.mli: Detector Imageeye_scene Imageeye_symbolic Noise

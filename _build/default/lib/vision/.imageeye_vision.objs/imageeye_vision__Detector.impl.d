@@ -1,0 +1,1 @@
+lib/vision/detector.ml: Bytes Imageeye_geometry Imageeye_scene Imageeye_symbolic Imageeye_util List Noise String

@@ -1,0 +1,1 @@
+lib/vision/detector.mli: Imageeye_geometry Imageeye_scene Imageeye_symbolic Imageeye_util Noise

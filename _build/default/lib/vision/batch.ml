@@ -1,0 +1,17 @@
+module Entity = Imageeye_symbolic.Entity
+module Universe = Imageeye_symbolic.Universe
+module Rng = Imageeye_util.Rng
+
+let universe_of_detections detections =
+  let entities =
+    List.mapi
+      (fun id (d : Detector.detection) ->
+        Entity.make ~id ~image_id:d.image_id ~kind:d.kind ~bbox:d.bbox)
+      detections
+  in
+  Universe.of_entities entities
+
+let universe_of_scenes ?(noise = Noise.none) ?(seed = 0) scenes =
+  let rng = Rng.create seed in
+  let detections = List.concat_map (fun s -> Detector.detect_scene ~noise ~rng s) scenes in
+  universe_of_detections detections

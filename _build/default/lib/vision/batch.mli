@@ -1,0 +1,19 @@
+(** Building symbolic-image universes from batches of scenes.
+
+    This is where the paper's "one symbolic image for many raw images"
+    representation is constructed: detections from every scene in the
+    batch are concatenated, given dense identifiers, and indexed into a
+    {!Imageeye_symbolic.Universe.t}.  The demonstrated-image sub-batches
+    used for synthesis and the full-dataset batches used for correctness
+    checking both come through here. *)
+
+val universe_of_scenes :
+  ?noise:Noise.t -> ?seed:int -> Imageeye_scene.Scene.t list ->
+  Imageeye_symbolic.Universe.t
+(** [universe_of_scenes scenes] runs the detector over every scene (with
+    [noise], default {!Noise.none}) and builds the combined universe.
+    Entities keep their scene's [image_id]. *)
+
+val universe_of_detections :
+  Detector.detection list -> Imageeye_symbolic.Universe.t
+(** Assign dense ids in list order and index. *)

@@ -1,0 +1,71 @@
+module Entity = Imageeye_symbolic.Entity
+module Scene = Imageeye_scene.Scene
+module Rng = Imageeye_util.Rng
+
+type detection = {
+  image_id : int;
+  kind : Entity.kind;
+  bbox : Imageeye_geometry.Bbox.t;
+}
+
+let object_classes =
+  [
+    "person"; "car"; "cat"; "dog"; "bicycle"; "guitar"; "violin"; "table"; "chair";
+    "bottle"; "cup"; "laptop"; "phone"; "book"; "clock"; "plant"; "bird"; "horse";
+  ]
+
+let confuse_class rng cls =
+  let others = List.filter (fun c -> c <> cls) object_classes in
+  Rng.choose_list rng others
+
+let corrupt_text rng body =
+  if String.length body = 0 then body
+  else begin
+    let b = Bytes.of_string body in
+    let i = Rng.int rng (Bytes.length b) in
+    let replacement =
+      let alphabet = "abcdefghijklmnopqrstuvwxyz0123456789" in
+      alphabet.[Rng.int rng (String.length alphabet)]
+    in
+    Bytes.set b i replacement;
+    Bytes.to_string b
+  end
+
+let detect_face (noise : Noise.t) rng (f : Scene.face_spec) =
+  let flip b = if Rng.bernoulli rng noise.attr_flip then not b else b in
+  let face_id =
+    if Rng.bernoulli rng noise.face_id_confusion then 50 + Rng.int rng 40 else f.face_id
+  in
+  Entity.Face
+    {
+      Entity.face_id;
+      smiling = flip f.smiling;
+      eyes_open = flip f.eyes_open;
+      mouth_open = flip f.mouth_open;
+      age_low = f.age_low;
+      age_high = f.age_high;
+    }
+
+let detect_scene ~noise ~rng (scene : Scene.t) =
+  List.filter_map
+    (fun (item : Scene.item) ->
+      if Rng.bernoulli rng noise.Noise.miss_detection then None
+      else
+        let kind =
+          match item.kind with
+          | Scene.Face_item f -> detect_face noise rng f
+          | Scene.Text_item body ->
+              let body =
+                if Rng.bernoulli rng noise.Noise.ocr_error then corrupt_text rng body
+                else body
+              in
+              Entity.Text body
+          | Scene.Thing_item cls ->
+              let cls =
+                if Rng.bernoulli rng noise.Noise.class_confusion then confuse_class rng cls
+                else cls
+              in
+              Entity.Thing cls
+        in
+        Some { image_id = scene.image_id; kind; bbox = item.bbox })
+    scene.items

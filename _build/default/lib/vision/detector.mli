@@ -1,0 +1,22 @@
+(** The simulated neural perception layer.
+
+    This is the substitute for Amazon Rekognition (see DESIGN.md): it
+    turns ground-truth scenes into the detections from which symbolic
+    images are built.  With {!Noise.none} it is a perfect oracle; with an
+    imperfect noise model it misses objects, confuses classes and
+    identities, flips facial attributes and corrupts OCR — the error modes
+    Section 7.5 attributes to the real models. *)
+
+type detection = {
+  image_id : int;
+  kind : Imageeye_symbolic.Entity.kind;
+  bbox : Imageeye_geometry.Bbox.t;
+}
+
+val detect_scene :
+  noise:Noise.t -> rng:Imageeye_util.Rng.t -> Imageeye_scene.Scene.t -> detection list
+(** Detections for one scene, in scene order (minus missed objects). *)
+
+val object_classes : string list
+(** The classes the simulated object-recognition model can emit; class
+    confusion draws from these.  A subset of Rekognition's 238 labels. *)

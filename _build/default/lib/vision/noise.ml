@@ -1,0 +1,29 @@
+type t = {
+  miss_detection : float;
+  class_confusion : float;
+  attr_flip : float;
+  face_id_confusion : float;
+  ocr_error : float;
+}
+
+let none =
+  {
+    miss_detection = 0.0;
+    class_confusion = 0.0;
+    attr_flip = 0.0;
+    face_id_confusion = 0.0;
+    ocr_error = 0.0;
+  }
+
+(* Calibrated so ground-truth programs produce the intended edit on ~87% of
+   sampled images across the three domains — the paper's RQ5 figure. *)
+let default_imperfect =
+  {
+    miss_detection = 0.015;
+    class_confusion = 0.025;
+    attr_flip = 0.04;
+    face_id_confusion = 0.04;
+    ocr_error = 0.0025;
+  }
+
+let is_none t = t = none

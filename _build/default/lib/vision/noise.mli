@@ -1,0 +1,27 @@
+(** Noise model for the simulated neural vision primitives.
+
+    The paper's synthesized programs embed real classifiers (Amazon
+    Rekognition) that sometimes misdetect or misclassify, which is why a
+    semantically correct program produced the intended edit on only 87% of
+    sampled test images (RQ5, Section 7.5).  This module reproduces that
+    failure mode: each field is the independent probability of one kind of
+    recognition error when the detector reads a ground-truth scene. *)
+
+type t = {
+  miss_detection : float;  (** an object is not detected at all *)
+  class_confusion : float;  (** an object class is mispredicted *)
+  attr_flip : float;  (** each boolean face attribute flips *)
+  face_id_confusion : float;  (** a face is matched to the wrong identity *)
+  ocr_error : float;  (** a recognized text body is corrupted *)
+}
+
+val none : t
+(** A perfect oracle; used for synthesis-algorithm experiments, where the
+    paper manually checks semantic equivalence with ground truth. *)
+
+val default_imperfect : t
+(** Error rates calibrated so that, across the three domains, synthesized
+    programs produce the intended edit on roughly 87% of images —
+    the paper's RQ5 figure. *)
+
+val is_none : t -> bool

@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Array Fun Imageeye_core Imageeye_symbolic Int List QCheck2 QCheck_alcotest Set String Test_support

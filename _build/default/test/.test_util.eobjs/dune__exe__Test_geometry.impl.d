@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Imageeye_geometry List QCheck2 QCheck_alcotest Test_support

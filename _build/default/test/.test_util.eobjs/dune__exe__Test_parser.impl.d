@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Imageeye_core Imageeye_tasks List Printf QCheck2 QCheck_alcotest String Test_support

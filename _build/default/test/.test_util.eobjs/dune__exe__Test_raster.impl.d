@@ -1,0 +1,1 @@
+test/test_raster.ml: Alcotest Filename Format Fun Imageeye_geometry Imageeye_raster List Printf String Sys Test_support

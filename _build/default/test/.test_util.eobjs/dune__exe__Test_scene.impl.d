@@ -1,0 +1,1 @@
+test/test_scene.ml: Alcotest Imageeye_core Imageeye_geometry Imageeye_raster Imageeye_scene Lazy List Printf Test_support

@@ -1,0 +1,1 @@
+test/test_scene_io.ml: Alcotest Array Filename Fun Imageeye_scene List Printf QCheck2 QCheck_alcotest Sys Test_support Unix

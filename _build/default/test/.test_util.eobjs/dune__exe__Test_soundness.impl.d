@@ -1,0 +1,1 @@
+test/test_soundness.ml: Alcotest Imageeye_core Imageeye_symbolic List QCheck2 QCheck_alcotest Test_support

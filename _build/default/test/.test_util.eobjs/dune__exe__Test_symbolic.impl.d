@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Alcotest Array Imageeye_symbolic List Test_support

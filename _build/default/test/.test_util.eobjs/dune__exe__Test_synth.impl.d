@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Format Fun Imageeye_core Imageeye_scene Imageeye_symbolic Imageeye_vision List Printf QCheck2 QCheck_alcotest Stdlib Test_support

@@ -1,0 +1,1 @@
+test/test_tasks.ml: Alcotest Imageeye_core Imageeye_scene Imageeye_symbolic Imageeye_tasks Imageeye_vision Lazy List Printf String

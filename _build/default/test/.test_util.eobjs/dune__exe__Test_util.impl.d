@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Imageeye_util List Printf QCheck2 QCheck_alcotest String

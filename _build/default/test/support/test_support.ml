@@ -1,0 +1,63 @@
+(* Shared helpers for the test suites: tiny hand-built universes with known
+   geometry, plus Alcotest testables for the project's core types. *)
+
+module Bbox = Imageeye_geometry.Bbox
+module Entity = Imageeye_symbolic.Entity
+module Universe = Imageeye_symbolic.Universe
+module Simage = Imageeye_symbolic.Simage
+module Lang = Imageeye_core.Lang
+
+let box x y w h = Bbox.of_corner ~x ~y ~w ~h
+
+let face ?(face_id = 1) ?(smiling = false) ?(eyes_open = true) ?(mouth_open = false)
+    ?(age_low = 30) ?(age_high = 35) () =
+  Entity.Face { Entity.face_id; smiling; eyes_open; mouth_open; age_low; age_high }
+
+let thing cls = Entity.Thing cls
+let text body = Entity.Text body
+
+(* Build a universe from (image_id, kind, bbox) triples; ids are assigned in
+   list order. *)
+let universe specs =
+  Universe.of_entities
+    (List.mapi
+       (fun id (image_id, kind, bbox) -> Entity.make ~id ~image_id ~kind ~bbox)
+       specs)
+
+(* The running example of Fig. 2: a person, their face, a car, and the text
+   of the car's license plate. *)
+let fig2_universe () =
+  universe
+    [
+      (0, thing "person", box 10 10 40 120);
+      (0, face ~face_id:1 ~smiling:true ~eyes_open:true (), box 18 14 24 24);
+      (0, thing "car", box 80 60 140 80);
+      (0, text "FDE945", box 120 110 40 12);
+    ]
+
+(* Three cats in a row (the Fig. 4 example): blurring the middle cat. *)
+let three_cats_universe () =
+  universe
+    [
+      (0, thing "cat", box 10 50 40 40);
+      (0, thing "cat", box 70 50 40 40);
+      (0, thing "cat", box 130 50 40 40);
+    ]
+
+let simage_testable u =
+  Alcotest.testable Simage.pp Simage.equal |> fun t ->
+  ignore u;
+  t
+
+let extractor_testable =
+  Alcotest.testable Lang.pp_extractor Lang.equal_extractor
+
+let program_testable = Alcotest.testable Lang.pp_program Lang.equal_program
+
+let ids u s = Simage.to_ids s |> List.map string_of_int |> String.concat "," |> fun x ->
+  ignore u;
+  x
+
+let check_ids ?(msg = "objects") u expected actual =
+  Alcotest.(check (list int)) msg expected (Simage.to_ids actual);
+  ignore u

@@ -1,0 +1,213 @@
+(* Tests for edits, specifications, and program application to rasters. *)
+
+module Lang = Imageeye_core.Lang
+module Edit = Imageeye_core.Edit
+module Apply = Imageeye_core.Apply
+module Pred = Imageeye_core.Pred
+module Image = Imageeye_raster.Image
+module Simage = Imageeye_symbolic.Simage
+open Test_support
+
+(* ---------- Edit ---------- *)
+
+let test_edit_add_actions () =
+  let e = Edit.add (Edit.add Edit.empty 3 Lang.Blur) 3 Lang.Crop in
+  Alcotest.(check bool) "actions" true (Edit.actions_of e 3 = [ Lang.Blur; Lang.Crop ]);
+  Alcotest.(check bool) "other empty" true (Edit.actions_of e 4 = []);
+  (* adding the same action twice is idempotent *)
+  let e2 = Edit.add e 3 Lang.Blur in
+  Alcotest.(check bool) "idempotent" true (Edit.actions_of e2 3 = [ Lang.Blur; Lang.Crop ])
+
+let test_edit_objects_with () =
+  let e = Edit.of_list [ (1, [ Lang.Blur ]); (2, [ Lang.Blur; Lang.Crop ]); (5, [ Lang.Crop ]) ] in
+  Alcotest.(check (list int)) "blurred" [ 1; 2 ] (Edit.objects_with e Lang.Blur);
+  Alcotest.(check (list int)) "cropped" [ 2; 5 ] (Edit.objects_with e Lang.Crop);
+  Alcotest.(check (list int)) "domain" [ 1; 2; 5 ] (Edit.domain e)
+
+let test_edit_equal () =
+  let a = Edit.of_list [ (1, [ Lang.Blur; Lang.Crop ]) ] in
+  let b = Edit.of_list [ (1, [ Lang.Crop; Lang.Blur ]) ] in
+  Alcotest.(check bool) "order-insensitive" true (Edit.equal a b);
+  let c = Edit.of_list [ (1, [ Lang.Blur ]) ] in
+  Alcotest.(check bool) "different" false (Edit.equal a c)
+
+let test_edit_induced () =
+  let u = three_cats_universe () in
+  let prog = [ (Lang.Is (Pred.Object "cat"), Lang.Blur); (Lang.All, Lang.Crop) ] in
+  let e = Edit.induced_by_program u prog in
+  Alcotest.(check bool) "cat 0" true (Edit.actions_of e 0 = [ Lang.Blur; Lang.Crop ]);
+  Alcotest.(check (list int)) "all cropped" [ 0; 1; 2 ] (Edit.objects_with e Lang.Crop)
+
+(* ---------- Spec ---------- *)
+
+let test_spec_output_for_action () =
+  let u = three_cats_universe () in
+  let edit = Edit.of_list [ (0, [ Lang.Blur ]); (2, [ Lang.Blur; Lang.Brighten ]) ] in
+  let spec = Edit.Spec.make u [ (0, edit) ] in
+  check_ids u [ 0; 2 ] (Edit.Spec.output_for_action spec Lang.Blur);
+  check_ids u [ 2 ] (Edit.Spec.output_for_action spec Lang.Brighten);
+  check_ids u [] (Edit.Spec.output_for_action spec Lang.Crop);
+  Alcotest.(check int) "two demonstrated actions" 2
+    (List.length (Edit.Spec.demonstrated_actions spec))
+
+(* ---------- Apply ---------- *)
+
+let scene_universe_image () =
+  let scene =
+    Imageeye_scene.Scene.make ~image_id:0 ~width:200 ~height:120
+      [
+        { Imageeye_scene.Scene.kind = Imageeye_scene.Scene.Thing_item "cat"; bbox = box 10 30 40 40 };
+        { Imageeye_scene.Scene.kind = Imageeye_scene.Scene.Thing_item "cat"; bbox = box 120 30 40 40 };
+      ]
+  in
+  let u = Imageeye_vision.Batch.universe_of_scenes [ scene ] in
+  let img = Imageeye_scene.Render.scene scene in
+  (u, img)
+
+let test_apply_blackout () =
+  let u, img = scene_universe_image () in
+  let out = Apply.program u img [ (Lang.Is (Pred.Object "cat"), Lang.Blackout) ] in
+  Alcotest.(check bool) "input untouched" false (Image.equal img out);
+  Alcotest.(check (Alcotest.float 0.001)) "cat region black" 0.0
+    (Image.mean_brightness out (box 10 30 40 40));
+  Alcotest.(check bool) "background untouched" true
+    (Image.mean_brightness out (box 60 30 40 40)
+    = Image.mean_brightness img (box 60 30 40 40))
+
+let test_apply_brighten_selective () =
+  let u, img = scene_universe_image () in
+  (* Brighten only the leftmost cat: the cats that are the first cat to the
+     right of some cat are exactly the non-leftmost ones. *)
+  let leftmost =
+    Lang.Intersect
+      [
+        Lang.Is (Pred.Object "cat");
+        Lang.Complement
+          (Lang.Find (Lang.Is (Pred.Object "cat"), Pred.Object "cat", Imageeye_core.Func.Get_right));
+      ]
+  in
+  let out = Apply.program u img [ (leftmost, Lang.Brighten) ] in
+  let left_box = box 10 30 40 40 and right_box = box 120 30 40 40 in
+  Alcotest.(check bool) "left brighter" true
+    (Image.mean_brightness out left_box > Image.mean_brightness img left_box);
+  Alcotest.(check (Alcotest.float 0.001)) "right unchanged"
+    (Image.mean_brightness img right_box)
+    (Image.mean_brightness out right_box)
+
+let test_apply_crop () =
+  let u, img = scene_universe_image () in
+  let out = Apply.program u img [ (Lang.Is (Pred.Object "cat"), Lang.Crop) ] in
+  (* Crop to the hull of both cats: x 10..159, y 30..69. *)
+  Alcotest.(check int) "width" 150 (Image.width out);
+  Alcotest.(check int) "height" 40 (Image.height out)
+
+let test_apply_crop_empty_extractor () =
+  let u, img = scene_universe_image () in
+  let out = Apply.program u img [ (Lang.Is (Pred.Object "dog"), Lang.Crop) ] in
+  Alcotest.(check bool) "no crop when empty" true (Image.equal img out)
+
+let test_apply_inplace_before_crop () =
+  let u, img = scene_universe_image () in
+  let prog =
+    [
+      (Lang.Is (Pred.Object "cat"), Lang.Crop);
+      (Lang.Is (Pred.Object "cat"), Lang.Blackout);
+    ]
+  in
+  let out = Apply.program u img prog in
+  (* Blackout must happen before the crop changes coordinates. *)
+  Alcotest.(check int) "cropped width" 150 (Image.width out);
+  Alcotest.(check (Alcotest.float 0.001)) "content blacked" 0.0
+    (Image.mean_brightness out (box 0 0 40 40))
+
+let test_action_to_boxes_all_actions () =
+  (* A non-uniform image, so even blur visibly changes pixels. *)
+  let img = Image.create ~width:30 ~height:30 (Image.rgb 120 120 120) in
+  for y = 0 to 29 do
+    for x = 0 to 29 do
+      if (x + y) mod 2 = 0 then Image.set img ~x ~y (Image.rgb 40 40 40)
+    done
+  done;
+  List.iter
+    (fun action ->
+      let out = Apply.action_to_boxes img action [ box 5 5 10 10 ] in
+      match action with
+      | Lang.Crop -> Alcotest.(check int) "crop size" 10 (Image.width out)
+      | Lang.Sharpen ->
+          (* flat regions are unchanged by unsharp masking *)
+          Alcotest.(check int) "same size" 30 (Image.width out)
+      | _ ->
+          Alcotest.(check bool)
+            (Lang.action_to_string action ^ " modifies region")
+            true
+            (not (Image.equal img out)))
+    Lang.all_actions
+
+(* Property: in-place actions only modify pixels inside the selected
+   objects' bounding boxes. *)
+let containment_prop =
+  let scene_gen =
+    QCheck2.Gen.(
+      let* seed = int_bound 500 in
+      let* domain = oneofl Imageeye_scene.Dataset.all_domains in
+      let ds = Imageeye_scene.Dataset.generate ~n_images:1 ~seed domain in
+      return (List.hd ds.scenes))
+  in
+  QCheck2.Test.make ~name:"in-place actions stay inside selected boxes" ~count:30
+    QCheck2.Gen.(pair scene_gen (oneofl [ Lang.Blur; Lang.Blackout; Lang.Brighten; Lang.Recolor ]))
+    (fun (scene, action) ->
+      let img = Imageeye_scene.Render.scene scene in
+      let u = Imageeye_vision.Batch.universe_of_scenes [ scene ] in
+      (* select the first object class found in the scene *)
+      match Imageeye_symbolic.Universe.entities u with
+      | [] -> true
+      | e0 :: _ ->
+          let pred =
+            match e0.Imageeye_symbolic.Entity.kind with
+            | Imageeye_symbolic.Entity.Face _ -> Pred.Face_object
+            | Imageeye_symbolic.Entity.Text _ -> Pred.Text_object
+            | Imageeye_symbolic.Entity.Thing c -> Pred.Object c
+          in
+          let out = Apply.program u img [ (Lang.Is pred, action) ] in
+          let selected_boxes =
+            Imageeye_symbolic.Simage.fold
+              (fun e acc -> e.Imageeye_symbolic.Entity.bbox :: acc)
+              (Imageeye_core.Eval.extractor u (Lang.Is pred))
+              []
+          in
+          let inside x y =
+            List.exists
+              (fun b -> Imageeye_geometry.Bbox.contains_point b ~x ~y)
+              selected_boxes
+          in
+          let ok = ref true in
+          for y = 0 to Image.height img - 1 do
+            for x = 0 to Image.width img - 1 do
+              if (not (inside x y)) && Image.get img ~x ~y <> Image.get out ~x ~y then
+                ok := false
+            done
+          done;
+          !ok)
+
+let () =
+  Alcotest.run "apply"
+    [
+      ( "edit",
+        [
+          Alcotest.test_case "add actions" `Quick test_edit_add_actions;
+          Alcotest.test_case "objects_with" `Quick test_edit_objects_with;
+          Alcotest.test_case "equal" `Quick test_edit_equal;
+          Alcotest.test_case "induced by program" `Quick test_edit_induced;
+        ] );
+      ("spec", [ Alcotest.test_case "output for action" `Quick test_spec_output_for_action ]);
+      ( "apply",
+        [
+          Alcotest.test_case "blackout" `Quick test_apply_blackout;
+          Alcotest.test_case "selective brighten" `Quick test_apply_brighten_selective;
+          Alcotest.test_case "crop" `Quick test_apply_crop;
+          Alcotest.test_case "crop empty extractor" `Quick test_apply_crop_empty_extractor;
+          Alcotest.test_case "in-place before crop" `Quick test_apply_inplace_before_crop;
+          Alcotest.test_case "all actions" `Quick test_action_to_boxes_all_actions;
+          QCheck_alcotest.to_alcotest containment_prop;
+        ] );
+    ]

@@ -1,0 +1,143 @@
+(* Tests for the EUSolver-style bottom-up baseline. *)
+
+module Eusolver = Imageeye_baseline.Eusolver
+module Lang = Imageeye_core.Lang
+module Pred = Imageeye_core.Pred
+module Eval = Imageeye_core.Eval
+module Edit = Imageeye_core.Edit
+module Simage = Imageeye_symbolic.Simage
+open Test_support
+
+(* Most tests lift the default term-size bound (a throughput proxy for the
+   original Python solver; see eusolver.mli) to test the algorithm itself. *)
+let config = { Eusolver.default_config with timeout_s = 10.0; max_size = 20 }
+
+let solve u i_out =
+  match Eusolver.synthesize_extractor ~config u i_out with
+  | Eusolver.Success (e, _) -> Some e
+  | Eusolver.Timeout _ | Eusolver.Exhausted _ -> None
+
+let check_solves u i_out =
+  match solve u i_out with
+  | Some e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "found %s" (Lang.extractor_to_string e))
+        true
+        (Simage.equal (Eval.extractor u e) i_out)
+  | None -> Alcotest.fail "baseline failed"
+
+let test_solves_leaf () =
+  let u = fig2_universe () in
+  check_solves u (Simage.of_ids u [ 2 ]);
+  check_solves u (Simage.full u)
+
+let test_solves_complement () =
+  let u = fig2_universe () in
+  check_solves u (Simage.of_ids u [ 0; 1; 3 ])
+
+let test_solves_union_via_dnc () =
+  let u = fig2_universe () in
+  (* face + car: reachable through the divide-and-conquer cover. *)
+  check_solves u (Simage.of_ids u [ 1; 2 ])
+
+let test_solves_middle_cat () =
+  let u = three_cats_universe () in
+  check_solves u (Simage.of_ids u [ 1 ])
+
+let test_empty_target () =
+  let u = three_cats_universe () in
+  check_solves u (Simage.empty u)
+
+let test_timeout () =
+  (* With an extremely small budget the solver must stop promptly. *)
+  let u = Imageeye_vision.Batch.universe_of_scenes
+      (Imageeye_scene.Receipts_gen.generate ~seed:2 ~n_images:1) in
+  let ids = Simage.to_ids (Simage.full u) in
+  let weird = List.filteri (fun i _ -> i mod 7 = 0) ids in
+  let config = { config with Eusolver.timeout_s = 0.05 } in
+  let t0 = Unix.gettimeofday () in
+  (match Eusolver.synthesize_extractor ~config u (Simage.of_ids u weird) with
+  | Eusolver.Timeout _ | Eusolver.Exhausted _ | Eusolver.Success _ -> ());
+  Alcotest.(check bool) "stops quickly" true (Unix.gettimeofday () -. t0 < 5.0)
+
+let test_observational_equivalence_reduction () =
+  let u = fig2_universe () in
+  match Eusolver.synthesize_extractor ~config u (Simage.of_ids u [ 1; 2 ]) with
+  | Eusolver.Success (_, st) ->
+      (* the bank must contain strictly fewer distinct values than terms *)
+      Alcotest.(check bool) "dedup happened" true
+        (st.Eusolver.distinct_values <= st.Eusolver.terms_enumerated)
+  | _ -> Alcotest.fail "baseline failed"
+
+let test_default_size_bound_limits_depth () =
+  (* With the default bound, a target needing a deep program is not found
+     even though the unbounded algorithm can solve it. *)
+  let u = three_cats_universe () in
+  let target = Simage.of_ids u [ 1 ] in
+  (match Eusolver.synthesize_extractor ~config:{ Eusolver.default_config with timeout_s = 10.0 } u target with
+  | Eusolver.Exhausted _ | Eusolver.Timeout _ -> ()
+  | Eusolver.Success (e, _) ->
+      (* acceptable only if it actually fits the bound *)
+      Alcotest.(check bool) "within bound" true
+        (Imageeye_core.Lang.size e <= Eusolver.default_config.max_size));
+  match Eusolver.synthesize_extractor ~config u target with
+  | Eusolver.Success _ -> ()
+  | _ -> Alcotest.fail "unbounded solver should find the middle cat"
+
+let test_program_synthesis () =
+  let u = fig2_universe () in
+  let edit = Edit.of_list [ (1, [ Lang.Blur ]) ] in
+  let spec = Edit.Spec.make u [ (0, edit) ] in
+  match Eusolver.synthesize ~config spec with
+  | Eusolver.Success (prog, _) ->
+      Alcotest.(check bool) "matches demo" true
+        (Edit.equal (Edit.induced_by_program u prog) edit)
+  | _ -> Alcotest.fail "baseline program synthesis failed"
+
+(* The headline claim of RQ3: there are targets ImageEye's pruned top-down
+   search solves fast that the bottom-up baseline cannot crack in the same
+   budget — here, a deep composition over a face-rich scene. *)
+let test_baseline_weaker_on_deep_targets () =
+  let scenes = Imageeye_scene.Wedding_gen.generate ~seed:3 ~n_images:2 in
+  let u = Imageeye_vision.Batch.universe_of_scenes scenes in
+  let deep =
+    Lang.Intersect
+      [
+        Lang.Is Pred.Face_object;
+        Lang.Complement
+          (Lang.Find (Lang.Is Pred.Smiling, Pred.Face_object, Imageeye_core.Func.Get_above));
+      ]
+  in
+  let target = Eval.extractor u deep in
+  if Simage.is_empty target then ()
+  else
+    let budget = 2.0 in
+    let ie =
+      Imageeye_core.Synthesizer.synthesize_extractor
+        ~config:{ Imageeye_core.Synthesizer.default_config with timeout_s = budget }
+        u target
+    in
+    (match ie with
+    | Imageeye_core.Synthesizer.Success _ -> ()
+    | _ -> Alcotest.fail "imageeye should solve the deep target");
+    (* We don't require the baseline to fail — only record the comparison is
+       runnable; on some seeds it may get lucky via the cover. *)
+    ignore (Eusolver.synthesize_extractor ~config:{ config with Eusolver.timeout_s = budget } u target)
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "eusolver",
+        [
+          Alcotest.test_case "leaves" `Quick test_solves_leaf;
+          Alcotest.test_case "complement" `Quick test_solves_complement;
+          Alcotest.test_case "union via d&c" `Quick test_solves_union_via_dnc;
+          Alcotest.test_case "middle cat" `Quick test_solves_middle_cat;
+          Alcotest.test_case "empty target" `Quick test_empty_target;
+          Alcotest.test_case "timeout" `Quick test_timeout;
+          Alcotest.test_case "equivalence reduction" `Quick test_observational_equivalence_reduction;
+          Alcotest.test_case "default size bound" `Quick test_default_size_bound_limits_depth;
+          Alcotest.test_case "program synthesis" `Quick test_program_synthesis;
+          Alcotest.test_case "deep-target comparison" `Slow test_baseline_weaker_on_deep_targets;
+        ] );
+    ]

@@ -1,0 +1,187 @@
+(* Exact-output tests for every Appendix B ground-truth program.
+
+   Each domain gets a small hand-crafted fixture universe whose geometry
+   and attributes were chosen so that the expected output of every task's
+   ground truth can be derived by hand from the DSL semantics (Figs. 5-7).
+   These tests pin down both the transcription of the 50 programs and the
+   evaluator's behavior on them. *)
+
+module Lang = Imageeye_core.Lang
+module Eval = Imageeye_core.Eval
+module Benchmarks = Imageeye_tasks.Benchmarks
+module Task = Imageeye_tasks.Task
+module Simage = Imageeye_symbolic.Simage
+open Test_support
+
+(* ---------- Wedding fixture ----------
+
+   One image.  Back row: the groom's face A (id 34) with his body below;
+   front row left-to-right: guest C (id 3), the bride B (id 8, directly
+   below the groom, same column), guest child D (id 5).  Bodies sit below
+   their faces.
+
+   object ids: 0 A-face  1 A-body  2 B-face  3 B-body
+               4 C-face  5 C-body  6 D-face  7 D-body *)
+let wedding_u =
+  let f = face in
+  universe
+    [
+      (0, f ~face_id:34 ~smiling:false ~eyes_open:false ~mouth_open:true ~age_low:30 ~age_high:35 (),
+       box 100 10 30 30);
+      (0, thing "person", box 105 45 20 40);
+      (0, f ~face_id:8 ~smiling:true ~eyes_open:true ~age_low:25 ~age_high:30 (), box 100 100 30 30);
+      (0, thing "person", box 105 135 20 40);
+      (0, f ~face_id:3 ~smiling:true ~eyes_open:false ~age_low:40 ~age_high:45 (), box 20 100 30 30);
+      (0, thing "person", box 25 135 20 40);
+      (0, f ~face_id:5 ~smiling:false ~eyes_open:true ~age_low:8 ~age_high:12 (), box 180 100 30 30);
+      (0, thing "person", box 185 135 20 40);
+    ]
+
+(* ---------- Receipts fixture ----------
+
+   One receipt.  Store name, phone, two item rows with far-column prices,
+   then subtotal / tax / total with adjacent prices, and a footer.
+
+   ids: 0 mart  1 phone  2 coffee  3 $3.50  4 tea  5 $2.00
+        6 subtotal  7 $5.50  8 tax  9 $0.50  10 total  11 $6.00  12 thanks *)
+let receipts_u =
+  let word ~x ~y body =
+    let w, h = Imageeye_raster.Draw.text_extent body in
+    (0, text body, box x y w h)
+  in
+  universe
+    [
+      word ~x:12 ~y:10 "mart";
+      word ~x:12 ~y:30 "512-555-0100";
+      word ~x:12 ~y:50 "coffee";
+      word ~x:130 ~y:50 "$3.50";
+      word ~x:12 ~y:70 "tea";
+      word ~x:140 ~y:70 "$2.00";
+      word ~x:12 ~y:90 "subtotal";
+      word ~x:70 ~y:90 "$5.50";
+      word ~x:12 ~y:110 "tax";
+      word ~x:32 ~y:110 "$0.50";
+      word ~x:12 ~y:130 "total";
+      word ~x:44 ~y:130 "$6.00";
+      word ~x:12 ~y:150 "thanks";
+    ]
+
+(* ---------- Objects fixture ----------
+
+   Five raw images (spatial relations never cross images):
+   img 0: three cats in a row            ids 0 1 2
+   img 1: car with plate "319" and a child's face inside   ids 3 4 5
+   img 2: ridden bicycle (person above, child face above) and a parked
+          bicycle beside it               ids 6 7 8 9
+   img 3: guitar with an adult face above, plus a street sign  ids 10 11 12
+   img 4: two cats stacked vertically     ids 13 14 *)
+let objects_u =
+  universe
+    [
+      (0, thing "cat", box 10 200 40 40);
+      (0, thing "cat", box 70 200 40 40);
+      (0, thing "cat", box 130 200 40 40);
+      (1, thing "car", box 10 60 120 60);
+      (1, text "319", box 20 100 17 7);
+      (1, face ~face_id:100 ~smiling:true ~eyes_open:true ~age_low:8 ~age_high:12 (),
+       box 90 70 20 20);
+      (2, thing "bicycle", box 200 120 60 30);
+      (2, thing "person", box 210 60 20 50);
+      (2, face ~face_id:101 ~smiling:false ~eyes_open:false ~age_low:9 ~age_high:13 (),
+       box 212 30 16 16);
+      (2, thing "bicycle", box 280 120 50 30);
+      (3, thing "guitar", box 200 280 50 25);
+      (3, face ~face_id:102 ~smiling:true ~eyes_open:true ~age_low:28 ~age_high:33 (),
+       box 210 240 20 20);
+      (3, text "stop", box 280 20 23 7);
+      (4, thing "cat", box 100 40 40 40);
+      (4, thing "cat", box 100 140 40 40);
+    ]
+
+(* Expected output of each task's ground-truth extractor on its fixture,
+   derived by hand from Figs. 5-7; each entry is the full sorted id list. *)
+let expectations =
+  [
+    (* wedding: fixture wedding_u *)
+    (1, [ 2 ]) (* smiling and eyes open: bride only *);
+    (2, [ 0 ]) (* faces in back: the groom *);
+    (3, [ 0; 2 ]) (* bride and groom *);
+    (4, [ 0; 4; 6 ]) (* all faces but the bride *);
+    (5, [ 6 ]) (* all but the two leftmost faces *);
+    (6, [ 0; 4; 6 ]) (* faces not both smiling and eyes-open *);
+    (7, [ 2 ]) (* smiling, eyes-open, not the groom *);
+    (8, [ 2 ]) (* bride plus smiling-and-eyes-open *);
+    (9, [ 0 ]) (* back faces that are not smiling *);
+    (10, [ 0; 6 ]) (* not smiling or under 18 *);
+    (11, [ 2; 6 ]) (* bride and the face to her right *);
+    (12, [ 0; 2 ]) (* bride and the groom above her *);
+    (13, []) (* first-right and first-left targets never coincide here *);
+    (14, [ 1; 3 ]) (* first bodies below groom / smiling / eyes-open faces *);
+    (15, [ 2 ]) (* the bride, who has faces on both sides *);
+    (16, [ 2; 4; 6 ]) (* bride and her neighbors *);
+    (* receipts: fixture receipts_u *)
+    (17, [ 1; 3; 5; 7; 9; 11 ]) (* prices and the phone number *);
+    (18, [ 7; 8; 9; 10 ]) (* nearest text left of each price *);
+    (19, [ 0; 1; 2; 4; 6; 8; 10; 12 ]) (* text that is not a price *);
+    (20, [ 11 ]) (* the total's own price *);
+    (21, [ 11 ]) (* first text right of "total" *);
+    (22, [ 7 ]) (* first text above "tax" *);
+    (23, [ 8; 9 ]);
+    (24, [ 0; 2; 4; 6; 8; 10; 12 ]);
+    (25, [ 9 ]) (* the price above the total price *);
+    (26, [ 2; 4; 6; 8; 10; 11; 12 ]);
+    (27, [ 0; 1; 2; 4; 6; 8; 12 ]);
+    (28, [ 3; 5; 7; 9 ]) (* prices except the total's *);
+    (29, [ 7; 11 ]) (* subtotal's and total's prices *);
+    (* objects: fixture objects_u *)
+    (30, [ 0; 1; 2; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14 ]);
+    (31, [ 5 ]) (* the face in the car *);
+    (32, [ 4 ]) (* the plate on the car *);
+    (33, [ 3 ]) (* the car carrying text *);
+    (34, [ 0; 1; 2; 5; 8; 11; 13; 14 ]) (* cats and faces *);
+    (35, [ 0; 1; 2; 5; 11; 13; 14 ]) (* cats and eyes-open faces *);
+    (36, [ 11 ]) (* the face above the guitar *);
+    (37, [ 3 ]) (* the car with plate 319 *);
+    (38, [ 3; 6; 9 ]) (* cars and bicycles *);
+    (39, [ 6 ]) (* the ridden bicycle *);
+    (40, [ 8 ]) (* the child's face above a bicycle *);
+    (41, [ 0; 1; 2; 4; 5; 7; 8; 10; 11; 12; 13; 14 ]);
+    (42, [ 12 ]) (* text not on a car *);
+    (43, [ 3; 6; 7; 9 ]) (* bicycles, cars, people *);
+    (44, [ 5; 11 ]) (* faces not riding *);
+    (45, [ 10; 11 ]) (* the guitar and its player *);
+    (46, [ 5; 8 ]) (* faces not playing guitar *);
+    (47, [ 9 ]) (* the parked bicycle *);
+    (48, [ 9 ]) (* the bicycle not ridden by a child *);
+    (49, [ 0; 1; 2; 13 ]) (* topmost cats: the row plus the upper stacked cat *);
+    (50, [ 1 ]) (* the middle cat of the row *);
+  ]
+
+let universe_for_task (t : Task.t) =
+  match t.domain with
+  | Imageeye_scene.Dataset.Wedding -> wedding_u
+  | Imageeye_scene.Dataset.Receipts -> receipts_u
+  | Imageeye_scene.Dataset.Objects -> objects_u
+
+let test_task id expected () =
+  let t = Benchmarks.by_id id in
+  let u = universe_for_task t in
+  match t.Task.ground_truth with
+  | [ (extractor, _) ] ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "task %d output" id)
+        expected
+        (Simage.to_ids (Eval.extractor u extractor))
+  | _ -> Alcotest.fail "expected a single guarded action"
+
+let () =
+  (* every task must have an expectation *)
+  assert (List.length expectations = 50);
+  Alcotest.run "benchmark_semantics"
+    [
+      ( "appendix-b",
+        List.map
+          (fun (id, expected) ->
+            Alcotest.test_case (Printf.sprintf "task %02d" id) `Quick (test_task id expected))
+          expectations );
+    ]

@@ -1,0 +1,135 @@
+(* Tests for bounding-box geometry: construction, containment, spatial
+   relations — the foundations of the DSL's GetLeft/GetRight/GetAbove/
+   GetBelow/GetParents semantics. *)
+
+module Bbox = Imageeye_geometry.Bbox
+
+let b = Test_support.box
+
+let test_make_validation () =
+  Alcotest.check_raises "left > right" (Invalid_argument "Bbox.make: left > right")
+    (fun () -> ignore (Bbox.make ~left:5 ~right:4 ~top:0 ~bottom:0));
+  Alcotest.check_raises "top > bottom" (Invalid_argument "Bbox.make: top > bottom")
+    (fun () -> ignore (Bbox.make ~left:0 ~right:0 ~top:5 ~bottom:4))
+
+let test_of_corner () =
+  let box = Bbox.of_corner ~x:10 ~y:20 ~w:5 ~h:3 in
+  Alcotest.(check int) "left" 10 box.Bbox.left;
+  Alcotest.(check int) "right" 14 box.Bbox.right;
+  Alcotest.(check int) "top" 20 box.Bbox.top;
+  Alcotest.(check int) "bottom" 22 box.Bbox.bottom;
+  Alcotest.check_raises "empty" (Invalid_argument "Bbox.of_corner: empty box") (fun () ->
+      ignore (Bbox.of_corner ~x:0 ~y:0 ~w:0 ~h:1))
+
+let test_dimensions () =
+  let box = b 0 0 7 3 in
+  Alcotest.(check int) "width" 7 (Bbox.width box);
+  Alcotest.(check int) "height" 3 (Bbox.height box);
+  Alcotest.(check int) "area" 21 (Bbox.area box)
+
+let test_center () =
+  let box = b 0 0 11 21 in
+  Alcotest.(check int) "cx" 5 (Bbox.center_x box);
+  Alcotest.(check int) "cy" 10 (Bbox.center_y box)
+
+let test_containment () =
+  let outer = b 0 0 100 100 and inner = b 10 10 20 20 in
+  Alcotest.(check bool) "contains" true (Bbox.contains ~outer ~inner);
+  Alcotest.(check bool) "not reverse" false (Bbox.contains ~outer:inner ~inner:outer);
+  Alcotest.(check bool) "self weak" true (Bbox.contains ~outer ~inner:outer);
+  Alcotest.(check bool) "self not strict" false
+    (Bbox.strictly_contains ~outer ~inner:outer);
+  Alcotest.(check bool) "strict" true (Bbox.strictly_contains ~outer ~inner)
+
+let test_contains_point () =
+  let box = b 10 10 5 5 in
+  Alcotest.(check bool) "corner" true (Bbox.contains_point box ~x:10 ~y:10);
+  Alcotest.(check bool) "far corner" true (Bbox.contains_point box ~x:14 ~y:14);
+  Alcotest.(check bool) "outside" false (Bbox.contains_point box ~x:15 ~y:14)
+
+let test_overlap_intersect () =
+  let a = b 0 0 10 10 and c = b 5 5 10 10 and d = b 100 100 5 5 in
+  Alcotest.(check bool) "overlaps" true (Bbox.overlaps a c);
+  Alcotest.(check bool) "disjoint" false (Bbox.overlaps a d);
+  (match Bbox.intersect a c with
+  | Some i ->
+      Alcotest.(check int) "ix left" 5 i.Bbox.left;
+      Alcotest.(check int) "ix right" 9 i.Bbox.right
+  | None -> Alcotest.fail "expected intersection");
+  Alcotest.(check bool) "no intersection" true (Bbox.intersect a d = None)
+
+let test_hull () =
+  let h = Bbox.hull (b 0 0 5 5) (b 10 10 5 5) in
+  Alcotest.(check int) "left" 0 h.Bbox.left;
+  Alcotest.(check int) "right" 14 h.Bbox.right;
+  Alcotest.(check bool) "hull_all empty" true (Bbox.hull_all [] = None);
+  match Bbox.hull_all [ b 0 0 2 2; b 4 4 2 2; b 2 8 2 2 ] with
+  | Some h ->
+      Alcotest.(check int) "all bottom" 9 h.Bbox.bottom;
+      Alcotest.(check int) "all right" 5 h.Bbox.right
+  | None -> Alcotest.fail "expected hull"
+
+let test_spatial_relations () =
+  let left = b 0 0 10 10 and right = b 20 0 10 10 in
+  Alcotest.(check bool) "left of" true (Bbox.is_left_of left right);
+  Alcotest.(check bool) "right of" true (Bbox.is_right_of right left);
+  Alcotest.(check bool) "not left of itself" false (Bbox.is_left_of left left);
+  let top = b 0 0 10 10 and bottom = b 0 20 10 10 in
+  Alcotest.(check bool) "above" true (Bbox.is_above top bottom);
+  Alcotest.(check bool) "below" true (Bbox.is_below bottom top);
+  (* Pixel-adjacent boxes are disjoint, so the relation holds... *)
+  let adjacent = b 10 0 10 10 in
+  Alcotest.(check bool) "adjacent is left" true (Bbox.is_left_of left adjacent);
+  (* ...but overlapping boxes are never beside each other. *)
+  let overlapping = b 5 0 10 10 in
+  Alcotest.(check bool) "overlapping not left" false (Bbox.is_left_of left overlapping);
+  (* Vertical offset does not affect left/right. *)
+  let right_lower = b 20 100 10 10 in
+  Alcotest.(check bool) "diagonal still right" true (Bbox.is_right_of right_lower left)
+
+let bbox_gen =
+  QCheck2.Gen.(
+    let* x = int_bound 50 and* y = int_bound 50 in
+    let* w = int_range 1 30 and* h = int_range 1 30 in
+    return (Bbox.of_corner ~x ~y ~w ~h))
+
+let props =
+  let pair = QCheck2.Gen.pair bbox_gen bbox_gen in
+  [
+    QCheck2.Test.make ~name:"left_of antisymmetric" ~count:300 pair (fun (a, b) ->
+        not (Bbox.is_left_of a b && Bbox.is_left_of b a));
+    QCheck2.Test.make ~name:"left_of implies right_of" ~count:300 pair (fun (a, b) ->
+        (not (Bbox.is_left_of a b)) || Bbox.is_right_of b a);
+    QCheck2.Test.make ~name:"above implies below" ~count:300 pair (fun (a, b) ->
+        (not (Bbox.is_above a b)) || Bbox.is_below b a);
+    QCheck2.Test.make ~name:"left_of implies disjoint" ~count:300 pair (fun (a, b) ->
+        (not (Bbox.is_left_of a b)) || not (Bbox.overlaps a b));
+    QCheck2.Test.make ~name:"hull contains both" ~count:300 pair (fun (a, b) ->
+        let h = Bbox.hull a b in
+        Bbox.contains ~outer:h ~inner:a && Bbox.contains ~outer:h ~inner:b);
+    QCheck2.Test.make ~name:"intersect iff overlaps" ~count:300 pair (fun (a, b) ->
+        Bbox.overlaps a b = (Bbox.intersect a b <> None));
+    QCheck2.Test.make ~name:"intersect inside both" ~count:300 pair (fun (a, b) ->
+        match Bbox.intersect a b with
+        | None -> true
+        | Some i -> Bbox.contains ~outer:a ~inner:i && Bbox.contains ~outer:b ~inner:i);
+    QCheck2.Test.make ~name:"area positive" ~count:300 bbox_gen (fun a -> Bbox.area a > 0);
+  ]
+
+let () =
+  Alcotest.run "geometry"
+    [
+      ( "bbox",
+        [
+          Alcotest.test_case "make validation" `Quick test_make_validation;
+          Alcotest.test_case "of_corner" `Quick test_of_corner;
+          Alcotest.test_case "dimensions" `Quick test_dimensions;
+          Alcotest.test_case "center" `Quick test_center;
+          Alcotest.test_case "containment" `Quick test_containment;
+          Alcotest.test_case "contains point" `Quick test_contains_point;
+          Alcotest.test_case "overlap and intersect" `Quick test_overlap_intersect;
+          Alcotest.test_case "hull" `Quick test_hull;
+          Alcotest.test_case "spatial relations" `Quick test_spatial_relations;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest props );
+    ]

@@ -1,0 +1,364 @@
+(* Tests for the interaction-loop simulation (Section 7.1) and the RQ5
+   accuracy evaluator. *)
+
+module Session = Imageeye_interact.Session
+module Accuracy = Imageeye_interact.Accuracy
+module Synthesizer = Imageeye_core.Synthesizer
+module Lang = Imageeye_core.Lang
+module Edit = Imageeye_core.Edit
+module Dataset = Imageeye_scene.Dataset
+module Benchmarks = Imageeye_tasks.Benchmarks
+module Task = Imageeye_tasks.Task
+module Noise = Imageeye_vision.Noise
+module Batch = Imageeye_vision.Batch
+
+let config = { Synthesizer.default_config with timeout_s = 10.0 }
+
+let objects_small = lazy (Dataset.generate ~n_images:80 ~seed:42 Dataset.Objects)
+let wedding_small = lazy (Dataset.generate ~n_images:30 ~seed:42 Dataset.Wedding)
+
+let test_session_solves_easy_task () =
+  let r = Session.run ~config ~dataset:(Lazy.force objects_small) (Benchmarks.by_id 30) in
+  Alcotest.(check bool) "solved" true r.Session.solved;
+  Alcotest.(check bool) "has program" true (r.Session.program <> None);
+  Alcotest.(check bool) "few rounds" true (r.Session.examples_used <= 5);
+  Alcotest.(check bool) "no failure" true (r.Session.failure = None)
+
+let test_session_program_matches_gt_everywhere () =
+  let dataset = Lazy.force objects_small in
+  let task = Benchmarks.by_id 34 in
+  let r = Session.run ~config ~dataset task in
+  Alcotest.(check bool) "solved" true r.Session.solved;
+  match r.Session.program with
+  | None -> Alcotest.fail "expected program"
+  | Some prog ->
+      let u = Batch.universe_of_scenes dataset.scenes in
+      Alcotest.(check bool) "edits equal" true
+        (Edit.equal
+           (Edit.induced_by_program u prog)
+           (Edit.induced_by_program u task.Task.ground_truth))
+
+let test_session_rounds_recorded () =
+  let r = Session.run ~config ~dataset:(Lazy.force wedding_small) (Benchmarks.by_id 1) in
+  Alcotest.(check int) "rounds = examples" r.Session.examples_used
+    (List.length r.Session.rounds);
+  List.iteri
+    (fun i (rd : Session.round) ->
+      Alcotest.(check int) "indices in order" (i + 1) rd.round_index)
+    r.Session.rounds;
+  (* demo images are distinct *)
+  let demos = List.map (fun (rd : Session.round) -> rd.demo_image) r.Session.rounds in
+  Alcotest.(check int) "distinct demos" (List.length demos)
+    (List.length (List.sort_uniq compare demos))
+
+let test_session_respects_max_rounds () =
+  (* Task 15 is the paper's needs-too-many-rounds failure. *)
+  let dataset = Lazy.force wedding_small in
+  let r = Session.run ~config ~max_rounds:3 ~dataset (Benchmarks.by_id 15) in
+  Alcotest.(check bool) "rounds bounded" true (r.Session.examples_used <= 3)
+
+let test_session_synth_failure_reported () =
+  (* A near-zero timeout makes synthesis fail immediately. *)
+  let tiny = { config with Synthesizer.timeout_s = 0.0; max_expansions = 1 } in
+  let r =
+    Session.run ~config:tiny ~dataset:(Lazy.force objects_small) (Benchmarks.by_id 30)
+  in
+  Alcotest.(check bool) "not solved" false r.Session.solved;
+  Alcotest.(check bool) "synth failure" true (r.Session.failure = Some Session.Synth_failed)
+
+let test_edits_agree_on_image () =
+  let dataset = Lazy.force objects_small in
+  let u = Batch.universe_of_scenes dataset.scenes in
+  let gt = (Benchmarks.by_id 30).Task.ground_truth in
+  let e = Edit.induced_by_program u gt in
+  List.iter
+    (fun img ->
+      Alcotest.(check bool) "self-agreement" true (Session.edits_agree_on_image u e e img))
+    (Imageeye_symbolic.Universe.image_ids u);
+  let other = Edit.induced_by_program u (Benchmarks.by_id 34).Task.ground_truth in
+  Alcotest.(check bool) "different edits disagree somewhere" true
+    (List.exists
+       (fun img -> not (Session.edits_agree_on_image u e other img))
+       (Imageeye_symbolic.Universe.image_ids u))
+
+let test_eusolver_engine_runs () =
+  let r =
+    Session.run_with
+      ~engine:(Session.eusolver_engine ~timeout_s:5.0)
+      ~dataset:(Lazy.force objects_small) (Benchmarks.by_id 30)
+  in
+  (* whether or not it solves, the protocol must complete cleanly *)
+  Alcotest.(check bool) "ran rounds" true (r.Session.examples_used >= 1)
+
+(* ---------- Accuracy (RQ5) ---------- *)
+
+let test_accuracy_perfect_noise_is_100 () =
+  let dataset = Lazy.force objects_small in
+  let gt = (Benchmarks.by_id 30).Task.ground_truth in
+  let report = Accuracy.evaluate ~noise:Noise.none ~seed:1 ~samples:10 gt dataset in
+  Alcotest.(check int) "sampled" 10 report.Accuracy.sampled;
+  Alcotest.(check int) "all correct" 10 report.Accuracy.correct;
+  Alcotest.(check (Alcotest.float 0.001)) "accuracy 1.0" 1.0 report.Accuracy.accuracy
+
+let test_accuracy_degrades_with_noise () =
+  let dataset = Lazy.force objects_small in
+  let gt = (Benchmarks.by_id 30).Task.ground_truth in
+  let heavy =
+    {
+      Noise.miss_detection = 0.3;
+      class_confusion = 0.3;
+      attr_flip = 0.3;
+      face_id_confusion = 0.3;
+      ocr_error = 0.3;
+    }
+  in
+  let report = Accuracy.evaluate ~noise:heavy ~seed:1 ~samples:20 gt dataset in
+  Alcotest.(check bool)
+    (Printf.sprintf "heavy noise hurts (%.2f)" report.Accuracy.accuracy)
+    true (report.Accuracy.accuracy < 0.9)
+
+let test_accuracy_sampling_respects_footnote2 () =
+  (* Program that edits nothing anywhere: no eligible images. *)
+  let dataset = Lazy.force objects_small in
+  let nothing = [ (Lang.Is (Imageeye_core.Pred.Object "zebra"), Lang.Blur) ] in
+  let report = Accuracy.evaluate ~noise:Noise.none ~seed:1 ~samples:10 nothing dataset in
+  Alcotest.(check int) "no eligible images" 0 report.Accuracy.sampled
+
+let test_accuracy_default_noise_moderate () =
+  (* The calibrated noise model should produce high-but-imperfect accuracy
+     (the paper's 87% regime) on a representative task. *)
+  let dataset = Lazy.force objects_small in
+  let gt = (Benchmarks.by_id 38).Task.ground_truth in
+  let report =
+    Accuracy.evaluate ~noise:Noise.default_imperfect ~seed:5 ~samples:20 gt dataset
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "accuracy %.2f in (0.5, 1.0]" report.Accuracy.accuracy)
+    true
+    (report.Accuracy.accuracy > 0.5)
+
+(* ---------- Search mode ---------- *)
+
+module Search = Imageeye_interact.Search
+
+let test_search_classify () =
+  let dataset = Lazy.force objects_small in
+  let u = Batch.universe_of_scenes dataset.Dataset.scenes in
+  let cats = [ (Lang.Is (Imageeye_core.Pred.Object "cat"), Lang.Crop) ] in
+  let matches = Search.classify u cats in
+  Alcotest.(check bool) "some matches" true (matches <> []);
+  Alcotest.(check bool) "not all images" true
+    (List.length matches < List.length dataset.Dataset.scenes);
+  (* classification agrees with per-image matches *)
+  List.iter
+    (fun img ->
+      Alcotest.(check bool) "consistent" (List.mem img matches) (Search.matches u cats img))
+    (Imageeye_symbolic.Universe.image_ids u)
+
+let test_search_metrics_perfect () =
+  let dataset = Lazy.force objects_small in
+  let u = Batch.universe_of_scenes dataset.Dataset.scenes in
+  let prog = [ (Lang.Is (Imageeye_core.Pred.Object "cat"), Lang.Crop) ] in
+  let m = Search.evaluate u ~expected:prog ~actual:prog in
+  Alcotest.(check (Alcotest.float 0.001)) "precision" 1.0 m.Search.precision;
+  Alcotest.(check (Alcotest.float 0.001)) "recall" 1.0 m.Search.recall;
+  Alcotest.(check int) "no fp" 0 m.Search.false_positives
+
+let test_search_metrics_diverging () =
+  let dataset = Lazy.force objects_small in
+  let u = Batch.universe_of_scenes dataset.Dataset.scenes in
+  let cats = [ (Lang.Is (Imageeye_core.Pred.Object "cat"), Lang.Crop) ] in
+  let everything = [ (Lang.All, Lang.Crop) ] in
+  let m = Search.evaluate u ~expected:cats ~actual:everything in
+  Alcotest.(check (Alcotest.float 0.001)) "recall 1" 1.0 m.Search.recall;
+  Alcotest.(check bool) "imprecise" true (m.Search.precision < 1.0);
+  let m2 = Search.evaluate u ~expected:everything ~actual:cats in
+  Alcotest.(check bool) "misses images" true (m2.Search.false_negatives > 0)
+
+let test_session_robust_across_seeds () =
+  (* the generators must produce learnable datasets for any seed *)
+  List.iter
+    (fun seed ->
+      let dataset = Dataset.generate ~n_images:60 ~seed Dataset.Objects in
+      let r = Session.run ~config ~dataset (Benchmarks.by_id 30) in
+      Alcotest.(check bool) (Printf.sprintf "seed %d solved" seed) true r.Session.solved)
+    [ 1; 7; 1234 ]
+
+(* ---------- Demo files ---------- *)
+
+module Demo_io = Imageeye_interact.Demo_io
+
+let test_demo_parse () =
+  let text = "# c\nimage 3\n  blur 0\n  crop 2\nimage 7\n" in
+  match Demo_io.parse text with
+  | Error e -> Alcotest.failf "parse failed: %s" (Demo_io.error_to_string e)
+  | Ok demos ->
+      Alcotest.(check int) "two demos" 2 (List.length demos);
+      let d = List.hd demos in
+      Alcotest.(check int) "image" 3 d.Demo_io.image_id;
+      Alcotest.(check bool) "edits" true
+        (d.Demo_io.edits = [ (0, Lang.Blur); (2, Lang.Crop) ]);
+      Alcotest.(check bool) "negative demo" true
+        ((List.nth demos 1).Demo_io.edits = [])
+
+let test_demo_roundtrip () =
+  let demos =
+    [
+      { Demo_io.image_id = 1; edits = [ (0, Lang.Blur); (3, Lang.Blackout) ] };
+      { Demo_io.image_id = 9; edits = [] };
+    ]
+  in
+  match Demo_io.parse (Demo_io.to_string demos) with
+  | Ok d -> Alcotest.(check bool) "roundtrip" true (d = demos)
+  | Error e -> Alcotest.failf "roundtrip failed: %s" (Demo_io.error_to_string e)
+
+let test_demo_parse_errors () =
+  List.iter
+    (fun text ->
+      match Demo_io.parse text with
+      | Ok _ -> Alcotest.failf "expected error for %S" text
+      | Error e ->
+          Alcotest.(check bool) "line number positive" true (e.Demo_io.line >= 1))
+    [ "blur 0\n"; "image x\n"; "image 1\n dance 0\n"; "image 1\n blur x\n"; "garbage\n" ]
+
+let test_demo_to_spec_and_synthesis () =
+  let dataset = Lazy.force objects_small in
+  (* find a cat image and a non-cat image; demonstrate blurring the cats *)
+  let u_all = Batch.universe_of_scenes dataset.Dataset.scenes in
+  let cats_in img =
+    List.filter
+      (fun id ->
+        Imageeye_symbolic.Entity.object_type (Imageeye_symbolic.Universe.entity u_all id) = "cat")
+      (Imageeye_symbolic.Universe.objects_of_image u_all img)
+  in
+  let images = Imageeye_symbolic.Universe.image_ids u_all in
+  let cat_img = List.find (fun i -> cats_in i <> []) images in
+  let other_img = List.find (fun i -> cats_in i = []) images in
+  (* positions of the cats within their image *)
+  let positions =
+    List.filteri (fun _ _ -> true) (Imageeye_symbolic.Universe.objects_of_image u_all cat_img)
+    |> List.mapi (fun pos id -> (pos, id))
+    |> List.filter_map (fun (pos, id) ->
+           if
+             Imageeye_symbolic.Entity.object_type (Imageeye_symbolic.Universe.entity u_all id)
+             = "cat"
+           then Some pos
+           else None)
+  in
+  let demos =
+    [
+      { Demo_io.image_id = cat_img; edits = List.map (fun p -> (p, Lang.Blur)) positions };
+      { Demo_io.image_id = other_img; edits = [] };
+    ]
+  in
+  match Demo_io.to_spec ~scenes:dataset.Dataset.scenes demos with
+  | Error msg -> Alcotest.fail msg
+  | Ok spec -> (
+      match Synthesizer.synthesize ~config spec with
+      | Synthesizer.Success (program, _) ->
+          Alcotest.(check bool) "learned the cat program" true
+            (Lang.equal_program program
+               [ (Lang.Is (Imageeye_core.Pred.Object "cat"), Lang.Blur) ])
+      | _ -> Alcotest.fail "synthesis from demo file failed")
+
+let test_demo_to_spec_errors () =
+  let dataset = Lazy.force objects_small in
+  let scenes = dataset.Dataset.scenes in
+  (match Demo_io.to_spec ~scenes [ { Demo_io.image_id = 99999; edits = [] } ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown image accepted");
+  match Demo_io.to_spec ~scenes [ { Demo_io.image_id = 0; edits = [ (999, Lang.Blur) ] } ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range object accepted"
+
+(* ---------- Active example selection ---------- *)
+
+module Active = Imageeye_interact.Active
+
+let test_active_solves_task () =
+  let dataset = Lazy.force objects_small in
+  let r = Active.run ~config ~dataset (Benchmarks.by_id 30) in
+  Alcotest.(check bool) "solved" true r.Session.solved;
+  match r.Session.program with
+  | None -> Alcotest.fail "expected program"
+  | Some prog ->
+      let u = Batch.universe_of_scenes dataset.Dataset.scenes in
+      Alcotest.(check bool) "matches gt" true
+        (Edit.equal
+           (Edit.induced_by_program u prog)
+           (Edit.induced_by_program u (Benchmarks.by_id 30).Task.ground_truth))
+
+let test_active_disagreement () =
+  let dataset = Lazy.force objects_small in
+  let u = Batch.universe_of_scenes dataset.Dataset.scenes in
+  let cats = [ (Lang.Is (Imageeye_core.Pred.Object "cat"), Lang.Blur) ] in
+  let everything = [ (Lang.All, Lang.Blur) ] in
+  (* identical candidates never disagree *)
+  List.iter
+    (fun img ->
+      Alcotest.(check int) "no self-disagreement" 0 (Active.disagreement u [ cats; cats ] img))
+    (Imageeye_symbolic.Universe.image_ids u);
+  (* cats-vs-everything disagree exactly on images with a non-cat object *)
+  let d = List.filter
+      (fun img -> Active.disagreement u [ cats; everything ] img > 0)
+      (Imageeye_symbolic.Universe.image_ids u)
+  in
+  Alcotest.(check bool) "some disagreement" true (d <> []);
+  (* suggest returns one of the disagreeing images and respects exclusion *)
+  (match Active.suggest u ~exclude:[] [ cats; everything ] with
+  | Some img -> Alcotest.(check bool) "suggested disagrees" true (List.mem img d)
+  | None -> Alcotest.fail "expected suggestion");
+  match Active.suggest u ~exclude:d [ cats; everything ] with
+  | Some img -> Alcotest.(check bool) "not excluded" false (List.mem img d)
+  | None -> () (* fine: all disagreeing images excluded *)
+
+let test_active_agrees_none () =
+  let dataset = Lazy.force objects_small in
+  let u = Batch.universe_of_scenes dataset.Dataset.scenes in
+  let cats = [ (Lang.Is (Imageeye_core.Pred.Object "cat"), Lang.Blur) ] in
+  Alcotest.(check bool) "no suggestion when candidates agree" true
+    (Active.suggest u ~exclude:[] [ cats; cats ] = None)
+
+let () =
+  Alcotest.run "interact"
+    [
+      ( "session",
+        [
+          Alcotest.test_case "solves easy task" `Quick test_session_solves_easy_task;
+          Alcotest.test_case "program matches gt everywhere" `Quick
+            test_session_program_matches_gt_everywhere;
+          Alcotest.test_case "rounds recorded" `Quick test_session_rounds_recorded;
+          Alcotest.test_case "max rounds respected" `Quick test_session_respects_max_rounds;
+          Alcotest.test_case "synth failure reported" `Quick test_session_synth_failure_reported;
+          Alcotest.test_case "edits agree per image" `Quick test_edits_agree_on_image;
+          Alcotest.test_case "eusolver engine" `Quick test_eusolver_engine_runs;
+          Alcotest.test_case "robust across seeds" `Slow test_session_robust_across_seeds;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "classify" `Quick test_search_classify;
+          Alcotest.test_case "metrics perfect" `Quick test_search_metrics_perfect;
+          Alcotest.test_case "metrics diverging" `Quick test_search_metrics_diverging;
+        ] );
+      ( "demo_io",
+        [
+          Alcotest.test_case "parse" `Quick test_demo_parse;
+          Alcotest.test_case "roundtrip" `Quick test_demo_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_demo_parse_errors;
+          Alcotest.test_case "to_spec and synthesis" `Quick test_demo_to_spec_and_synthesis;
+          Alcotest.test_case "to_spec errors" `Quick test_demo_to_spec_errors;
+        ] );
+      ( "active",
+        [
+          Alcotest.test_case "solves task" `Quick test_active_solves_task;
+          Alcotest.test_case "disagreement and suggest" `Quick test_active_disagreement;
+          Alcotest.test_case "agreement gives no suggestion" `Quick test_active_agrees_none;
+        ] );
+      ( "accuracy",
+        [
+          Alcotest.test_case "perfect noise = 100%" `Quick test_accuracy_perfect_noise_is_100;
+          Alcotest.test_case "heavy noise degrades" `Quick test_accuracy_degrades_with_noise;
+          Alcotest.test_case "footnote 2 sampling" `Quick test_accuracy_sampling_respects_footnote2;
+          Alcotest.test_case "default noise moderate" `Quick test_accuracy_default_noise_moderate;
+        ] );
+    ]

@@ -1,0 +1,204 @@
+(* Tests for the concrete-syntax parser: paper-notation programs parse to
+   the expected ASTs, errors are reported, and parsing round-trips with
+   pretty-printing for arbitrary programs. *)
+
+module Parser = Imageeye_core.Parser
+module Lang = Imageeye_core.Lang
+module Pred = Imageeye_core.Pred
+module Func = Imageeye_core.Func
+
+let extractor = Test_support.extractor_testable
+let program = Test_support.program_testable
+
+let parse_extractor_ok s =
+  match Parser.extractor s with
+  | Ok e -> e
+  | Error e -> Alcotest.failf "parse failed: %s" (Parser.error_to_string e)
+
+let parse_program_ok s =
+  match Parser.program s with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse failed: %s" (Parser.error_to_string e)
+
+let test_parse_leaves () =
+  Alcotest.check extractor "All" Lang.All (parse_extractor_ok "All");
+  Alcotest.check extractor "Is" (Lang.Is Pred.Smiling) (parse_extractor_ok "Is(Smiling)");
+  Alcotest.check extractor "Face" (Lang.Is (Pred.Face 8)) (parse_extractor_ok "Is(Face(8))");
+  Alcotest.check extractor "BelowAge"
+    (Lang.Is (Pred.Below_age 18))
+    (parse_extractor_ok "Is(BelowAge(18))")
+
+let test_parse_word_variants () =
+  Alcotest.check extractor "quoted"
+    (Lang.Is (Pred.Word "total"))
+    (parse_extractor_ok {|Is(Word("total"))|});
+  Alcotest.check extractor "bare ident"
+    (Lang.Is (Pred.Word "total"))
+    (parse_extractor_ok "Is(Word(total))");
+  Alcotest.check extractor "numeric word"
+    (Lang.Is (Pred.Word "319"))
+    (parse_extractor_ok "Is(Word(319))")
+
+let test_parse_nested () =
+  Alcotest.check extractor "complement"
+    (Lang.Complement (Lang.Is (Pred.Object "car")))
+    (parse_extractor_ok "Complement(Is(Object(car)))");
+  Alcotest.check extractor "union"
+    (Lang.Union [ Lang.Is (Pred.Face 8); Lang.Is (Pred.Face 34) ])
+    (parse_extractor_ok "Union(Is(Face(8)), Is(Face(34)))");
+  Alcotest.check extractor "intersect 3"
+    (Lang.Intersect [ Lang.All; Lang.All; Lang.All ])
+    (parse_extractor_ok "Intersect(All, All, All)");
+  Alcotest.check extractor "intersection alias"
+    (Lang.Intersect [ Lang.All; Lang.All ])
+    (parse_extractor_ok "Intersection(All, All)")
+
+let test_parse_find_filter () =
+  Alcotest.check extractor "find"
+    (Lang.Find (Lang.Is (Pred.Word "total"), Pred.Price, Func.Get_right))
+    (parse_extractor_ok {|Find(Is(Word("total")), Price, GetRight)|});
+  Alcotest.check extractor "filter"
+    (Lang.Filter (Lang.Is (Pred.Object "car"), Pred.Face_object))
+    (parse_extractor_ok "Filter(Is(Object(car)), FaceObject)")
+
+let test_parse_program () =
+  Alcotest.check program "single"
+    [ (Lang.Complement (Lang.Is (Pred.Object "car")), Lang.Blur) ]
+    (parse_program_ok "{Complement(Is(Object(car))) -> Blur}");
+  Alcotest.check program "multi"
+    [ (Lang.All, Lang.Crop); (Lang.Is Pred.Smiling, Lang.Brighten) ]
+    (parse_program_ok "{All -> Crop, Is(Smiling) -> Brighten}")
+
+let test_parse_whitespace () =
+  Alcotest.check program "newlines ok"
+    [ (Lang.Union [ Lang.All; Lang.All ], Lang.Blur) ]
+    (parse_program_ok "{\n  Union(\n    All,\n    All)\n  -> Blur\n}")
+
+let expect_error s =
+  match Parser.program s with
+  | Ok _ -> Alcotest.failf "expected parse error for %S" s
+  | Error e ->
+      Alcotest.(check bool) "has message" true (String.length (Parser.error_to_string e) > 0)
+
+let test_parse_errors () =
+  List.iter expect_error
+    [
+      "";
+      "{All -> Blur";
+      "{All -> Dance}";
+      "{Wrong(All) -> Blur}";
+      "{Union(All) -> Blur}" (* union needs two operands *);
+      "{All -> Blur} trailing";
+      "{Is(Face(x)) -> Blur}";
+      "{All Blur}";
+      "{Is(Face(99999999999999999999999)) -> Blur}" (* integer overflow *);
+    ]
+
+(* Round-trip: pretty-print then parse for every Appendix B ground truth. *)
+let test_roundtrip_benchmarks () =
+  List.iter
+    (fun task ->
+      let printed = Lang.program_to_string task.Imageeye_tasks.Task.ground_truth in
+      match Parser.program printed with
+      | Ok parsed ->
+          Alcotest.check program
+            (Printf.sprintf "task %d roundtrip" task.Imageeye_tasks.Task.id)
+            task.Imageeye_tasks.Task.ground_truth parsed
+      | Error e ->
+          Alcotest.failf "task %d failed to reparse %s: %s" task.Imageeye_tasks.Task.id
+            printed (Parser.error_to_string e))
+    Imageeye_tasks.Benchmarks.all
+
+(* Property: random programs round-trip. *)
+let pred_gen =
+  QCheck2.Gen.oneofl
+    [
+      Pred.Face_object;
+      Pred.Face 3;
+      Pred.Smiling;
+      Pred.Eyes_open;
+      Pred.Mouth_open;
+      Pred.Below_age 18;
+      Pred.Above_age 21;
+      Pred.Text_object;
+      Pred.Word "total";
+      Pred.Word "319";
+      Pred.Phone_number;
+      Pred.Price;
+      Pred.Object "cat";
+    ]
+
+let extractor_gen =
+  let open QCheck2.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 1 then oneof [ return Lang.All; (pred_gen >|= fun p -> Lang.Is p) ]
+          else
+            oneof
+              [
+                (self (n / 2) >|= fun e -> Lang.Complement e);
+                ( pair (self (n / 2)) (self (n / 2)) >|= fun (a, b) -> Lang.Union [ a; b ] );
+                ( pair (self (n / 2)) (self (n / 2)) >|= fun (a, b) ->
+                  Lang.Intersect [ a; b ] );
+                ( triple (self (n / 2)) pred_gen (oneofl Func.all) >|= fun (e, p, f) ->
+                  Lang.Find (e, p, f) );
+                ( pair (self (n / 2)) pred_gen >|= fun (e, p) -> Lang.Filter (e, p) );
+              ])
+        (min n 10))
+
+let program_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 3)
+      (pair extractor_gen (oneofl Lang.all_actions)))
+
+let roundtrip_prop =
+  QCheck2.Test.make ~name:"print-parse roundtrip" ~count:500 program_gen (fun prog ->
+      match Parser.program (Lang.program_to_string prog) with
+      | Ok parsed -> Lang.equal_program prog parsed
+      | Error _ -> false)
+
+(* Fuzz: the parser must return Ok/Error on arbitrary input, never raise. *)
+let fuzz_prop =
+  QCheck2.Test.make ~name:"parser never raises" ~count:1000
+    QCheck2.Gen.(string_size ~gen:printable (int_bound 60))
+    (fun s ->
+      match Parser.program s with
+      | Ok _ | Error _ -> true
+      | exception _ -> false)
+
+let fuzz_mutation_prop =
+  (* mutate valid programs: still no exceptions *)
+  QCheck2.Test.make ~name:"parser survives mutations" ~count:500
+    QCheck2.Gen.(
+      let* task_id = int_range 1 50 in
+      let* pos = int_bound 200 in
+      let* c = printable in
+      return (task_id, pos, c))
+    (fun (task_id, pos, c) ->
+      let base =
+        Lang.program_to_string (Imageeye_tasks.Benchmarks.by_id task_id).Imageeye_tasks.Task.ground_truth
+      in
+      let mutated =
+        if String.length base = 0 then base
+        else
+          String.mapi (fun i ch -> if i = pos mod String.length base then c else ch) base
+      in
+      match Parser.program mutated with Ok _ | Error _ -> true | exception _ -> false)
+
+let () =
+  Alcotest.run "parser"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "leaves" `Quick test_parse_leaves;
+          Alcotest.test_case "word variants" `Quick test_parse_word_variants;
+          Alcotest.test_case "nested" `Quick test_parse_nested;
+          Alcotest.test_case "find and filter" `Quick test_parse_find_filter;
+          Alcotest.test_case "programs" `Quick test_parse_program;
+          Alcotest.test_case "whitespace" `Quick test_parse_whitespace;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "benchmark roundtrips" `Quick test_roundtrip_benchmarks;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ roundtrip_prop; fuzz_prop; fuzz_mutation_prop ] );
+    ]

@@ -1,0 +1,310 @@
+(* Tests for the raster substrate: image storage, PPM round-trips, drawing
+   primitives, and the pixel-level behavior of the six edit actions. *)
+
+module Image = Imageeye_raster.Image
+module Ppm = Imageeye_raster.Ppm
+module Bmp = Imageeye_raster.Bmp
+module Draw = Imageeye_raster.Draw
+module Ops = Imageeye_raster.Ops
+module Bbox = Imageeye_geometry.Bbox
+
+let b = Test_support.box
+
+let color_testable =
+  Alcotest.testable
+    (fun fmt (c : Image.color) -> Format.fprintf fmt "(%d,%d,%d)" c.r c.g c.b)
+    ( = )
+
+let test_create_get_set () =
+  let img = Image.create ~width:10 ~height:5 Image.white in
+  Alcotest.(check int) "width" 10 (Image.width img);
+  Alcotest.(check int) "height" 5 (Image.height img);
+  Alcotest.check color_testable "initial" Image.white (Image.get img ~x:9 ~y:4);
+  Image.set img ~x:3 ~y:2 (Image.rgb 10 20 30);
+  Alcotest.check color_testable "after set" (Image.rgb 10 20 30) (Image.get img ~x:3 ~y:2)
+
+let test_create_invalid () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Image.create ~width:0 ~height:5 Image.white);
+       false
+     with Invalid_argument _ -> true)
+
+let test_rgb_clamps () =
+  let c = Image.rgb (-5) 300 128 in
+  Alcotest.(check int) "r clamped" 0 c.Image.r;
+  Alcotest.(check int) "g clamped" 255 c.Image.g;
+  Alcotest.(check int) "b kept" 128 c.Image.b
+
+let test_out_of_bounds () =
+  let img = Image.create ~width:4 ~height:4 Image.black in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Image.get img ~x:4 ~y:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_copy_independent () =
+  let img = Image.create ~width:3 ~height:3 Image.black in
+  let copy = Image.copy img in
+  Image.set img ~x:0 ~y:0 Image.white;
+  Alcotest.check color_testable "copy unchanged" Image.black (Image.get copy ~x:0 ~y:0)
+
+let test_sub_blit () =
+  let img = Image.create ~width:10 ~height:10 Image.black in
+  Image.set img ~x:5 ~y:5 Image.white;
+  let sub = Image.sub img (b 4 4 4 4) in
+  Alcotest.(check int) "sub width" 4 (Image.width sub);
+  Alcotest.check color_testable "sub pixel" Image.white (Image.get sub ~x:1 ~y:1);
+  let dst = Image.create ~width:10 ~height:10 Image.black in
+  Image.blit ~src:sub ~dst ~x:0 ~y:0;
+  Alcotest.check color_testable "blitted" Image.white (Image.get dst ~x:1 ~y:1);
+  (* blit clips at the edges without raising *)
+  Image.blit ~src:sub ~dst ~x:8 ~y:8
+
+let test_equal () =
+  let a = Image.create ~width:3 ~height:3 Image.black in
+  let c = Image.copy a in
+  Alcotest.(check bool) "equal" true (Image.equal a c);
+  Image.set c ~x:1 ~y:1 Image.white;
+  Alcotest.(check bool) "not equal" false (Image.equal a c)
+
+let test_ppm_roundtrip () =
+  let img = Image.create ~width:7 ~height:5 (Image.rgb 12 34 56) in
+  Image.set img ~x:6 ~y:4 (Image.rgb 200 100 50);
+  let s = Ppm.to_string img in
+  let back = Ppm.of_string s in
+  Alcotest.(check bool) "roundtrip" true (Image.equal img back)
+
+let test_ppm_file_roundtrip () =
+  let img = Image.create ~width:4 ~height:4 (Image.rgb 1 2 3) in
+  let path = Filename.temp_file "imageeye" ".ppm" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Ppm.write img path;
+      Alcotest.(check bool) "file roundtrip" true (Image.equal img (Ppm.read path)))
+
+let test_ppm_rejects_garbage () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Ppm.of_string "P5\n1 1\n255\nX");
+       false
+     with Failure _ -> true)
+
+let test_ppm_comments () =
+  let img = Ppm.of_string "P6\n# a comment\n1 1\n255\n\000\000\000" in
+  Alcotest.(check int) "width" 1 (Image.width img)
+
+(* ---------- Bmp ---------- *)
+
+let test_bmp_roundtrip () =
+  let img = Image.create ~width:5 ~height:3 (Image.rgb 10 20 30) in
+  Image.set img ~x:0 ~y:0 (Image.rgb 255 0 0);
+  Image.set img ~x:4 ~y:2 (Image.rgb 0 255 0);
+  let back = Bmp.of_string (Bmp.to_string img) in
+  Alcotest.(check bool) "roundtrip" true (Image.equal img back)
+
+let test_bmp_row_padding () =
+  (* widths whose 3-byte rows need padding to a 4-byte boundary *)
+  List.iter
+    (fun w ->
+      let img = Image.create ~width:w ~height:2 (Image.rgb 1 2 3) in
+      Image.set img ~x:(w - 1) ~y:1 Image.white;
+      Alcotest.(check bool)
+        (Printf.sprintf "width %d" w)
+        true
+        (Image.equal img (Bmp.of_string (Bmp.to_string img))))
+    [ 1; 2; 3; 4; 5; 6; 7 ]
+
+let test_bmp_file_roundtrip () =
+  let img = Image.create ~width:6 ~height:4 (Image.rgb 9 8 7) in
+  let path = Filename.temp_file "imageeye" ".bmp" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Bmp.write img path;
+      Alcotest.(check bool) "file roundtrip" true (Image.equal img (Bmp.read path)))
+
+let test_bmp_rejects_garbage () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "raises" true
+        (try
+           ignore (Bmp.of_string s);
+           false
+         with Failure _ -> true))
+    [ ""; "BM"; String.make 60 'x' ]
+
+(* ---------- Draw ---------- *)
+
+let test_fill_rect () =
+  let img = Image.create ~width:10 ~height:10 Image.black in
+  Draw.fill_rect img (b 2 2 3 3) Image.white;
+  Alcotest.check color_testable "inside" Image.white (Image.get img ~x:3 ~y:3);
+  Alcotest.check color_testable "outside" Image.black (Image.get img ~x:6 ~y:6)
+
+let test_fill_rect_clips () =
+  let img = Image.create ~width:5 ~height:5 Image.black in
+  (* partially off-canvas must not raise *)
+  Draw.fill_rect img (Bbox.make ~left:3 ~right:10 ~top:3 ~bottom:10) Image.white;
+  Alcotest.check color_testable "clipped fill" Image.white (Image.get img ~x:4 ~y:4)
+
+let test_outline_rect () =
+  let img = Image.create ~width:10 ~height:10 Image.black in
+  Draw.outline_rect img (b 1 1 5 5) Image.white;
+  Alcotest.check color_testable "corner" Image.white (Image.get img ~x:1 ~y:1);
+  Alcotest.check color_testable "interior untouched" Image.black (Image.get img ~x:3 ~y:3)
+
+let test_fill_disc () =
+  let img = Image.create ~width:20 ~height:20 Image.black in
+  Draw.fill_disc img ~cx:10 ~cy:10 ~radius:4 Image.white;
+  Alcotest.check color_testable "center" Image.white (Image.get img ~x:10 ~y:10);
+  Alcotest.check color_testable "corner outside disc" Image.black (Image.get img ~x:0 ~y:0)
+
+let test_text_renders () =
+  let img = Image.create ~width:60 ~height:10 Image.black in
+  Draw.text img ~x:0 ~y:0 Image.white "ABC";
+  (* some pixels must have been set *)
+  let lit = Image.fold img ~init:0 ~f:(fun acc c -> if c = Image.white then acc + 1 else acc) in
+  Alcotest.(check bool) "glyphs lit pixels" true (lit > 10);
+  let w, h = Draw.text_extent "ABC" in
+  Alcotest.(check int) "extent width" ((3 * Draw.glyph_width) - 1) w;
+  Alcotest.(check int) "extent height" Draw.glyph_height h;
+  Alcotest.(check (pair int int)) "empty extent" (0, 0) (Draw.text_extent "")
+
+(* ---------- Ops (the six actions) ---------- *)
+
+(* A high-contrast image: white background with a black checkerboard region,
+   so blur/sharpen effects are measurable. *)
+let checkerboard () =
+  let img = Image.create ~width:40 ~height:40 Image.white in
+  for y = 10 to 29 do
+    for x = 10 to 29 do
+      if (x + y) mod 2 = 0 then Image.set img ~x ~y Image.black
+    done
+  done;
+  img
+
+let region = b 10 10 20 20
+
+let variance img box =
+  let mean = Image.mean_brightness img box in
+  let sum = ref 0.0 and count = ref 0 in
+  for y = box.Bbox.top to box.Bbox.bottom do
+    for x = box.Bbox.left to box.Bbox.right do
+      let c = Image.get img ~x ~y in
+      let v = float_of_int (c.Image.r + c.g + c.b) /. 3.0 in
+      sum := !sum +. ((v -. mean) ** 2.0);
+      incr count
+    done
+  done;
+  !sum /. float_of_int !count
+
+let test_blur_smooths () =
+  let img = checkerboard () in
+  let before = variance img region in
+  Ops.blur img region;
+  let after = variance img region in
+  Alcotest.(check bool) "variance drops" true (after < before /. 2.0)
+
+let test_blur_leaves_outside () =
+  let img = checkerboard () in
+  Ops.blur img region;
+  Alcotest.check color_testable "outside untouched" Image.white (Image.get img ~x:0 ~y:0)
+
+let test_blackout () =
+  let img = checkerboard () in
+  Ops.blackout img region;
+  Alcotest.check color_testable "inside black" Image.black (Image.get img ~x:15 ~y:15);
+  Alcotest.check color_testable "outside white" Image.white (Image.get img ~x:35 ~y:35)
+
+let test_sharpen_increases_contrast () =
+  (* Sharpen a soft gradient: local contrast (variance) should not drop. *)
+  let img = Image.create ~width:40 ~height:40 Image.white in
+  for y = 0 to 39 do
+    for x = 0 to 39 do
+      let v = 100 + (x * 3) in
+      Image.set img ~x ~y (Image.rgb v v v)
+    done
+  done;
+  let before = variance img region in
+  Ops.sharpen img region;
+  let after = variance img region in
+  Alcotest.(check bool) "contrast grows" true (after >= before)
+
+let test_brighten () =
+  let img = Image.create ~width:20 ~height:20 (Image.rgb 100 100 100) in
+  let box = b 5 5 10 10 in
+  Ops.brighten img box;
+  Alcotest.(check bool) "brighter inside" true (Image.mean_brightness img box > 120.0);
+  Alcotest.check color_testable "outside" (Image.rgb 100 100 100) (Image.get img ~x:0 ~y:0)
+
+let test_recolor () =
+  let img = Image.create ~width:20 ~height:20 (Image.rgb 200 200 200) in
+  let box = b 0 0 20 20 in
+  Ops.recolor img box;
+  let c = Image.get img ~x:10 ~y:10 in
+  Alcotest.(check bool) "red dominant" true (c.Image.r > c.Image.g && c.Image.r > c.Image.b)
+
+let test_crop () =
+  let img = Image.create ~width:30 ~height:30 Image.white in
+  Image.set img ~x:12 ~y:12 Image.black;
+  let cropped = Ops.crop img (b 10 10 10 10) in
+  Alcotest.(check int) "width" 10 (Image.width cropped);
+  Alcotest.check color_testable "content preserved" Image.black (Image.get cropped ~x:2 ~y:2)
+
+let test_crop_union () =
+  let img = Image.create ~width:50 ~height:50 Image.white in
+  let cropped = Ops.crop_union img [ b 5 5 5 5; b 30 30 10 10 ] in
+  Alcotest.(check int) "hull width" 35 (Image.width cropped);
+  let noop = Ops.crop_union img [] in
+  Alcotest.(check bool) "no boxes -> copy" true (Image.equal noop img)
+
+let () =
+  Alcotest.run "raster"
+    [
+      ( "image",
+        [
+          Alcotest.test_case "create get set" `Quick test_create_get_set;
+          Alcotest.test_case "create invalid" `Quick test_create_invalid;
+          Alcotest.test_case "rgb clamps" `Quick test_rgb_clamps;
+          Alcotest.test_case "out of bounds" `Quick test_out_of_bounds;
+          Alcotest.test_case "copy independent" `Quick test_copy_independent;
+          Alcotest.test_case "sub and blit" `Quick test_sub_blit;
+          Alcotest.test_case "equal" `Quick test_equal;
+        ] );
+      ( "ppm",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_ppm_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_ppm_file_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_ppm_rejects_garbage;
+          Alcotest.test_case "handles comments" `Quick test_ppm_comments;
+        ] );
+      ( "bmp",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_bmp_roundtrip;
+          Alcotest.test_case "row padding" `Quick test_bmp_row_padding;
+          Alcotest.test_case "file roundtrip" `Quick test_bmp_file_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_bmp_rejects_garbage;
+        ] );
+      ( "draw",
+        [
+          Alcotest.test_case "fill rect" `Quick test_fill_rect;
+          Alcotest.test_case "fill rect clips" `Quick test_fill_rect_clips;
+          Alcotest.test_case "outline rect" `Quick test_outline_rect;
+          Alcotest.test_case "fill disc" `Quick test_fill_disc;
+          Alcotest.test_case "text" `Quick test_text_renders;
+        ] );
+      ( "ops",
+        [
+          Alcotest.test_case "blur smooths" `Quick test_blur_smooths;
+          Alcotest.test_case "blur stays in region" `Quick test_blur_leaves_outside;
+          Alcotest.test_case "blackout" `Quick test_blackout;
+          Alcotest.test_case "sharpen contrast" `Quick test_sharpen_increases_contrast;
+          Alcotest.test_case "brighten" `Quick test_brighten;
+          Alcotest.test_case "recolor" `Quick test_recolor;
+          Alcotest.test_case "crop" `Quick test_crop;
+          Alcotest.test_case "crop union" `Quick test_crop_union;
+        ] );
+    ]

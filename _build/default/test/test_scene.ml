@@ -1,0 +1,328 @@
+(* Tests for the synthetic scene generators and renderer: Table 1 statistics,
+   the structural invariants each domain's tasks rely on, determinism, and
+   the renderer's coverage of bounding boxes. *)
+
+module Scene = Imageeye_scene.Scene
+module Render = Imageeye_scene.Render
+module Dataset = Imageeye_scene.Dataset
+module Wedding_gen = Imageeye_scene.Wedding_gen
+module Receipts_gen = Imageeye_scene.Receipts_gen
+module Objects_gen = Imageeye_scene.Objects_gen
+module Image = Imageeye_raster.Image
+module Bbox = Imageeye_geometry.Bbox
+module Pred = Imageeye_core.Pred
+
+let test_scene_validation () =
+  Alcotest.(check bool) "oversized box rejected" true
+    (try
+       ignore
+         (Scene.make ~image_id:0 ~width:10 ~height:10
+            [ { Scene.kind = Scene.Thing_item "cat"; bbox = Test_support.box 5 5 10 10 } ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_scene_accessors () =
+  let s =
+    Scene.make ~image_id:3 ~width:100 ~height:100
+      [
+        { Scene.kind = Scene.Thing_item "cat"; bbox = Test_support.box 0 0 10 10 };
+        {
+          Scene.kind =
+            Scene.Face_item
+              { Scene.face_id = 1; smiling = true; eyes_open = true; mouth_open = false; age_low = 20; age_high = 25 };
+          bbox = Test_support.box 20 0 10 10;
+        };
+        { Scene.kind = Scene.Text_item "hi"; bbox = Test_support.box 40 0 10 7 };
+      ]
+  in
+  Alcotest.(check int) "count" 3 (Scene.item_count s);
+  Alcotest.(check int) "faces" 1 (List.length (Scene.faces s));
+  Alcotest.(check int) "texts" 1 (List.length (Scene.texts s));
+  Alcotest.(check int) "things" 1 (List.length (Scene.things s))
+
+(* ---------- determinism ---------- *)
+
+let test_generators_deterministic () =
+  List.iter
+    (fun domain ->
+      let a = Dataset.generate ~n_images:10 ~seed:7 domain in
+      let b = Dataset.generate ~n_images:10 ~seed:7 domain in
+      Alcotest.(check bool)
+        (Dataset.domain_name domain ^ " deterministic")
+        true (a.scenes = b.scenes);
+      let c = Dataset.generate ~n_images:10 ~seed:8 domain in
+      Alcotest.(check bool)
+        (Dataset.domain_name domain ^ " seed-sensitive")
+        true (a.scenes <> c.scenes))
+    Dataset.all_domains
+
+let test_default_image_counts () =
+  Alcotest.(check int) "wedding" 121 (Dataset.default_image_count Dataset.Wedding);
+  Alcotest.(check int) "receipts" 38 (Dataset.default_image_count Dataset.Receipts);
+  Alcotest.(check int) "objects" 608 (Dataset.default_image_count Dataset.Objects)
+
+(* ---------- Table 1 statistics ---------- *)
+
+let test_average_density () =
+  let wedding = Dataset.generate ~n_images:60 ~seed:5 Dataset.Wedding in
+  let receipts = Dataset.generate ~n_images:20 ~seed:5 Dataset.Receipts in
+  let objects = Dataset.generate ~n_images:200 ~seed:5 Dataset.Objects in
+  let w = Dataset.average_object_count wedding in
+  let r = Dataset.average_object_count receipts in
+  let o = Dataset.average_object_count objects in
+  Alcotest.(check bool) (Printf.sprintf "wedding ~10 (got %.1f)" w) true (w > 7.0 && w < 13.0);
+  Alcotest.(check bool) (Printf.sprintf "receipts ~59 (got %.1f)" r) true (r > 50.0 && r < 68.0);
+  Alcotest.(check bool) (Printf.sprintf "objects ~3 (got %.1f)" o) true (o > 2.0 && o < 4.5)
+
+(* ---------- Wedding invariants ---------- *)
+
+let wedding_scenes = lazy (Wedding_gen.generate ~seed:11 ~n_images:60)
+
+let test_wedding_bride_groom_present () =
+  let scenes = Lazy.force wedding_scenes in
+  let has_face id s = List.exists (fun (f, _) -> f.Scene.face_id = id) (Scene.faces s) in
+  let brides = List.length (List.filter (has_face Wedding_gen.bride_id) scenes) in
+  let grooms = List.length (List.filter (has_face Wedding_gen.groom_id) scenes) in
+  Alcotest.(check bool) "bride in most images" true (brides > 30);
+  Alcotest.(check bool) "groom in many images" true (grooms > 20)
+
+let test_wedding_faces_have_bodies () =
+  let scenes = Lazy.force wedding_scenes in
+  List.iter
+    (fun s ->
+      let bodies = List.filter (fun (c, _) -> c = "person") (Scene.things s) in
+      Alcotest.(check int)
+        (Printf.sprintf "image %d: one body per face" s.Scene.image_id)
+        (List.length (Scene.faces s))
+        (List.length bodies);
+      (* each body is strictly below its face *)
+      List.iter
+        (fun (_, fb) ->
+          Alcotest.(check bool) "some body below face" true
+            (List.exists (fun (_, bb) -> Bbox.is_below bb fb) bodies))
+        (Scene.faces s))
+    scenes
+
+let test_wedding_faces_disjoint () =
+  List.iter
+    (fun s ->
+      let boxes = List.map snd (Scene.faces s) in
+      List.iteri
+        (fun i a ->
+          List.iteri
+            (fun j b ->
+              if i < j then
+                Alcotest.(check bool) "faces disjoint" false (Bbox.overlaps a b))
+            boxes)
+        boxes)
+    (Lazy.force wedding_scenes)
+
+let test_wedding_children_exist () =
+  let scenes = Lazy.force wedding_scenes in
+  let children =
+    List.concat_map Scene.faces scenes
+    |> List.filter (fun (f, _) -> f.Scene.age_high < 18)
+  in
+  Alcotest.(check bool) "some under-18 guests" true (List.length children > 5)
+
+(* ---------- Receipts invariants ---------- *)
+
+let receipt_scenes = lazy (Receipts_gen.generate ~seed:13 ~n_images:12)
+
+let test_receipts_summary_words_unique () =
+  List.iter
+    (fun s ->
+      let words = List.map fst (Scene.texts s) in
+      List.iter
+        (fun w ->
+          Alcotest.(check int)
+            (Printf.sprintf "image %d has exactly one %S" s.Scene.image_id w)
+            1
+            (List.length (List.filter (( = ) w) words)))
+        [ "total"; "subtotal"; "tax" ])
+    (Lazy.force receipt_scenes)
+
+let test_receipts_price_phone_formats () =
+  List.iter
+    (fun s ->
+      let texts = List.map fst (Scene.texts s) in
+      let prices = List.filter Pred.is_price_string texts in
+      let phones = List.filter Pred.is_phone_string texts in
+      Alcotest.(check bool) "many prices" true (List.length prices >= 20);
+      Alcotest.(check int) "one phone" 1 (List.length phones))
+    (Lazy.force receipt_scenes)
+
+(* The property task 28 depends on: the first text right of each summary
+   label is that row's own price. *)
+let test_receipts_summary_price_adjacency () =
+  List.iter
+    (fun s ->
+      let texts = Scene.texts s in
+      List.iter
+        (fun label ->
+          let _, lb = List.find (fun (w, _) -> w = label) texts in
+          let right_of =
+            List.filter (fun (_, b) -> Bbox.is_right_of b lb) texts
+            |> List.sort (fun (_, a) (_, b) -> compare a.Bbox.left b.Bbox.left)
+          in
+          match right_of with
+          | (w, _) :: _ ->
+              Alcotest.(check bool)
+                (Printf.sprintf "first right of %S is a price (got %S)" label w)
+                true (Pred.is_price_string w)
+          | [] -> Alcotest.failf "nothing right of %S" label)
+        [ "total"; "subtotal"; "tax" ])
+    (Lazy.force receipt_scenes)
+
+let test_receipts_texts_in_bounds_disjoint_rows () =
+  List.iter
+    (fun s ->
+      let texts = Scene.texts s in
+      Alcotest.(check bool) "enough words" true (List.length texts > 40);
+      List.iter
+        (fun (_, b) ->
+          Alcotest.(check bool) "in bounds" true (b.Bbox.right < 320 && b.Bbox.bottom < 700))
+        texts)
+    (Lazy.force receipt_scenes)
+
+(* ---------- Objects invariants ---------- *)
+
+let objects_scenes = lazy (Objects_gen.generate ~seed:17 ~n_images:300)
+
+let test_objects_templates_all_appear () =
+  let scenes = Lazy.force objects_scenes in
+  let count p = List.length (List.filter p scenes) in
+  let has_class c s = List.exists (fun (cls, _) -> cls = c) (Scene.things s) in
+  Alcotest.(check bool) "cats scenes" true (count (has_class "cat") > 30);
+  Alcotest.(check bool) "car scenes" true (count (has_class "car") > 30);
+  Alcotest.(check bool) "bicycle scenes" true (count (has_class "bicycle") > 30);
+  Alcotest.(check bool) "guitar scenes" true (count (has_class "guitar") > 30)
+
+let test_objects_riders_structure () =
+  let scenes = Lazy.force objects_scenes in
+  (* Some bicycles are ridden (face above), some are not — both classes must
+     exist or tasks 39/40/44/47/48 degenerate. *)
+  let bike_scenes = List.filter (fun s -> List.exists (fun (c, _) -> c = "bicycle") (Scene.things s)) scenes in
+  let ridden, parked =
+    List.partition
+      (fun s ->
+        let _, bb = List.find (fun (c, _) -> c = "bicycle") (Scene.things s) in
+        List.exists (fun (_, fb) -> Bbox.is_above fb bb) (Scene.faces s))
+      bike_scenes
+  in
+  Alcotest.(check bool) "some ridden" true (List.length ridden > 10);
+  Alcotest.(check bool) "some parked" true (List.length parked > 10)
+
+let test_objects_license_plates_inside_cars () =
+  let scenes = Lazy.force objects_scenes in
+  List.iter
+    (fun s ->
+      match List.find_opt (fun (c, _) -> c = "car") (Scene.things s) with
+      | None -> ()
+      | Some (_, car) ->
+          Alcotest.(check bool) "car has inner text" true
+            (List.exists
+               (fun (_, tb) -> Bbox.strictly_contains ~outer:car ~inner:tb)
+               (Scene.texts s)))
+    scenes
+
+let test_objects_plate_319_appears () =
+  let scenes = Lazy.force objects_scenes in
+  Alcotest.(check bool) "319 exists somewhere" true
+    (List.exists (fun s -> List.exists (fun (w, _) -> w = "319") (Scene.texts s)) scenes)
+
+let test_objects_cat_rows_exist () =
+  let scenes = Lazy.force objects_scenes in
+  let row_scene s =
+    let cats = List.filter (fun (c, _) -> c = "cat") (Scene.things s) in
+    List.length cats >= 3
+    && List.exists
+         (fun (_, b) ->
+           List.exists (fun (_, l) -> Bbox.is_left_of l b) cats
+           && List.exists (fun (_, r) -> Bbox.is_right_of r b) cats)
+         cats
+  in
+  Alcotest.(check bool) "3-cat rows exist (task 50)" true (List.exists row_scene scenes);
+  let column_scene s =
+    let cats = List.filter (fun (c, _) -> c = "cat") (Scene.things s) in
+    List.length cats >= 2
+    && List.exists (fun (_, b) -> List.exists (fun (_, o) -> Bbox.is_below o b) cats) cats
+  in
+  Alcotest.(check bool) "stacked cats exist (task 49)" true (List.exists column_scene scenes)
+
+(* ---------- Render ---------- *)
+
+let test_render_sizes () =
+  List.iter
+    (fun domain ->
+      let ds = Dataset.generate ~n_images:2 ~seed:3 domain in
+      List.iter
+        (fun s ->
+          let img = Render.scene s in
+          Alcotest.(check int) "width" s.Scene.width (Image.width img);
+          Alcotest.(check int) "height" s.Scene.height (Image.height img))
+        ds.scenes)
+    Dataset.all_domains
+
+let test_render_marks_boxes () =
+  (* Every object's bounding box must contain non-background pixels so the
+     edit actions visibly change something. *)
+  let ds = Dataset.generate ~n_images:5 ~seed:3 Dataset.Objects in
+  List.iter
+    (fun s ->
+      let img = Render.scene s in
+      List.iter
+        (fun (it : Scene.item) ->
+          let bg = Render.background in
+          let any_fg = ref false in
+          for y = it.bbox.Bbox.top to it.bbox.Bbox.bottom do
+            for x = it.bbox.Bbox.left to it.bbox.Bbox.right do
+              if Image.get img ~x ~y <> bg then any_fg := true
+            done
+          done;
+          Alcotest.(check bool) "object visible" true !any_fg)
+        s.Scene.items)
+    ds.scenes
+
+let () =
+  Alcotest.run "scene"
+    [
+      ( "scene",
+        [
+          Alcotest.test_case "validation" `Quick test_scene_validation;
+          Alcotest.test_case "accessors" `Quick test_scene_accessors;
+        ] );
+      ( "datasets",
+        [
+          Alcotest.test_case "determinism" `Quick test_generators_deterministic;
+          Alcotest.test_case "default counts" `Quick test_default_image_counts;
+          Alcotest.test_case "table 1 densities" `Quick test_average_density;
+        ] );
+      ( "wedding",
+        [
+          Alcotest.test_case "bride and groom presence" `Quick test_wedding_bride_groom_present;
+          Alcotest.test_case "faces have bodies" `Quick test_wedding_faces_have_bodies;
+          Alcotest.test_case "faces disjoint" `Quick test_wedding_faces_disjoint;
+          Alcotest.test_case "children exist" `Quick test_wedding_children_exist;
+        ] );
+      ( "receipts",
+        [
+          Alcotest.test_case "summary words unique" `Quick test_receipts_summary_words_unique;
+          Alcotest.test_case "price and phone formats" `Quick test_receipts_price_phone_formats;
+          Alcotest.test_case "summary price adjacency" `Quick test_receipts_summary_price_adjacency;
+          Alcotest.test_case "bounds and volume" `Quick test_receipts_texts_in_bounds_disjoint_rows;
+        ] );
+      ( "objects",
+        [
+          Alcotest.test_case "all templates appear" `Quick test_objects_templates_all_appear;
+          Alcotest.test_case "riders structure" `Quick test_objects_riders_structure;
+          Alcotest.test_case "plates inside cars" `Quick test_objects_license_plates_inside_cars;
+          Alcotest.test_case "plate 319 appears" `Quick test_objects_plate_319_appears;
+          Alcotest.test_case "cat rows and columns" `Quick test_objects_cat_rows_exist;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "sizes" `Quick test_render_sizes;
+          Alcotest.test_case "objects visible" `Quick test_render_marks_boxes;
+        ] );
+    ]
