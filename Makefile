@@ -1,0 +1,27 @@
+# Tier-1 gate: everything a change must pass before it lands.
+#   make check   build + full test suite + a fast end-to-end benchmark smoke
+
+JOBS ?= 2
+
+.PHONY: all build test smoke check clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Three benchmark tasks (one per domain) through the real CLI sweep, on a
+# small dataset and a Domain pool — exercises synthesis, the interaction
+# loop, and the parallel runner end to end in a few seconds.
+smoke: build
+	./_build/default/bin/imageeye.exe sweep --tasks 1,17,30 --images 8 \
+	  --timeout 30 --jobs $(JOBS)
+
+check: build test smoke
+	@echo "check OK"
+
+clean:
+	dune clean

@@ -9,7 +9,11 @@
      IMAGEEYE_SEED=<int>        dataset seed (default 42)
      IMAGEEYE_TIMEOUT=<sec>     per-round synthesis timeout (default 120)
      IMAGEEYE_EUS_TIMEOUT=<sec> EUSolver per-round timeout (default 30)
-     IMAGEEYE_ABL_TIMEOUT=<sec> ablation per-round timeout (default 10) *)
+     IMAGEEYE_ABL_TIMEOUT=<sec> ablation per-round timeout (default 10)
+     IMAGEEYE_JOBS=<n>          Domain-pool size for task sweeps (default 1;
+                                per-task log lines may interleave, and a
+                                binding wall-clock timeout can cut
+                                differently under core contention) *)
 
 module Lang = Imageeye_core.Lang
 module Synthesizer = Imageeye_core.Synthesizer
@@ -23,6 +27,8 @@ module Accuracy = Imageeye_interact.Accuracy
 module Noise = Imageeye_vision.Noise
 module Stats = Imageeye_util.Stats
 module Tablefmt = Imageeye_util.Tablefmt
+module Clock = Imageeye_util.Clock
+module Runner = Imageeye_tasks.Runner
 
 let env_int name default =
   match Sys.getenv_opt name with Some v -> int_of_string v | None -> default
@@ -32,6 +38,7 @@ let env_float name default =
 
 let quick = Sys.getenv_opt "IMAGEEYE_QUICK" = Some "1"
 let seed = env_int "IMAGEEYE_SEED" 42
+let jobs = env_int "IMAGEEYE_JOBS" 1
 let timeout = env_float "IMAGEEYE_TIMEOUT" (if quick then 20.0 else 120.0)
 let eus_timeout = env_float "IMAGEEYE_EUS_TIMEOUT" (if quick then 10.0 else 30.0)
 let abl_timeout = env_float "IMAGEEYE_ABL_TIMEOUT" (if quick then 5.0 else 10.0)
@@ -60,6 +67,11 @@ let universe_for domain =
       let u = Imageeye_vision.Batch.universe_of_scenes (dataset_for domain).scenes in
       Hashtbl.add universes domain u;
       u
+
+(* Datasets and batch universes are lazily built and cached in structures
+   that are not domain-safe; force them all before fanning out. *)
+let prefetch () =
+  if jobs > 1 then List.iter (fun d -> ignore (universe_for d)) Dataset.all_domains
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
 
@@ -101,10 +113,11 @@ let table1 () =
 (* ------------------------------------------------------------------ *)
 
 let run_sessions ?(config = { Synthesizer.default_config with timeout_s = timeout }) () =
-  List.map
+  prefetch ();
+  Runner.map ~jobs
     (fun task ->
       let dataset = dataset_for task.Task.domain in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Clock.counter () in
       let r =
         Session.run ~config ~batch_universe:(universe_for task.Task.domain) ~dataset task
       in
@@ -112,12 +125,60 @@ let run_sessions ?(config = { Synthesizer.default_config with timeout_s = timeou
         (Dataset.domain_name task.Task.domain)
         (Task.size task)
         (if r.Session.solved then "solved " else "FAILED ")
-        r.Session.examples_used r.Session.last_round_time
-        (Unix.gettimeofday () -. t0);
+        r.Session.examples_used r.Session.last_round_time (Clock.elapsed_s t0);
       r)
     Benchmarks.all
 
 let imageeye_results = lazy (run_sessions ())
+
+(* Per-pass prune attribution: sum [stats.prune_counts] over every
+   synthesis round of every session. *)
+let prune_attribution results =
+  let acc = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (rd : Session.round) ->
+          match rd.synth_stats with
+          | None -> ()
+          | Some s ->
+              List.iter
+                (fun (label, n) ->
+                  let cell =
+                    match Hashtbl.find_opt acc label with
+                    | Some cell -> cell
+                    | None ->
+                        let cell = ref 0 in
+                        Hashtbl.add acc label cell;
+                        cell
+                  in
+                  cell := !cell + n)
+                s.Synthesizer.prune_counts)
+        r.Session.rounds)
+    results;
+  Hashtbl.fold (fun label cell rows -> (label, !cell) :: rows) acc []
+  |> List.sort compare
+
+let prune_table results =
+  match prune_attribution results with
+  | [] -> ()
+  | counts ->
+      let total = List.fold_left (fun a (_, n) -> a + n) 0 counts in
+      say "";
+      say "prune attribution (per-pass counters; the partial-eval row counts";
+      say "candidates decided directly from their folded constant, not rejections):";
+      say "%s"
+        (Tablefmt.render
+           ~header:[ "pass"; "pruned"; "share (%)" ]
+           ~rows:
+             (List.map
+                (fun (label, n) ->
+                  [
+                    label;
+                    string_of_int n;
+                    Tablefmt.fmt_float (100.0 *. float_of_int n /. float_of_int (max 1 total));
+                  ])
+                counts))
 
 let table2 () =
   heading "Table 2: summary of results for ImageEye";
@@ -161,7 +222,8 @@ let table2 () =
           | Some Session.Rounds_exhausted -> "needed more than the round limit"
           | Some Session.No_useful_image -> "no useful demonstration image"
           | None -> "?"))
-    results
+    results;
+  prune_table results
 
 (* ------------------------------------------------------------------ *)
 (* Figure 15: ImageEye vs EUSolver by task difficulty                  *)
@@ -173,11 +235,12 @@ let bucket_label (lo, hi) = if lo = hi then string_of_int lo else Printf.sprintf
 
 let fig15 () =
   heading "Figure 15: ImageEye vs EUSolver (tasks solved per AST-size bucket)";
+  prefetch ();
   let eus_results =
-    List.map
+    Runner.map ~jobs
       (fun task ->
         let dataset = dataset_for task.Task.domain in
-        let t0 = Unix.gettimeofday () in
+        let t0 = Clock.counter () in
         let r =
           Session.run_with
             ~engine:(Session.eusolver_engine ~timeout_s:eus_timeout)
@@ -186,8 +249,7 @@ let fig15 () =
         say "  eusolver task %2d (size %2d): %s rounds=%d wall=%.1fs" task.Task.id
           (Task.size task)
           (if r.Session.solved then "solved " else "FAILED ")
-          r.Session.examples_used
-          (Unix.gettimeofday () -. t0);
+          r.Session.examples_used (Clock.elapsed_s t0);
         r)
       Benchmarks.all
   in
@@ -230,6 +292,8 @@ let fig16 () =
       (fun (name, tweak) ->
         say "  running ablation: %s (timeout %.0fs)" name abl_timeout;
         let results = run_sessions ~config:(tweak base) () in
+        say "  ablation %s:" name;
+        prune_table results;
         let solved_times =
           List.filter_map
             (fun r ->
@@ -341,15 +405,14 @@ let stress () =
     List.map
       (fun domain ->
         let dataset = dataset_for domain in
+        let batch = universe_for domain in
         let tasks =
           Imageeye_tasks.Random_tasks.generate ~seed:(seed + 17) ~count:per_domain ~dataset
         in
         let results =
-          List.map
+          Runner.map ~jobs
             (fun task ->
-              let r =
-                Session.run ~config ~batch_universe:(universe_for domain) ~dataset task
-              in
+              let r = Session.run ~config ~batch_universe:batch ~dataset task in
               say "  random task %d (%s, size %d): %s rounds=%d" task.Task.id
                 (Dataset.domain_name domain) (Task.size task)
                 (if r.Session.solved then "solved" else "FAILED")

@@ -8,6 +8,7 @@
      tasks      list the 50 benchmark tasks
      show       print one benchmark task and its ground-truth program
      learn      run the demonstration loop for a benchmark task
+     sweep      run the demonstration loop over many tasks, optionally in parallel
      apply      apply a DSL program file to a dataset directory
      accuracy   measure a task's RQ5 accuracy under the imperfect detector
      report     learn a task and write an HTML before/after gallery
@@ -164,6 +165,101 @@ let learn_cmd =
     (Cmd.info "learn"
        ~doc:"Run the demonstration loop for a benchmark task and print the learned program.")
     Term.(const learn $ task_id_arg $ images $ seed_arg $ timeout $ save)
+
+(* ---------- sweep ---------- *)
+
+let sweep task_ids images seed timeout jobs =
+  let tasks =
+    match task_ids with
+    | [] -> Benchmarks.all
+    | ids ->
+        List.map
+          (fun id ->
+            match Benchmarks.by_id id with
+            | t -> t
+            | exception Not_found ->
+                failwith (Printf.sprintf "no benchmark task %d (ids run 1-%d)" id Benchmarks.count))
+          ids
+  in
+  let domains = List.sort_uniq compare (List.map (fun t -> t.Task.domain) tasks) in
+  (* Build every dataset and batch universe up front: the per-task jobs
+     must not race on shared caches once the pool fans out. *)
+  let prepared =
+    List.map
+      (fun domain ->
+        let n = Option.value images ~default:(Dataset.default_image_count domain) in
+        let dataset = Dataset.generate ~n_images:n ~seed domain in
+        let universe = Batch.universe_of_scenes dataset.scenes in
+        (domain, (dataset, universe)))
+      domains
+  in
+  let config = { Synthesizer.default_config with timeout_s = timeout } in
+  let started = Imageeye_util.Clock.counter () in
+  let results =
+    Imageeye_tasks.Runner.run_tasks ~jobs
+      (fun t ->
+        let dataset, universe = List.assoc t.Task.domain prepared in
+        Session.run ~config ~batch_universe:universe ~dataset t)
+      tasks
+  in
+  let wall = Imageeye_util.Clock.elapsed_s started in
+  List.iter
+    (fun (t, r) ->
+      Printf.printf "%2d  %-8s size %2d  %s  rounds=%d last=%.2fs  %s\n" t.Task.id
+        (Dataset.domain_name t.Task.domain) (Task.size t)
+        (if r.Session.solved then "solved" else "FAILED")
+        r.Session.examples_used r.Session.last_round_time
+        (match r.Session.program with
+        | Some p -> Lang.program_to_string p
+        | None -> "-"))
+    results;
+  let solved = List.filter (fun (_, r) -> r.Session.solved) results in
+  let prune = Hashtbl.create 8 in
+  List.iter
+    (fun (_, r) ->
+      List.iter
+        (fun (rd : Session.round) ->
+          Option.iter
+            (fun (s : Synthesizer.stats) ->
+              List.iter
+                (fun (label, n) ->
+                  Hashtbl.replace prune label
+                    (n + Option.value (Hashtbl.find_opt prune label) ~default:0))
+                s.Synthesizer.prune_counts)
+            rd.synth_stats)
+        r.Session.rounds)
+    results;
+  Printf.printf "solved %d/%d task(s) in %.1fs wall (jobs=%d)\n" (List.length solved)
+    (List.length results) wall jobs;
+  let labels =
+    List.sort compare (Hashtbl.fold (fun label n acc -> (label, n) :: acc) prune [])
+  in
+  if labels <> [] then (
+    Printf.printf "prune attribution:\n";
+    List.iter (fun (label, n) -> Printf.printf "  %-28s %d\n" label n) labels);
+  if solved = [] then exit 1
+
+let sweep_cmd =
+  let task_ids =
+    Arg.(value & opt (list int) [] & info [ "tasks" ] ~docv:"ID,ID,..."
+           ~doc:"Benchmark task ids to run (default: all 50).")
+  in
+  let images =
+    Arg.(value & opt (some int) None & info [ "n"; "images" ] ~docv:"N"
+           ~doc:"Dataset size per domain (default: the paper's).")
+  in
+  let timeout =
+    Arg.(value & opt float 120.0 & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Per-round synthesis timeout.")
+  in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Domains to run tasks on in parallel (1 = sequential; size to the              available cores).")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Run the demonstration loop over many benchmark tasks and summarize, optionally              on a parallel Domain pool.")
+    Term.(const sweep $ task_ids $ images $ seed_arg $ timeout $ jobs)
 
 (* ---------- apply ---------- *)
 
@@ -397,5 +493,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; objects_cmd; synthesize_cmd; explain_cmd; tasks_cmd; show_cmd;
-            learn_cmd; apply_cmd; accuracy_cmd; report_cmd; parse_cmd;
+            learn_cmd; sweep_cmd; apply_cmd; accuracy_cmd; report_cmd; parse_cmd;
           ]))

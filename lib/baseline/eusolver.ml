@@ -45,7 +45,7 @@ let synthesize_extractor ?(config = default_config) u target =
   let vocab = Vocab.of_universe ~age_thresholds:config.age_thresholds u in
   let preds = Vocab.predicates vocab in
   let funcs = Vocab.functions vocab in
-  let start = Unix.gettimeofday () in
+  let start = Imageeye_util.Clock.counter () in
   let enumerated = ref 0 in
   let seen = ValueTbl.create 4096 in
   (* bank.(s) holds one representative term per distinct value of size s. *)
@@ -55,11 +55,11 @@ let synthesize_extractor ?(config = default_config) u target =
     {
       terms_enumerated = !enumerated;
       distinct_values = ValueTbl.length seen;
-      elapsed_s = Unix.gettimeofday () -. start;
+      elapsed_s = Imageeye_util.Clock.elapsed_s start;
     }
   in
   let check_time () =
-    if Unix.gettimeofday () -. start > config.timeout_s then raise Timed_out
+    if Imageeye_util.Clock.elapsed_s start > config.timeout_s then raise Timed_out
   in
   let offer size extractor value =
     incr enumerated;

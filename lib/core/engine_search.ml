@@ -1,0 +1,328 @@
+module Simage = Imageeye_symbolic.Simage
+module Universe = Imageeye_symbolic.Universe
+module Events = Imageeye_engine.Events
+module Scheduler = Imageeye_engine.Scheduler
+
+type config = {
+  goal_inference : bool;
+  partial_eval : bool;
+  equiv_reduction : bool;
+  timeout_s : float;
+  max_expansions : int;
+  max_size : int;
+  max_operands : int;
+  age_thresholds : int list;
+}
+
+let default_config =
+  {
+    goal_inference = true;
+    partial_eval = true;
+    equiv_reduction = true;
+    timeout_s = 120.0;
+    max_expansions = 2_000_000;
+    max_size = 24;
+    max_operands = 3;
+    age_thresholds = [ 18 ];
+  }
+
+type stats = {
+  popped : int;
+  enqueued : int;
+  pruned_infeasible : int;
+  pruned_reducible : int;
+  elapsed_s : float;
+  prune_counts : (string * int) list;
+}
+
+let stats_pruned_total st = st.pruned_infeasible + st.pruned_reducible
+
+let empty_stats =
+  {
+    popped = 0;
+    enqueued = 0;
+    pruned_infeasible = 0;
+    pruned_reducible = 0;
+    elapsed_s = 0.0;
+    prune_counts = [];
+  }
+
+let merge_counts a b =
+  let tbl = Hashtbl.create 8 in
+  let add (name, n) =
+    Hashtbl.replace tbl name
+      (n + Option.value (Hashtbl.find_opt tbl name) ~default:0)
+  in
+  List.iter add a;
+  List.iter add b;
+  Hashtbl.fold (fun name n acc -> (name, n) :: acc) tbl []
+  |> List.sort (fun (x, _) (y, _) -> String.compare x y)
+
+let add_stats a b =
+  {
+    popped = a.popped + b.popped;
+    enqueued = a.enqueued + b.enqueued;
+    pruned_infeasible = a.pruned_infeasible + b.pruned_infeasible;
+    pruned_reducible = a.pruned_reducible + b.pruned_reducible;
+    elapsed_s = a.elapsed_s +. b.elapsed_s;
+    prune_counts = merge_counts a.prune_counts b.prune_counts;
+  }
+
+(* Precomputed facts about the vocabulary over one input image: predicate
+   extensions, and the largest possible output of each Find/Filter
+   instantiation (independent of the nested extractor).  These refine goal
+   inference: a Find(□, p, f) whose possible outputs cannot cover the
+   hole's parent under-approximation is infeasible no matter how the hole
+   is filled. *)
+type vocab_facts = {
+  extension : Pred.t -> Simage.t;
+  find_insts : (Pred.t * Func.t * Simage.t) list;
+  filter_insts : (Pred.t * Simage.t) list;
+}
+
+let compute_facts ?(dedup = true) u vocab =
+  let ext_tbl = Hashtbl.create 64 in
+  let extension p =
+    match Hashtbl.find_opt ext_tbl p with
+    | Some v -> v
+    | None ->
+        let v = Simage.filter (fun e -> Pred.entails e p) (Simage.full u) in
+        Hashtbl.add ext_tbl p v;
+        v
+  in
+  let n = Universe.size u in
+  let full = Simage.full u in
+  (* Semantic signature of a Find parameterization: the per-object value of
+     f_phi.  Two (p, f) pairs with equal signatures yield equal Find results
+     for every nested extractor, so only one representative is kept; a pair
+     whose signature is everywhere None always produces the empty image and
+     is dropped outright (a smaller always-empty program, Complement(All),
+     is enumerated first).  Both cuts are observational-equivalence
+     reductions, so they are disabled with the rest of Section 5.5. *)
+  let seen_sigs = Hashtbl.create 64 in
+  let find_insts =
+    List.concat_map
+      (fun p ->
+        List.filter_map
+          (fun f ->
+            let signature = Array.init n (Eval.find_first u f p) in
+            let empty = Array.for_all (( = ) None) signature in
+            if dedup then
+              if empty || Hashtbl.mem seen_sigs signature then None
+              else begin
+                Hashtbl.add seen_sigs signature ();
+                Some (p, f, Eval.find_from u full p f)
+              end
+            else Some (p, f, Eval.find_from u full p f))
+          (Vocab.functions vocab))
+      (Vocab.predicates vocab)
+  in
+  let seen_filter_sigs = Hashtbl.create 64 in
+  let filter_insts =
+    List.filter_map
+      (fun p ->
+        let signature =
+          Array.init n (fun o ->
+              List.filter
+                (fun inner -> Pred.entails (Universe.entity u inner) p)
+                (Array.to_list (Universe.contents u o)))
+        in
+        let empty = Array.for_all (( = ) []) signature in
+        if dedup then
+          if empty || Hashtbl.mem seen_filter_sigs signature then None
+          else begin
+            Hashtbl.add seen_filter_sigs signature ();
+            Some (p, Eval.filter_from u full p)
+          end
+        else Some (p, Eval.filter_from u full p))
+      (Vocab.predicates vocab)
+  in
+  { extension; find_insts; filter_insts }
+
+(* All single-step instantiations of a hole whose goal is [goal]
+   (the Expand rule of Fig. 11).  The pipeline's instantiation-time hooks
+   filter parameterizations that cannot satisfy the hole's goal. *)
+let instantiations u vocab facts config (ctx : Prune.context) passes goal =
+  let child op =
+    Partial.hole (if ctx.Prune.goal_checks then Goal.infer u op goal else Goal.trivial u)
+  in
+  let mk node = { Partial.goal; node } in
+  let preds = Vocab.predicates vocab in
+  let feasible reach =
+    List.for_all (fun (p : Prune.pass) -> p.Prune.feasible ctx ~goal ~reach) passes
+  in
+  let leaves = mk Partial.All :: List.map (fun p -> mk (Partial.Is p)) preds in
+  let complement = [ mk (Partial.Complement (child Goal.For_complement)) ] in
+  let holes_for op k = List.init k (fun _ -> child op) in
+  let rec arities k acc = if k < 2 then acc else arities (k - 1) (k :: acc) in
+  let ks = arities config.max_operands [] in
+  let unions = List.map (fun k -> mk (Partial.Union (holes_for Goal.For_union k))) ks in
+  let intersects =
+    List.map (fun k -> mk (Partial.Intersect (holes_for Goal.For_intersect k))) ks
+  in
+  let finds =
+    List.filter_map
+      (fun (p, f, reach) ->
+        if feasible reach then Some (mk (Partial.Find (child Goal.For_find, p, f)))
+        else None)
+      facts.find_insts
+  in
+  let filters =
+    List.filter_map
+      (fun (p, reach) ->
+        if feasible reach then Some (mk (Partial.Filter (child Goal.For_filter, p)))
+        else None)
+      facts.filter_insts
+  in
+  leaves @ complement @ unions @ intersects @ finds @ filters
+
+(* Replace the leftmost hole of [p] with each instantiation whose size
+   increment is [delta]; None when [p] is complete. *)
+let min_delta = 0
+
+let max_delta = 4 (* largest instantiation is Find with a parameterized predicate *)
+
+let expand u vocab facts config ctx passes ~delta p =
+  let rec go (p : Partial.t) =
+    match p.node with
+    | Partial.Hole ->
+        Some
+          (List.filter
+             (fun inst -> Partial.size inst - 1 = delta)
+             (instantiations u vocab facts config ctx passes p.goal))
+    | Partial.All | Partial.Is _ -> None
+    | Partial.Complement q ->
+        Option.map (List.map (fun q' -> { p with node = Partial.Complement q' })) (go q)
+    | Partial.Union qs ->
+        Option.map (List.map (fun qs' -> { p with node = Partial.Union qs' })) (go_list qs)
+    | Partial.Intersect qs ->
+        Option.map
+          (List.map (fun qs' -> { p with node = Partial.Intersect qs' }))
+          (go_list qs)
+    | Partial.Find (q, pr, f) ->
+        Option.map (List.map (fun q' -> { p with node = Partial.Find (q', pr, f) })) (go q)
+    | Partial.Filter (q, pr) ->
+        Option.map (List.map (fun q' -> { p with node = Partial.Filter (q', pr) })) (go q)
+  and go_list = function
+    | [] -> None
+    | q :: rest -> (
+        match go q with
+        | Some qs' -> Some (List.map (fun q' -> q' :: rest) qs')
+        | None -> Option.map (List.map (fun rest' -> q :: rest')) (go_list rest))
+  in
+  go p
+
+let const_solved_label = Prune.partial_eval.Prune.name ^ "(const-solved)"
+
+let stats_of_events ev =
+  {
+    popped = Events.popped ev;
+    enqueued = Events.enqueued ev;
+    pruned_infeasible = Events.pruned ev Prune.goal_inference.Prune.name;
+    pruned_reducible =
+      Events.pruned ev Prune.equiv_rewrite.Prune.name
+      + Events.pruned ev Prune.equiv_dedup.Prune.name;
+    elapsed_s = Events.elapsed_s ev;
+    prune_counts = Events.counts ev;
+  }
+
+let search ~config ~limit ?sink u i_out =
+  let vocab = Vocab.of_universe ~age_thresholds:config.age_thresholds u in
+  let passes =
+    Prune.pipeline
+      {
+        Prune.goal_inference = config.goal_inference;
+        partial_eval = config.partial_eval;
+        equiv_reduction = config.equiv_reduction;
+      }
+  in
+  (* The Find/Filter signature dedup evaluates parameterizations on the
+     input image, so it belongs to the partial-evaluation-powered part of
+     equivalence reduction and is disabled with either ablation. *)
+  let facts =
+    compute_facts ~dedup:(config.equiv_reduction && config.partial_eval) u vocab
+  in
+  let ctx =
+    {
+      Prune.u;
+      eval_is = facts.extension;
+      goal_checks = Prune.wants_goal_checks passes;
+      collapse = Prune.wants_collapse passes;
+    }
+  in
+  let checks = List.map (fun (p : Prune.pass) -> (p, p.Prune.fresh ())) passes in
+  let ev = Events.create ?sink () in
+  let solutions = ref [] in
+  let exception Done in
+  (* Process one freshly generated candidate: run the pruning pipeline,
+     recognize complete solutions on the spot (partial evaluation has
+     already computed every complete candidate's value, so deferring the
+     check to a later pop would only re-evaluate it), or enqueue it. *)
+  let consider ~push p' =
+    if Partial.size p' <= config.max_size then begin
+      let form =
+        Peval.run ~eval_is:ctx.Prune.eval_is ~check_goals:ctx.Prune.goal_checks
+          ~collapse:ctx.Prune.collapse u p'
+      in
+      let extractor = Partial.to_extractor p' in
+      let complete = extractor <> None in
+      let cand = { Prune.partial = p'; form } in
+      let rec gate = function
+        | [] -> None
+        | ((pass : Prune.pass), check) :: rest ->
+            if complete && not pass.Prune.on_complete then gate rest
+            else (
+              match check ctx cand with
+              | Prune.Reject -> Some pass.Prune.name
+              | Prune.Admit -> gate rest)
+      in
+      match gate checks with
+      | Some pass_name -> Events.record ev (Events.Pruned pass_name)
+      | None -> (
+          match extractor with
+          | Some e ->
+              (* A complete candidate is either an answer or dead. *)
+              let value =
+                match form with
+                | Some (Peval.Form.Const v) ->
+                    Events.record ev (Events.Noted const_solved_label);
+                    v
+                | _ -> Eval.extractor u e
+              in
+              if Simage.equal value i_out then begin
+                Events.record ev Events.Success;
+                solutions := e :: !solutions;
+                if List.length !solutions >= limit then raise Done
+              end
+          | None ->
+              Events.record ev Events.Enqueued;
+              push p')
+    end
+  in
+  let problem =
+    {
+      Scheduler.Tiered.size = Partial.size;
+      depth = Partial.depth;
+      min_delta;
+      max_delta;
+      max_size = config.max_size;
+      expand = (fun p ~delta -> expand u vocab facts config ctx passes ~delta p);
+      consider;
+    }
+  in
+  let stop () : [ `Found_enough | `Timeout | `Exhausted ] option =
+    if Events.elapsed_s ev > config.timeout_s then Some `Timeout
+    else if Events.popped ev >= config.max_expansions then Some `Exhausted
+    else None
+  in
+  let root = Partial.hole (Goal.exact i_out) in
+  let reason =
+    match
+      Scheduler.Tiered.run problem ~stop
+        ~on_pop:(fun _ -> Events.record ev Events.Popped)
+        ~roots:[ root ] ~exhausted:`Exhausted
+    with
+    | r -> r
+    | exception Done -> `Found_enough
+  in
+  (List.rev !solutions, reason, stats_of_events ev)

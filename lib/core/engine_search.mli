@@ -1,0 +1,60 @@
+(** The synthesis search engine: the worklist search of Fig. 9 rebuilt
+    from explicit layers.
+
+    - scheduling: the generic size-then-depth tiered worklist of
+      {!Imageeye_engine.Scheduler};
+    - pruning: the composable pass pipeline of {!Prune}, constructed
+      from the config's ablation flags;
+    - instrumentation: every enqueue/pop/prune/success is recorded by an
+      {!Imageeye_engine.Events} recorder with a monotonic timer, and the
+      legacy {!stats} record is derived from it.
+
+    [Synthesizer] keeps the public entry points as thin wrappers over
+    {!search}; the refactor preserves observable behavior exactly — the
+    sequential engine returns the same extractors and the same
+    popped/enqueued/pruned counts as the original monolithic loop. *)
+
+type config = {
+  goal_inference : bool;  (** Section 5.3 pruning *)
+  partial_eval : bool;  (** collapse complete subtrees before rewriting *)
+  equiv_reduction : bool;  (** Section 5.5 term rewriting *)
+  timeout_s : float;  (** monotonic-clock budget per extractor search *)
+  max_expansions : int;  (** hard cap on worklist pops *)
+  max_size : int;  (** partial programs above this size are not enqueued *)
+  max_operands : int;  (** maximum arity of Union/Intersect *)
+  age_thresholds : int list;  (** constants for BelowAge/AboveAge *)
+}
+
+val default_config : config
+
+type stats = {
+  popped : int;  (** worklist entries dequeued *)
+  enqueued : int;  (** partial programs added to the worklist *)
+  pruned_infeasible : int;  (** rejected by goal-directed partial evaluation (⊥) *)
+  pruned_reducible : int;  (** rejected by equivalence reduction *)
+  elapsed_s : float;
+  prune_counts : (string * int) list;
+      (** per-pass attribution, sorted by pass name: every pruning
+          pass's rejection count, plus informational counters such as
+          ["partial-eval(const-solved)"] (complete candidates decided
+          directly from their folded constant) *)
+}
+
+val stats_pruned_total : stats -> int
+
+val empty_stats : stats
+
+val add_stats : stats -> stats -> stats
+(** Field-wise sum; [prune_counts] are merged by label. *)
+
+val search :
+  config:config ->
+  limit:int ->
+  ?sink:(Imageeye_engine.Events.event -> unit) ->
+  Imageeye_symbolic.Universe.t ->
+  Imageeye_symbolic.Simage.t ->
+  Lang.extractor list * [ `Found_enough | `Timeout | `Exhausted ] * stats
+(** Core worklist search.  Collects up to [limit] distinct complete
+    solutions, in size-then-depth order — the search simply continues
+    past the first success, which is what powers program disambiguation
+    and active learning.  [sink] observes the raw event stream. *)

@@ -1,9 +1,10 @@
 module Simage = Imageeye_symbolic.Simage
 module Universe = Imageeye_symbolic.Universe
 
-let nodes_evaluated = ref 0
+(* Atomic so Domain-parallel searches don't lose ticks. *)
+let nodes_evaluated = Atomic.make 0
 
-let count_nodes_evaluated () = !nodes_evaluated
+let count_nodes_evaluated () = Atomic.get nodes_evaluated
 
 let find_first u f phi o =
   let candidates = Func.apply u f o in
@@ -36,7 +37,7 @@ let filter_from u sources phi =
     sources (Simage.empty u)
 
 let rec extractor u e =
-  incr nodes_evaluated;
+  Atomic.incr nodes_evaluated;
   match e with
   | Lang.All -> Simage.full u
   | Lang.Is phi -> Simage.filter (fun ent -> Pred.entails ent phi) (Simage.full u)

@@ -1,0 +1,104 @@
+module Simage = Imageeye_symbolic.Simage
+
+type context = {
+  u : Imageeye_symbolic.Universe.t;
+  eval_is : Pred.t -> Simage.t;
+  goal_checks : bool;
+  collapse : bool;
+}
+
+type candidate = { partial : Partial.t; form : Peval.Form.t option }
+
+type verdict = Admit | Reject
+
+type check = context -> candidate -> verdict
+
+type id = Goal_inference | Partial_eval | Equiv_rewrite | Equiv_dedup
+
+type pass = {
+  id : id;
+  name : string;
+  on_complete : bool;
+  feasible : context -> goal:Goal.t -> reach:Simage.t -> bool;
+  fresh : unit -> check;
+}
+
+let always_feasible _ctx ~goal:_ ~reach:_ = true
+
+let goal_inference =
+  {
+    id = Goal_inference;
+    name = "goal-inference";
+    on_complete = true;
+    feasible = (fun _ctx ~goal ~reach -> Simage.subset goal.Goal.under reach);
+    fresh =
+      (fun () _ctx cand ->
+        match cand.form with None -> Reject | Some _ -> Admit);
+  }
+
+let partial_eval =
+  {
+    id = Partial_eval;
+    name = "partial-eval";
+    on_complete = true;
+    feasible = always_feasible;
+    fresh = (fun () _ctx _cand -> Admit);
+  }
+
+let equiv_rewrite =
+  {
+    id = Equiv_rewrite;
+    name = "equiv-rewrite";
+    on_complete = false;
+    feasible = always_feasible;
+    fresh =
+      (fun () _ctx cand ->
+        match cand.form with
+        | Some form when Rewrite.reducible form -> Reject
+        | Some _ | None -> Admit);
+  }
+
+module FormTbl = Hashtbl.Make (struct
+  type t = Peval.Form.t
+
+  let equal = Peval.Form.equal
+  let hash = Peval.Form.hash
+end)
+
+let equiv_dedup =
+  {
+    id = Equiv_dedup;
+    name = "equiv-dedup";
+    on_complete = false;
+    feasible = always_feasible;
+    fresh =
+      (fun () ->
+        let seen = FormTbl.create 4096 in
+        fun _ctx cand ->
+          match cand.form with
+          | None -> Admit
+          | Some form ->
+              if FormTbl.mem seen form then Reject
+              else begin
+                FormTbl.add seen form ();
+                Admit
+              end);
+  }
+
+type spec = {
+  goal_inference : bool;
+  partial_eval : bool;
+  equiv_reduction : bool;
+}
+
+let pipeline spec =
+  List.concat
+    [
+      (if spec.goal_inference then [ goal_inference ] else []);
+      (if spec.partial_eval then [ partial_eval ] else []);
+      (if spec.equiv_reduction then [ equiv_rewrite ] else []);
+      (if spec.equiv_reduction && spec.partial_eval then [ equiv_dedup ] else []);
+    ]
+
+let wants_goal_checks passes = List.exists (fun p -> p.id = Goal_inference) passes
+let wants_collapse passes = List.exists (fun p -> p.id = Partial_eval) passes

@@ -1,9 +1,10 @@
 module Simage = Imageeye_symbolic.Simage
 open Peval.Form
 
-let checks = ref 0
+(* Atomic so Domain-parallel searches don't lose ticks. *)
+let checks = Atomic.make 0
 
-let count_checks () = !checks
+let count_checks () = Atomic.get checks
 
 let rec has_hole = function
   | Hole -> true
@@ -102,5 +103,5 @@ let rec reducible_rec t =
   | Union ts | Intersect ts -> List.exists reducible_rec ts
 
 let reducible t =
-  incr checks;
+  Atomic.incr checks;
   reducible_rec t

@@ -1,8 +1,10 @@
-module Simage = Imageeye_symbolic.Simage
-module Universe = Imageeye_symbolic.Universe
-module Pqueue = Imageeye_util.Pqueue
+(* Thin wrappers over the layered search engine (Engine_search): the
+   public entry points, the per-action decomposition of Fig. 8, and the
+   optional Domain-parallel batch mode for multi-action specs. *)
 
-type config = {
+module Domainpool = Imageeye_util.Domainpool
+
+type config = Engine_search.config = {
   goal_inference : bool;
   partial_eval : bool;
   equiv_reduction : bool;
@@ -13,292 +15,23 @@ type config = {
   age_thresholds : int list;
 }
 
-let default_config =
-  {
-    goal_inference = true;
-    partial_eval = true;
-    equiv_reduction = true;
-    timeout_s = 120.0;
-    max_expansions = 2_000_000;
-    max_size = 24;
-    max_operands = 3;
-    age_thresholds = [ 18 ];
-  }
+let default_config = Engine_search.default_config
 
-type stats = {
+type stats = Engine_search.stats = {
   popped : int;
   enqueued : int;
   pruned_infeasible : int;
   pruned_reducible : int;
   elapsed_s : float;
+  prune_counts : (string * int) list;
 }
+
+let empty_stats = Engine_search.empty_stats
+let add_stats = Engine_search.add_stats
 
 type 'a outcome = Success of 'a * stats | Timeout of stats | Exhausted of stats
 
-(* Precomputed facts about the vocabulary over one input image: predicate
-   extensions, and the largest possible output of each Find/Filter
-   instantiation (independent of the nested extractor).  These refine goal
-   inference: a Find(□, p, f) whose possible outputs cannot cover the
-   hole's parent under-approximation is infeasible no matter how the hole
-   is filled. *)
-type vocab_facts = {
-  extension : Pred.t -> Simage.t;
-  find_insts : (Pred.t * Func.t * Simage.t) list;
-      (** usable Find parameterizations with their largest possible
-          output; see {!compute_facts} *)
-  filter_insts : (Pred.t * Simage.t) list;
-}
-
-let compute_facts ?(dedup = true) u vocab =
-  let ext_tbl = Hashtbl.create 64 in
-  let extension p =
-    match Hashtbl.find_opt ext_tbl p with
-    | Some v -> v
-    | None ->
-        let v = Simage.filter (fun e -> Pred.entails e p) (Simage.full u) in
-        Hashtbl.add ext_tbl p v;
-        v
-  in
-  let n = Universe.size u in
-  let full = Simage.full u in
-  (* Semantic signature of a Find parameterization: the per-object value of
-     f_phi.  Two (p, f) pairs with equal signatures yield equal Find results
-     for every nested extractor, so only one representative is kept; a pair
-     whose signature is everywhere None always produces the empty image and
-     is dropped outright (a smaller always-empty program, Complement(All),
-     is enumerated first).  Both cuts are observational-equivalence
-     reductions, so they are disabled with the rest of Section 5.5. *)
-  let seen_sigs = Hashtbl.create 64 in
-  let find_insts =
-    List.concat_map
-      (fun p ->
-        List.filter_map
-          (fun f ->
-            let signature = Array.init n (Eval.find_first u f p) in
-            let empty = Array.for_all (( = ) None) signature in
-            if dedup then
-              if empty || Hashtbl.mem seen_sigs signature then None
-              else begin
-                Hashtbl.add seen_sigs signature ();
-                Some (p, f, Eval.find_from u full p f)
-              end
-            else Some (p, f, Eval.find_from u full p f))
-          (Vocab.functions vocab))
-      (Vocab.predicates vocab)
-  in
-  let seen_filter_sigs = Hashtbl.create 64 in
-  let filter_insts =
-    List.filter_map
-      (fun p ->
-        let signature =
-          Array.init n (fun o ->
-              List.filter
-                (fun inner -> Pred.entails (Universe.entity u inner) p)
-                (Array.to_list (Universe.contents u o)))
-        in
-        let empty = Array.for_all (( = ) []) signature in
-        if dedup then
-          if empty || Hashtbl.mem seen_filter_sigs signature then None
-          else begin
-            Hashtbl.add seen_filter_sigs signature ();
-            Some (p, Eval.filter_from u full p)
-          end
-        else Some (p, Eval.filter_from u full p))
-      (Vocab.predicates vocab)
-  in
-  { extension; find_insts; filter_insts }
-
-(* All single-step instantiations of a hole whose goal is [goal]
-   (the Expand rule of Fig. 11). *)
-let instantiations u vocab facts config goal =
-  let child op = Partial.hole (if config.goal_inference then Goal.infer u op goal else Goal.trivial u) in
-  let mk node = { Partial.goal; node } in
-  let preds = Vocab.predicates vocab in
-  (* With goal inference on, an instantiation whose largest possible output
-     cannot cover the goal's under-approximation is dead on arrival. *)
-  let feasible reach =
-    (not config.goal_inference) || Simage.subset goal.Goal.under reach
-  in
-  let leaves = mk Partial.All :: List.map (fun p -> mk (Partial.Is p)) preds in
-  let complement = [ mk (Partial.Complement (child Goal.For_complement)) ] in
-  let holes_for op k = List.init k (fun _ -> child op) in
-  let rec arities k acc = if k < 2 then acc else arities (k - 1) (k :: acc) in
-  let ks = arities config.max_operands [] in
-  let unions = List.map (fun k -> mk (Partial.Union (holes_for Goal.For_union k))) ks in
-  let intersects =
-    List.map (fun k -> mk (Partial.Intersect (holes_for Goal.For_intersect k))) ks
-  in
-  let finds =
-    List.filter_map
-      (fun (p, f, reach) ->
-        if feasible reach then Some (mk (Partial.Find (child Goal.For_find, p, f)))
-        else None)
-      facts.find_insts
-  in
-  let filters =
-    List.filter_map
-      (fun (p, reach) ->
-        if feasible reach then Some (mk (Partial.Filter (child Goal.For_filter, p)))
-        else None)
-      facts.filter_insts
-  in
-  leaves @ complement @ unions @ intersects @ finds @ filters
-
-(* Replace the leftmost hole of [p] with each instantiation whose size
-   increment is [delta]; None when [p] is complete.
-
-   Expansion is tiered by size increment so the search can stay lazy: a
-   popped program enqueues one cursor per tier, and a tier's candidates are
-   only built (and partial-evaluated) when the worklist frontier reaches
-   their size.  This changes nothing about which programs are explored in
-   which order — it only avoids paying for candidates beyond the frontier
-   when the search stops early. *)
-let min_delta = 0
-
-let max_delta = 4 (* largest instantiation is Find with a parameterized predicate *)
-
-let expand u vocab facts config ~delta p =
-  let rec go (p : Partial.t) =
-    match p.node with
-    | Partial.Hole ->
-        Some
-          (List.filter
-             (fun inst -> Partial.size inst - 1 = delta)
-             (instantiations u vocab facts config p.goal))
-    | Partial.All | Partial.Is _ -> None
-    | Partial.Complement q ->
-        Option.map (List.map (fun q' -> { p with node = Partial.Complement q' })) (go q)
-    | Partial.Union qs ->
-        Option.map (List.map (fun qs' -> { p with node = Partial.Union qs' })) (go_list qs)
-    | Partial.Intersect qs ->
-        Option.map
-          (List.map (fun qs' -> { p with node = Partial.Intersect qs' }))
-          (go_list qs)
-    | Partial.Find (q, pr, f) ->
-        Option.map (List.map (fun q' -> { p with node = Partial.Find (q', pr, f) })) (go q)
-    | Partial.Filter (q, pr) ->
-        Option.map (List.map (fun q' -> { p with node = Partial.Filter (q', pr) })) (go q)
-  and go_list = function
-    | [] -> None
-    | q :: rest -> (
-        match go q with
-        | Some qs' -> Some (List.map (fun q' -> q' :: rest) qs')
-        | None -> Option.map (List.map (fun rest' -> q :: rest')) (go_list rest))
-  in
-  go p
-
-module FormTbl = Hashtbl.Make (struct
-  type t = Peval.Form.t
-
-  let equal = Peval.Form.equal
-  let hash = Peval.Form.hash
-end)
-
-(* Core worklist search (Fig. 9).  Collects up to [limit] distinct complete
-   solutions — the search simply continues past the first success, which is
-   what powers program disambiguation and active learning. *)
-let search ~config ~limit u i_out =
-  let vocab = Vocab.of_universe ~age_thresholds:config.age_thresholds u in
-  (* The Find/Filter signature dedup evaluates parameterizations on the
-     input image, so it belongs to the partial-evaluation-powered part of
-     equivalence reduction and is disabled with either ablation. *)
-  let facts =
-    compute_facts ~dedup:(config.equiv_reduction && config.partial_eval) u vocab
-  in
-  let start = Unix.gettimeofday () in
-  let popped = ref 0
-  and enqueued = ref 0
-  and pruned_infeasible = ref 0
-  and pruned_reducible = ref 0 in
-  let stats () =
-    {
-      popped = !popped;
-      enqueued = !enqueued;
-      pruned_infeasible = !pruned_infeasible;
-      pruned_reducible = !pruned_reducible;
-      elapsed_s = Unix.gettimeofday () -. start;
-    }
-  in
-  let prio p = (Partial.size p, Partial.depth p) in
-  let root = Partial.hole (Goal.exact i_out) in
-  let queue =
-    ref (Pqueue.push (Pqueue.empty ~compare:Stdlib.compare) (prio root) (`Program root))
-  in
-  let timed_out () = Unix.gettimeofday () -. start > config.timeout_s in
-  (* Observational-equivalence classes of partial programs (Section 5.5):
-     two partial programs with the same partially evaluated form have
-     identical hole goals and identical completions' behavior, so only the
-     first (smallest, by the worklist order) representative is kept. *)
-  let seen_forms = FormTbl.create 4096 in
-  let solutions = ref [] in
-  let exception Done in
-  (* Process one freshly generated candidate: prune it, recognize complete
-     solutions on the spot (partial evaluation has already computed every
-     complete candidate's value, so deferring the check to a later pop
-     would only re-evaluate it), or enqueue it. *)
-  let consider p' =
-    if Partial.size p' <= config.max_size then begin
-      let form =
-        Peval.run ~eval_is:facts.extension ~check_goals:config.goal_inference
-          ~collapse:config.partial_eval u p'
-      in
-      match form with
-      | None -> incr pruned_infeasible
-      | Some form -> (
-          match Partial.to_extractor p' with
-          | Some e ->
-              let value =
-                match form with
-                | Peval.Form.Const v -> v
-                | _ -> Eval.extractor u e
-              in
-              (* A complete candidate is either an answer or dead. *)
-              if Simage.equal value i_out then begin
-                solutions := e :: !solutions;
-                if List.length !solutions >= limit then raise Done
-              end
-          | None ->
-              if config.equiv_reduction && Rewrite.reducible form then
-                incr pruned_reducible
-              else if config.equiv_reduction && config.partial_eval then begin
-                if FormTbl.mem seen_forms form then incr pruned_reducible
-                else begin
-                  FormTbl.add seen_forms form ();
-                  incr enqueued;
-                  queue := Pqueue.push !queue (prio p') (`Program p')
-                end
-              end
-              else begin
-                incr enqueued;
-                queue := Pqueue.push !queue (prio p') (`Program p')
-              end)
-    end
-  in
-  let rec loop () =
-    if timed_out () then `Timeout
-    else if !popped >= config.max_expansions then `Exhausted
-    else
-      match Pqueue.pop !queue with
-      | None -> `Exhausted
-      | Some (_prio, `Tier (p, delta), rest) -> (
-          queue := rest;
-          match expand u vocab facts config ~delta p with
-          | None -> loop ()
-          | Some candidates ->
-              List.iter consider candidates;
-              loop ())
-      | Some (_prio, `Program p, rest) ->
-          queue := rest;
-          incr popped;
-          let size = Partial.size p and depth = Partial.depth p in
-          for delta = min_delta to max_delta do
-            if size + delta <= config.max_size then
-              queue := Pqueue.push !queue (size + delta, depth + 1) (`Tier (p, delta))
-          done;
-          loop ()
-  in
-  let reason = match loop () with r -> r | exception Done -> `Found_enough in
-  (List.rev !solutions, reason, stats ())
+let search = Engine_search.search
 
 let synthesize_extractor ?(config = default_config) u i_out =
   match search ~config ~limit:1 u i_out with
@@ -314,29 +47,40 @@ let synthesize_extractors ?(config = default_config) ~count u i_out =
   let solutions, _, st = search ~config ~limit:(max 1 count) u i_out in
   (solutions, st)
 
-let add_stats a b =
-  {
-    popped = a.popped + b.popped;
-    enqueued = a.enqueued + b.enqueued;
-    pruned_infeasible = a.pruned_infeasible + b.pruned_infeasible;
-    pruned_reducible = a.pruned_reducible + b.pruned_reducible;
-    elapsed_s = a.elapsed_s +. b.elapsed_s;
-  }
+(* Top-level Synthesize (Fig. 8): one extractor per demonstrated action.
 
-let empty_stats =
-  { popped = 0; enqueued = 0; pruned_infeasible = 0; pruned_reducible = 0; elapsed_s = 0.0 }
-
-(* Top-level Synthesize (Fig. 8): one extractor per demonstrated action. *)
-let synthesize ?(config = default_config) (spec : Edit.Spec.t) =
+   The per-action searches are independent, so with a Domain pool they
+   run in parallel; results are folded in action order, which makes the
+   outcome (program and summed stats) identical to sequential mode.  The
+   sequential path keeps the original lazy behavior: actions after the
+   first failure are never searched. *)
+let synthesize ?(config = default_config) ?pool (spec : Edit.Spec.t) =
   let u = spec.universe in
   let actions = Edit.Spec.demonstrated_actions spec in
-  let rec go acc stats_acc = function
-    | [] -> Success (List.rev acc, stats_acc)
-    | action :: rest -> (
-        let i_out = Edit.Spec.output_for_action spec action in
-        match synthesize_extractor ~config u i_out with
-        | Success (e, st) -> go ((e, action) :: acc) (add_stats stats_acc st) rest
-        | Timeout st -> Timeout (add_stats stats_acc st)
-        | Exhausted st -> Exhausted (add_stats stats_acc st))
+  let solve action =
+    synthesize_extractor ~config u (Edit.Spec.output_for_action spec action)
   in
-  go [] empty_stats actions
+  let fold results =
+    let rec go acc stats_acc = function
+      | [] -> Success (List.rev acc, stats_acc)
+      | (action, outcome) :: rest -> (
+          match outcome with
+          | Success (e, st) -> go ((e, action) :: acc) (add_stats stats_acc st) rest
+          | Timeout st -> Timeout (add_stats stats_acc st)
+          | Exhausted st -> Exhausted (add_stats stats_acc st))
+    in
+    go [] empty_stats results
+  in
+  match pool with
+  | Some pool when Domainpool.size pool > 1 && List.length actions > 1 ->
+      fold (Domainpool.map pool (fun action -> (action, solve action)) actions)
+  | _ ->
+      let rec go acc stats_acc = function
+        | [] -> Success (List.rev acc, stats_acc)
+        | action :: rest -> (
+            match solve action with
+            | Success (e, st) -> go ((e, action) :: acc) (add_stats stats_acc st) rest
+            | Timeout st -> Timeout (add_stats stats_acc st)
+            | Exhausted st -> Exhausted (add_stats stats_acc st))
+      in
+      go [] empty_stats actions

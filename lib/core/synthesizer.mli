@@ -7,16 +7,21 @@
 
     {!synthesize} is the top-level Synthesize procedure of Fig. 8: it
     splits a demonstration specification into one PBE problem per action
-    and learns an extractor for each.
+    and learns an extractor for each — optionally in parallel on a
+    {!Imageeye_util.Domainpool}.
 
-    The three pruning techniques can be disabled independently through
-    {!config}, which is how the Section 7.4 ablation study is expressed. *)
+    These entry points are thin wrappers over the layered engine
+    ({!Engine_search}: generic worklist scheduler, composable pruning
+    pipeline, search-event instrumentation).  The three pruning
+    techniques can be disabled independently through {!config}, which the
+    engine turns into pruning-pipeline construction — that is how the
+    Section 7.4 ablation study is expressed. *)
 
-type config = {
+type config = Engine_search.config = {
   goal_inference : bool;  (** Section 5.3 pruning *)
   partial_eval : bool;  (** collapse complete subtrees before rewriting *)
   equiv_reduction : bool;  (** Section 5.5 term rewriting *)
-  timeout_s : float;  (** wall-clock budget per extractor search *)
+  timeout_s : float;  (** monotonic-clock budget per extractor search *)
   max_expansions : int;  (** hard cap on worklist pops *)
   max_size : int;  (** partial programs above this size are not enqueued *)
   max_operands : int;  (** maximum arity of Union/Intersect (paper uses
@@ -28,13 +33,20 @@ type config = {
 val default_config : config
 (** All pruning on, 120 s timeout, arity 3, age threshold 18. *)
 
-type stats = {
+type stats = Engine_search.stats = {
   popped : int;  (** worklist entries dequeued *)
   enqueued : int;  (** partial programs added to the worklist *)
   pruned_infeasible : int;  (** rejected by partial evaluation (⊥) *)
   pruned_reducible : int;  (** rejected by term rewriting *)
   elapsed_s : float;
+  prune_counts : (string * int) list;
+      (** per-pass prune attribution, sorted by pass name (see
+          {!Engine_search.stats}) *)
 }
+
+val empty_stats : stats
+
+val add_stats : stats -> stats -> stats
 
 type 'a outcome =
   | Success of 'a * stats
@@ -63,8 +75,18 @@ val synthesize_extractors :
     unseen images — the ambiguity that drives active example selection. *)
 
 val synthesize :
-  ?config:config -> Edit.Spec.t -> Lang.program outcome
+  ?config:config ->
+  ?pool:Imageeye_util.Domainpool.t ->
+  Edit.Spec.t ->
+  Lang.program outcome
 (** Top-level synthesis from demonstrations: one extractor per action that
     appears in the spec.  The spec's universe should contain exactly the
     objects of the demonstrated images (build a fresh universe for them).
-    Statistics are summed over the per-action searches. *)
+    Statistics are summed over the per-action searches.
+
+    With [pool] (size >= 2) the per-action searches run on the Domain
+    pool; per-action outcomes are folded in action order, so under a
+    deterministic budget ([max_expansions]) the result (program and
+    stats, except wall-clock) is identical to sequential mode.  A
+    binding [timeout_s] can cut differently when domains contend for
+    cores. *)

@@ -1,0 +1,53 @@
+module Clock = Imageeye_util.Clock
+
+type event =
+  | Enqueued
+  | Popped
+  | Pruned of string
+  | Noted of string
+  | Success
+
+type recorder = {
+  started : Clock.counter;
+  mutable enqueued : int;
+  mutable popped : int;
+  mutable successes : int;
+  labels : (string, int ref) Hashtbl.t;
+  sink : (event -> unit) option;
+}
+
+let create ?sink () =
+  {
+    started = Clock.counter ();
+    enqueued = 0;
+    popped = 0;
+    successes = 0;
+    labels = Hashtbl.create 8;
+    sink;
+  }
+
+let bump r label =
+  match Hashtbl.find_opt r.labels label with
+  | Some c -> incr c
+  | None -> Hashtbl.add r.labels label (ref 1)
+
+let record r ev =
+  (match ev with
+  | Enqueued -> r.enqueued <- r.enqueued + 1
+  | Popped -> r.popped <- r.popped + 1
+  | Success -> r.successes <- r.successes + 1
+  | Pruned label | Noted label -> bump r label);
+  match r.sink with None -> () | Some f -> f ev
+
+let enqueued r = r.enqueued
+let popped r = r.popped
+let successes r = r.successes
+
+let pruned r label =
+  match Hashtbl.find_opt r.labels label with Some c -> !c | None -> 0
+
+let counts r =
+  Hashtbl.fold (fun label c acc -> (label, !c) :: acc) r.labels []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let elapsed_s r = Clock.elapsed_s r.started

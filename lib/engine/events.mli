@@ -1,0 +1,41 @@
+(** Search-event instrumentation.
+
+    The search engine emits one event per meaningful step (enqueue, pop,
+    prune, success); a recorder folds them into per-label counters and a
+    monotonic elapsed time.  The public [Synthesizer.stats] record is
+    {e derived} from a recorder, so richer accounting (per-pass prune
+    attribution, informational notes) can grow without touching the
+    legacy counters.
+
+    Labels are free-form strings; the engine uses one label per pruning
+    pass, which is what gives the Section 7.4 ablations per-pass
+    attribution in the benchmark output. *)
+
+type event =
+  | Enqueued  (** a partial program entered the worklist *)
+  | Popped  (** a partial program left the worklist for expansion *)
+  | Pruned of string  (** rejected by the named pruning pass *)
+  | Noted of string  (** informational per-label tick (not a rejection) *)
+  | Success  (** a complete program matched the specification *)
+
+type recorder
+
+val create : ?sink:(event -> unit) -> unit -> recorder
+(** A fresh recorder whose clock starts now.  [sink], when given, sees
+    every event after it has been counted (for streaming consumers). *)
+
+val record : recorder -> event -> unit
+
+val enqueued : recorder -> int
+val popped : recorder -> int
+val successes : recorder -> int
+
+val pruned : recorder -> string -> int
+(** Count of [Pruned label] events for one label. *)
+
+val counts : recorder -> (string * int) list
+(** All per-label counters ([Pruned] and [Noted] alike), sorted by
+    label. *)
+
+val elapsed_s : recorder -> float
+(** Monotonic seconds since [create]. *)

@@ -1,0 +1,61 @@
+module Pqueue = Imageeye_util.Pqueue
+
+type priority = int * int
+
+type 'a t = { mutable q : (priority, 'a) Pqueue.t; mutable length : int }
+
+let create () = { q = Pqueue.empty ~compare:Stdlib.compare; length = 0 }
+
+let push t prio x =
+  t.q <- Pqueue.push t.q prio x;
+  t.length <- t.length + 1
+
+let pop t =
+  match Pqueue.pop t.q with
+  | None -> None
+  | Some (prio, x, rest) ->
+      t.q <- rest;
+      t.length <- t.length - 1;
+      Some (prio, x)
+
+let length t = t.length
+
+module Tiered = struct
+  type 'a problem = {
+    size : 'a -> int;
+    depth : 'a -> int;
+    min_delta : int;
+    max_delta : int;
+    max_size : int;
+    expand : 'a -> delta:int -> 'a list option;
+    consider : push:('a -> unit) -> 'a -> unit;
+  }
+
+  type 'a entry = Item of 'a | Tier of 'a * int
+
+  let run p ~stop ~on_pop ~roots ~exhausted =
+    let q = create () in
+    let push_item x = push q (p.size x, p.depth x) (Item x) in
+    List.iter push_item roots;
+    let rec loop () =
+      match stop () with
+      | Some r -> r
+      | None -> (
+          match pop q with
+          | None -> exhausted
+          | Some (_, Tier (x, delta)) ->
+              (match p.expand x ~delta with
+              | None -> ()
+              | Some candidates -> List.iter (p.consider ~push:push_item) candidates);
+              loop ()
+          | Some (_, Item x) ->
+              on_pop x;
+              let size = p.size x and depth = p.depth x in
+              for delta = p.min_delta to p.max_delta do
+                if size + delta <= p.max_size then
+                  push q (size + delta, depth + 1) (Tier (x, delta))
+              done;
+              loop ())
+    in
+    loop ()
+end

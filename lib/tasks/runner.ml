@@ -1,0 +1,14 @@
+module Domainpool = Imageeye_util.Domainpool
+
+let default_jobs () =
+  match Sys.getenv_opt "IMAGEEYE_JOBS" with
+  | Some v -> ( match int_of_string_opt v with Some n when n >= 1 -> n | _ -> 1)
+  | None -> 1
+
+let map ?jobs f xs =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  Domainpool.with_pool ~jobs (function
+    | None -> List.map f xs
+    | Some pool -> Domainpool.map pool f xs)
+
+let run_tasks ?jobs f tasks = map ?jobs (fun t -> (t, f t)) tasks

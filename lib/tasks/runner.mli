@@ -1,0 +1,22 @@
+(** Domain-parallel batch runner for benchmark-task sweeps.
+
+    The experiment harness ([bench/main.ml]) and the CLI ([imageeye
+    sweep]) both iterate independent per-task jobs (run a session, time
+    it, collect stats).  This module is the one driver loop they share:
+    an ordered map over a job list, sequential when [jobs <= 1] and
+    running on a fresh {!Imageeye_util.Domainpool} otherwise.
+
+    Results are always in input order and identical to sequential mode
+    (jobs must be independent and must not mutate shared state — force
+    lazy datasets/universes {e before} calling {!map}). *)
+
+val default_jobs : unit -> int
+(** The [IMAGEEYE_JOBS] environment variable, else 1 (sequential). *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] applies [f] to every element, on [jobs] domains
+    when [jobs >= 2].  [jobs] defaults to {!default_jobs}.  Exceptions
+    from [f] propagate (earliest failing element wins). *)
+
+val run_tasks : ?jobs:int -> (Task.t -> 'r) -> Task.t list -> (Task.t * 'r) list
+(** Convenience wrapper pairing each task with its result. *)

@@ -1,0 +1,9 @@
+external now_ns : unit -> int64 = "imageeye_clock_monotonic_ns"
+
+let now () = Int64.to_float (now_ns ()) *. 1e-9
+
+type counter = int64
+
+let counter () = now_ns ()
+
+let elapsed_s c = Int64.to_float (Int64.sub (now_ns ()) c) *. 1e-9

@@ -1,0 +1,21 @@
+(** Monotonic wall-clock time.
+
+    Synthesis budgets ([timeout_s]) and benchmark timings must survive
+    system-time jumps (NTP slews, manual clock changes), which
+    [Unix.gettimeofday] does not.  This module wraps
+    [clock_gettime(CLOCK_MONOTONIC)]: readings are only meaningful as
+    differences, never as absolute dates. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds from an arbitrary fixed origin; never decreases. *)
+
+val now : unit -> float
+(** Seconds from the same origin, as a float. *)
+
+type counter
+(** A captured starting instant. *)
+
+val counter : unit -> counter
+
+val elapsed_s : counter -> float
+(** Seconds elapsed since [counter] was captured; never negative. *)

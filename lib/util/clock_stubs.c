@@ -1,0 +1,15 @@
+/* Monotonic clock for synthesis budgets: immune to system-time jumps,
+   unlike Unix.gettimeofday.  CLOCK_MONOTONIC is POSIX; the OCaml runtime
+   itself requires it on every platform we build on. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value imageeye_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

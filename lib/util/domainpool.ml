@@ -1,0 +1,111 @@
+type t = {
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+  (* Mutated in place after spawning: the worker closures capture [t]
+     itself, so [create] must not build a second record. *)
+  mutable workers : unit Domain.t array;
+}
+
+let worker pool () =
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    let rec next () =
+      match Queue.take_opt pool.queue with
+      | Some job -> Some job
+      | None ->
+          if pool.closed then None
+          else begin
+            Condition.wait pool.nonempty pool.mutex;
+            next ()
+          end
+    in
+    let job = next () in
+    Mutex.unlock pool.mutex;
+    match job with
+    | None -> ()
+    | Some job ->
+        job ();
+        loop ()
+  in
+  loop ()
+
+let create n =
+  if n < 1 then invalid_arg "Domainpool.create: need at least one worker";
+  let pool =
+    {
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      closed = false;
+      workers = [||];
+    }
+  in
+  pool.workers <- Array.init n (fun _ -> Domain.spawn (worker pool));
+  pool
+
+let size pool = Array.length pool.workers
+
+let submit pool job =
+  Mutex.lock pool.mutex;
+  if pool.closed then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Domainpool.submit: pool is shut down"
+  end;
+  Queue.add job pool.queue;
+  Condition.signal pool.nonempty;
+  Mutex.unlock pool.mutex
+
+let map pool f xs =
+  match xs with
+  | [] -> []
+  | xs ->
+      let n = List.length xs in
+      let slots = Array.make n None in
+      let remaining = ref n in
+      let finished = Mutex.create () in
+      let all_done = Condition.create () in
+      List.iteri
+        (fun i x ->
+          submit pool (fun () ->
+              let r =
+                match f x with
+                | y -> Ok y
+                | exception e -> Error (e, Printexc.get_raw_backtrace ())
+              in
+              Mutex.lock finished;
+              slots.(i) <- Some r;
+              decr remaining;
+              if !remaining = 0 then Condition.broadcast all_done;
+              Mutex.unlock finished))
+        xs;
+      Mutex.lock finished;
+      while !remaining > 0 do
+        Condition.wait all_done finished
+      done;
+      Mutex.unlock finished;
+      (* Surface the earliest failure only after the whole batch settled. *)
+      Array.iter
+        (function
+          | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+          | Some (Ok _) | None -> ())
+        slots;
+      Array.to_list
+        (Array.map
+           (function Some (Ok y) -> y | Some (Error _) | None -> assert false)
+           slots)
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let was_closed = pool.closed in
+  pool.closed <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.mutex;
+  if not was_closed then Array.iter Domain.join pool.workers
+
+let with_pool ~jobs f =
+  if jobs <= 1 then f None
+  else
+    let pool = create jobs in
+    Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f (Some pool))

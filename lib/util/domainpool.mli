@@ -1,0 +1,41 @@
+(** A fixed pool of OCaml 5 domains for running independent batch jobs.
+
+    The synthesizer's per-action searches and the benchmark-suite sweeps
+    are embarrassingly parallel: each job reads shared immutable data (a
+    universe, a dataset) and produces an independent result.  This pool
+    runs such jobs on [size] pre-spawned domains with no work stealing —
+    jobs are taken from a single queue in submission order.
+
+    Guarantees of {!map}:
+    - results are returned in submission order, regardless of which
+      domain ran which job or in what order jobs finished;
+    - if any job raises, the exception of the {e earliest-submitted}
+      failing job is re-raised (with its backtrace) after all jobs of the
+      batch have settled, so no domain is left running a stale job.
+
+    Jobs must not themselves call {!map} on the same pool (no nested
+    submission); doing so can deadlock a fully busy pool. *)
+
+type t
+
+val create : int -> t
+(** [create n] spawns [n] worker domains ([n >= 1]; raises
+    [Invalid_argument] otherwise).  Keep [n] at or below
+    [Domain.recommended_domain_count () - 1] — the creating domain also
+    counts. *)
+
+val size : t -> int
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Ordered parallel map, see above.  Safe to call repeatedly; batches
+    are independent. *)
+
+val shutdown : t -> unit
+(** Waits for queued jobs to finish, then joins all workers.  The pool
+    must not be used afterwards.  Idempotent. *)
+
+val with_pool : jobs:int -> (t option -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f (Some pool)] with a fresh pool of
+    [jobs] workers when [jobs >= 2], and [f None] when [jobs <= 1]
+    (sequential mode, no domains spawned).  The pool is shut down when
+    [f] returns or raises. *)

@@ -1,0 +1,137 @@
+(* Equivalence regression for the engine refactor: the public entry
+   points ([Synthesizer.synthesize], now thin wrappers) and the layered
+   engine ([Engine_search] composed by hand) must produce byte-identical
+   programs and search statistics on the full curated benchmark suite,
+   and the Domain-pool batch mode must match sequential mode exactly.
+
+   The budget is deterministic — a large wall-clock timeout and a hard
+   expansion cap — so every run ends in Success or Exhausted, never
+   Timeout, and the counters are reproducible. *)
+
+module Lang = Imageeye_core.Lang
+module Synthesizer = Imageeye_core.Synthesizer
+module Engine_search = Imageeye_core.Engine_search
+module Edit = Imageeye_core.Edit
+module Universe = Imageeye_symbolic.Universe
+module Dataset = Imageeye_scene.Dataset
+module Batch = Imageeye_vision.Batch
+module Task = Imageeye_tasks.Task
+module Benchmarks = Imageeye_tasks.Benchmarks
+module Domainpool = Imageeye_util.Domainpool
+
+let config =
+  {
+    Synthesizer.default_config with
+    timeout_s = 600.0;
+    (* hit only on a pathologically slow machine *)
+    max_expansions = 4_000;
+  }
+
+let dataset_size = function
+  | Dataset.Wedding -> 6
+  | Dataset.Receipts -> 4
+  | Dataset.Objects -> 10
+
+let environments = Hashtbl.create 4
+
+let environment ~n_images domain =
+  match Hashtbl.find_opt environments (domain, n_images) with
+  | Some e -> e
+  | None ->
+      let dataset = Dataset.generate ~n_images ~seed:42 domain in
+      let u = Batch.universe_of_scenes dataset.scenes in
+      let e = (dataset, u) in
+      Hashtbl.add environments (domain, n_images) e;
+      e
+
+let edit_on_image u edit img =
+  let ids = Universe.objects_of_image u img in
+  Edit.of_list
+    (List.filter (fun (id, _) -> List.mem id ids) (Edit.bindings edit))
+
+(* One demonstration: the ground-truth edit on the first image where it
+   is non-empty (what a user would draw in round one).  A few tasks
+   target rare objects ("the car with number 319") that a small dataset
+   does not contain; those fall back to the paper-sized dataset. *)
+let spec_at ~n_images task =
+  let dataset, u = environment ~n_images task.Task.domain in
+  let full_edit = Edit.induced_by_program u task.Task.ground_truth in
+  let demo =
+    List.find_map
+      (fun (s : Imageeye_scene.Scene.t) ->
+        let e = edit_on_image u full_edit s.image_id in
+        if Edit.is_empty e then None else Some (s.image_id, e))
+      dataset.scenes
+  in
+  match demo with
+  | Some (img, e) -> Some (Edit.Spec.make u [ (img, e) ])
+  | None -> None
+
+let spec_for task =
+  match spec_at ~n_images:(dataset_size task.Task.domain) task with
+  | Some spec -> Some spec
+  | None ->
+      spec_at ~n_images:(Dataset.default_image_count task.Task.domain) task
+
+(* Everything observable about an outcome except wall-clock time. *)
+let stats_sig (s : Synthesizer.stats) =
+  Printf.sprintf "popped=%d enqueued=%d infeasible=%d reducible=%d {%s}"
+    s.popped s.enqueued s.pruned_infeasible s.pruned_reducible
+    (String.concat ", "
+       (List.map (fun (l, n) -> Printf.sprintf "%s=%d" l n) s.prune_counts))
+
+let outcome_sig = function
+  | Synthesizer.Success (p, s) ->
+      Printf.sprintf "success %s | %s" (Lang.program_to_string p) (stats_sig s)
+  | Synthesizer.Timeout s -> "timeout | " ^ stats_sig s
+  | Synthesizer.Exhausted s -> "exhausted | " ^ stats_sig s
+
+(* Fig. 8 rebuilt directly on the layered engine, bypassing the
+   Synthesizer wrappers: one Engine_search.search per demonstrated
+   action, folded in action order. *)
+let engine_synthesize spec =
+  let u = spec.Edit.Spec.universe in
+  let rec go acc stats_acc = function
+    | [] -> Synthesizer.Success (List.rev acc, stats_acc)
+    | action :: rest -> (
+        match
+          Engine_search.search ~config ~limit:1 u
+            (Edit.Spec.output_for_action spec action)
+        with
+        | e :: _, _, st ->
+            go ((e, action) :: acc) (Synthesizer.add_stats stats_acc st) rest
+        | [], `Timeout, st -> Synthesizer.Timeout (Synthesizer.add_stats stats_acc st)
+        | [], (`Exhausted | `Found_enough), st ->
+            Synthesizer.Exhausted (Synthesizer.add_stats stats_acc st))
+  in
+  go [] Synthesizer.empty_stats (Edit.Spec.demonstrated_actions spec)
+
+let check_task ~pool task =
+  match spec_for task with
+  | None ->
+      Alcotest.failf "task %d: ground truth edits no image of the test dataset"
+        task.Task.id
+  | Some spec ->
+      let wrapper = Synthesizer.synthesize ~config spec in
+      (match wrapper with
+      | Synthesizer.Timeout _ ->
+          Alcotest.failf "task %d: budget is supposed to be deterministic" task.Task.id
+      | _ -> ());
+      Alcotest.(check string)
+        (Printf.sprintf "task %d: wrapper = layered engine" task.Task.id)
+        (outcome_sig wrapper)
+        (outcome_sig (engine_synthesize spec));
+      Alcotest.(check string)
+        (Printf.sprintf "task %d: pool = sequential" task.Task.id)
+        (outcome_sig wrapper)
+        (outcome_sig (Synthesizer.synthesize ~config ~pool spec))
+
+let suite_case domain =
+  Alcotest.test_case (Dataset.domain_name domain) `Slow (fun () ->
+      Domainpool.with_pool ~jobs:2 (function
+        | None -> Alcotest.fail "expected a pool"
+        | Some pool ->
+            List.iter (check_task ~pool) (Benchmarks.for_domain domain)))
+
+let () =
+  Alcotest.run "engine-equivalence" (List.map (fun d -> (Dataset.domain_name d, [ suite_case d ])) Dataset.all_domains)
