@@ -31,10 +31,24 @@ module Clock = Imageeye_util.Clock
 module Runner = Imageeye_tasks.Runner
 
 let env_int name default =
-  match Sys.getenv_opt name with Some v -> int_of_string v | None -> default
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n -> n
+      | None ->
+          Printf.eprintf "error: %s must be an integer, got %S\n%!" name v;
+          exit 2)
 
 let env_float name default =
-  match Sys.getenv_opt name with Some v -> float_of_string v | None -> default
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some v -> (
+      match float_of_string_opt (String.trim v) with
+      | Some f -> f
+      | None ->
+          Printf.eprintf "error: %s must be a number, got %S\n%!" name v;
+          exit 2)
 
 let quick = Sys.getenv_opt "IMAGEEYE_QUICK" = Some "1"
 let seed = env_int "IMAGEEYE_SEED" 42
@@ -114,20 +128,26 @@ let table1 () =
 
 let run_sessions ?(config = { Synthesizer.default_config with timeout_s = timeout }) () =
   prefetch ();
-  Runner.map ~jobs
-    (fun task ->
-      let dataset = dataset_for task.Task.domain in
-      let t0 = Clock.counter () in
-      let r =
-        Session.run ~config ~batch_universe:(universe_for task.Task.domain) ~dataset task
-      in
-      say "  task %2d (%s, size %2d): %s rounds=%d last=%.2fs wall=%.1fs" task.Task.id
-        (Dataset.domain_name task.Task.domain)
-        (Task.size task)
-        (if r.Session.solved then "solved " else "FAILED ")
-        r.Session.examples_used r.Session.last_round_time (Clock.elapsed_s t0);
-      r)
-    Benchmarks.all
+  let nodes0 = Imageeye_core.Eval.count_nodes_evaluated () in
+  let results =
+    Runner.map ~jobs
+      (fun task ->
+        let dataset = dataset_for task.Task.domain in
+        let t0 = Clock.counter () in
+        let r =
+          Session.run ~config ~batch_universe:(universe_for task.Task.domain) ~dataset task
+        in
+        say "  task %2d (%s, size %2d): %s rounds=%d last=%.2fs wall=%.1fs" task.Task.id
+          (Dataset.domain_name task.Task.domain)
+          (Task.size task)
+          (if r.Session.solved then "solved " else "FAILED ")
+          r.Session.examples_used r.Session.last_round_time (Clock.elapsed_s t0);
+        r)
+      Benchmarks.all
+  in
+  say "  nodes evaluated over the sweep: %d"
+    (Imageeye_core.Eval.count_nodes_evaluated () - nodes0);
+  results
 
 let imageeye_results = lazy (run_sessions ())
 
@@ -159,10 +179,34 @@ let prune_attribution results =
   Hashtbl.fold (fun label cell rows -> (label, !cell) :: rows) acc []
   |> List.sort compare
 
+let is_cache_label label = String.length label >= 11 && String.sub label 0 11 = "eval-cache("
+
+(* The eval-cache counters live in [prune_counts] alongside the per-pass
+   attribution but are a different kind of number (work saved, not
+   candidates rejected), so they get their own summary line. *)
+let cache_summary counts =
+  let get label =
+    Option.value ~default:0 (List.assoc_opt ("eval-cache(" ^ label ^ ")") counts)
+  in
+  let memo = get "memo-hit" in
+  let vhit = get "value-hit" in
+  let vmiss = get "value-miss" in
+  let evaluated = get "evaluated" in
+  let visited = memo + vhit + evaluated in
+  if visited > 0 then begin
+    say "";
+    say "evaluation cache: %d node visits — %d memo hits, %d value-table hits,"
+      visited memo vhit;
+    say "  %d evaluated (%d value-table misses); hit rate %.1f%%" evaluated vmiss
+      (100.0 *. float_of_int (memo + vhit) /. float_of_int visited)
+  end
+
 let prune_table results =
   match prune_attribution results with
   | [] -> ()
-  | counts ->
+  | all_counts ->
+      let cache_counts, counts = List.partition (fun (l, _) -> is_cache_label l) all_counts in
+      cache_summary cache_counts;
       let total = List.fold_left (fun a (_, n) -> a + n) 0 counts in
       say "";
       say "prune attribution (per-pass counters; the partial-eval row counts";
@@ -282,6 +326,10 @@ let ablations =
     ("no-goal-inference", fun c -> { c with Synthesizer.goal_inference = false });
     ("no-partial-eval", fun c -> { c with Synthesizer.partial_eval = false });
     ("no-equiv-reduction", fun c -> { c with Synthesizer.equiv_reduction = false });
+    (* Not a paper ablation: isolates the memoized incremental evaluator.
+       Must solve the same tasks (it is semantics-preserving) while the
+       nodes-evaluated line above shows the work it saves. *)
+    ("no-eval-cache", fun c -> { c with Synthesizer.eval_cache = false });
   ]
 
 let fig16 () =

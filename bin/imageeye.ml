@@ -43,7 +43,18 @@ let domain_conv =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Dataset generation seed.")
 
-let ensure_dir dir = if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+(* mkdir -p: an output path like results/run3/edited should just work. *)
+let rec ensure_dir dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then ensure_dir parent;
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let save_text path text =
+  ensure_dir (Filename.dirname path);
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -134,9 +145,7 @@ let learn id images seed timeout save =
         (Lang.program_to_string p);
       Option.iter
         (fun path ->
-          let oc = open_out path in
-          output_string oc (Lang.program_to_string p);
-          close_out oc;
+          save_text path (Lang.program_to_string p);
           Printf.printf "saved to %s\n" path)
         save
   | None ->
@@ -231,12 +240,24 @@ let sweep task_ids images seed timeout jobs =
     results;
   Printf.printf "solved %d/%d task(s) in %.1fs wall (jobs=%d)\n" (List.length solved)
     (List.length results) wall jobs;
-  let labels =
+  let all_labels =
     List.sort compare (Hashtbl.fold (fun label n acc -> (label, n) :: acc) prune [])
   in
+  let is_cache_label label =
+    String.length label >= 11 && String.sub label 0 11 = "eval-cache("
+  in
+  let cache_labels, labels = List.partition (fun (l, _) -> is_cache_label l) all_labels in
   if labels <> [] then (
     Printf.printf "prune attribution:\n";
     List.iter (fun (label, n) -> Printf.printf "  %-28s %d\n" label n) labels);
+  (let get l = Option.value ~default:0 (List.assoc_opt ("eval-cache(" ^ l ^ ")") cache_labels) in
+   let memo = get "memo-hit" and vhit = get "value-hit" and evaluated = get "evaluated" in
+   let visited = memo + vhit + evaluated in
+   if visited > 0 then
+     Printf.printf
+       "evaluation cache: %d memo hits, %d value hits, %d evaluated (hit rate %.1f%%)\n" memo
+       vhit evaluated
+       (100.0 *. float_of_int (memo + vhit) /. float_of_int visited));
   if solved = [] then exit 1
 
 let sweep_cmd =
@@ -375,9 +396,7 @@ let synthesize_cmd_impl scenes_dir demos_path timeout save =
         (Lang.program_to_string program);
       Option.iter
         (fun path ->
-          let oc = open_out path in
-          output_string oc (Lang.program_to_string program);
-          close_out oc;
+          save_text path (Lang.program_to_string program);
           Printf.printf "saved to %s
 " path)
         save

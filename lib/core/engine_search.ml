@@ -7,6 +7,7 @@ type config = {
   goal_inference : bool;
   partial_eval : bool;
   equiv_reduction : bool;
+  eval_cache : bool;
   timeout_s : float;
   max_expansions : int;
   max_size : int;
@@ -19,6 +20,7 @@ let default_config =
     goal_inference = true;
     partial_eval = true;
     equiv_reduction = true;
+    eval_cache = true;
     timeout_s = 120.0;
     max_expansions = 2_000_000;
     max_size = 24;
@@ -146,7 +148,7 @@ let instantiations u vocab facts config (ctx : Prune.context) passes goal =
   let child op =
     Partial.hole (if ctx.Prune.goal_checks then Goal.infer u op goal else Goal.trivial u)
   in
-  let mk node = { Partial.goal; node } in
+  let mk node = Partial.make goal node in
   let preds = Vocab.predicates vocab in
   let feasible reach =
     List.for_all (fun (p : Prune.pass) -> p.Prune.feasible ctx ~goal ~reach) passes
@@ -191,18 +193,27 @@ let expand u vocab facts config ctx passes ~delta p =
              (fun inst -> Partial.size inst - 1 = delta)
              (instantiations u vocab facts config ctx passes p.goal))
     | Partial.All | Partial.Is _ -> None
+    (* Spine nodes above the hole are rebuilt fresh (empty memo slot);
+       unchanged sibling subtrees are shared physically, which is what
+       lets their memos pay off across all candidates. *)
     | Partial.Complement q ->
-        Option.map (List.map (fun q' -> { p with node = Partial.Complement q' })) (go q)
+        Option.map (List.map (fun q' -> Partial.make p.goal (Partial.Complement q'))) (go q)
     | Partial.Union qs ->
-        Option.map (List.map (fun qs' -> { p with node = Partial.Union qs' })) (go_list qs)
+        Option.map
+          (List.map (fun qs' -> Partial.make p.goal (Partial.Union qs')))
+          (go_list qs)
     | Partial.Intersect qs ->
         Option.map
-          (List.map (fun qs' -> { p with node = Partial.Intersect qs' }))
+          (List.map (fun qs' -> Partial.make p.goal (Partial.Intersect qs')))
           (go_list qs)
     | Partial.Find (q, pr, f) ->
-        Option.map (List.map (fun q' -> { p with node = Partial.Find (q', pr, f) })) (go q)
+        Option.map
+          (List.map (fun q' -> Partial.make p.goal (Partial.Find (q', pr, f))))
+          (go q)
     | Partial.Filter (q, pr) ->
-        Option.map (List.map (fun q' -> { p with node = Partial.Filter (q', pr) })) (go q)
+        Option.map
+          (List.map (fun q' -> Partial.make p.goal (Partial.Filter (q', pr))))
+          (go q)
   and go_list = function
     | [] -> None
     | q :: rest -> (
@@ -251,6 +262,7 @@ let search ~config ~limit ?sink u i_out =
     }
   in
   let checks = List.map (fun (p : Prune.pass) -> (p, p.Prune.fresh ())) passes in
+  let cache = if config.eval_cache then Some (Peval.Cache.create ()) else None in
   let ev = Events.create ?sink () in
   let solutions = ref [] in
   let exception Done in
@@ -261,7 +273,7 @@ let search ~config ~limit ?sink u i_out =
   let consider ~push p' =
     if Partial.size p' <= config.max_size then begin
       let form =
-        Peval.run ~eval_is:ctx.Prune.eval_is ~check_goals:ctx.Prune.goal_checks
+        Peval.run ~eval_is:ctx.Prune.eval_is ?cache ~check_goals:ctx.Prune.goal_checks
           ~collapse:ctx.Prune.collapse u p'
       in
       let extractor = Partial.to_extractor p' in
@@ -325,4 +337,20 @@ let search ~config ~limit ?sink u i_out =
     | r -> r
     | exception Done -> `Found_enough
   in
+  (* Fold the cache counters into the per-label stats so benchmarks and
+     the sweep report see hit rates without a separate channel.  The
+     labels share the "eval-cache(" prefix so equivalence checks between
+     cached and uncached runs can strip them uniformly. *)
+  (match cache with
+  | Some c ->
+      List.iter
+        (fun (label, n) ->
+          if n > 0 then Events.record ev (Events.Counted ("eval-cache(" ^ label ^ ")", n)))
+        [
+          ("memo-hit", c.Peval.Cache.memo_hits);
+          ("value-hit", c.Peval.Cache.value_hits);
+          ("value-miss", c.Peval.Cache.value_misses);
+          ("evaluated", c.Peval.Cache.evaluated);
+        ]
+  | None -> ());
   (List.rev !solutions, reason, stats_of_events ev)

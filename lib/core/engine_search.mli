@@ -18,6 +18,11 @@ type config = {
   goal_inference : bool;  (** Section 5.3 pruning *)
   partial_eval : bool;  (** collapse complete subtrees before rewriting *)
   equiv_reduction : bool;  (** Section 5.5 term rewriting *)
+  eval_cache : bool;
+      (** memoized incremental partial evaluation (on by default): node
+          memo slots plus a shared form-keyed value table; does not change
+          which programs are found or what the pruning passes decide, only
+          how much evaluation work [consider] repeats *)
   timeout_s : float;  (** monotonic-clock budget per extractor search *)
   max_expansions : int;  (** hard cap on worklist pops *)
   max_size : int;  (** partial programs above this size are not enqueued *)
@@ -37,7 +42,9 @@ type stats = {
       (** per-pass attribution, sorted by pass name: every pruning
           pass's rejection count, plus informational counters such as
           ["partial-eval(const-solved)"] (complete candidates decided
-          directly from their folded constant) *)
+          directly from their folded constant) and — when the evaluation
+          cache is on — ["eval-cache(memo-hit)"], ["eval-cache(value-hit)"],
+          ["eval-cache(value-miss)"] and ["eval-cache(evaluated)"] *)
 }
 
 val stats_pruned_total : stats -> int

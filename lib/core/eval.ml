@@ -6,6 +6,8 @@ let nodes_evaluated = Atomic.make 0
 
 let count_nodes_evaluated () = Atomic.get nodes_evaluated
 
+let tick_node_evaluated () = Atomic.incr nodes_evaluated
+
 let find_first u f phi o =
   let candidates = Func.apply u f o in
   let n = Array.length candidates in
@@ -17,24 +19,33 @@ let find_first u f phi o =
   in
   go 0
 
+(* Both operators collect plain id lists and build the result set in one
+   go: with hash-consed symbolic images, adding elements one at a time
+   would copy and re-intern the bitset at every step. *)
+
 let find_from u sources phi f =
-  Simage.fold
-    (fun ent acc ->
-      match find_first u f phi ent.Imageeye_symbolic.Entity.id with
-      | Some target -> Simage.add acc target
-      | None -> acc)
-    sources (Simage.empty u)
+  let ids =
+    Simage.fold
+      (fun ent acc ->
+        match find_first u f phi ent.Imageeye_symbolic.Entity.id with
+        | Some target -> target :: acc
+        | None -> acc)
+      sources []
+  in
+  Simage.of_ids u ids
 
 let filter_from u sources phi =
-  Simage.fold
-    (fun ent acc ->
-      Array.fold_left
-        (fun acc inner ->
-          if Pred.entails (Universe.entity u inner) phi then Simage.add acc inner
-          else acc)
-        acc
-        (Universe.contents u ent.Imageeye_symbolic.Entity.id))
-    sources (Simage.empty u)
+  let ids =
+    Simage.fold
+      (fun ent acc ->
+        Array.fold_left
+          (fun acc inner ->
+            if Pred.entails (Universe.entity u inner) phi then inner :: acc else acc)
+          acc
+          (Universe.contents u ent.Imageeye_symbolic.Entity.id))
+      sources []
+  in
+  Simage.of_ids u ids
 
 let rec extractor u e =
   Atomic.incr nodes_evaluated;

@@ -36,3 +36,8 @@ val filter_from :
 val count_nodes_evaluated : unit -> int
 (** Total number of extractor AST nodes evaluated since program start;
     instrumentation for the benchmarks. *)
+
+val tick_node_evaluated : unit -> unit
+(** Count one node evaluation; atomic.  {!Peval} ticks this for every
+    node it evaluates freshly (cache hits don't tick), so the counter
+    measures the work the evaluation cache saves. *)

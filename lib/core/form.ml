@@ -1,0 +1,87 @@
+module Simage = Imageeye_symbolic.Simage
+
+type t =
+  | Hole
+  | Const of Simage.t
+  | All
+  | Is of Pred.t
+  | Complement of t
+  | Union of t list
+  | Intersect of t list
+  | Find of t * Pred.t * Func.t
+  | Filter of t * Pred.t
+
+(* Rank orders constructors: constants first, holes last, so that in a
+   canonical commutative operator the concrete operands precede the still
+   unknown ones. *)
+let rank = function
+  | Const _ -> 0
+  | All -> 1
+  | Is _ -> 2
+  | Complement _ -> 3
+  | Union _ -> 4
+  | Intersect _ -> 5
+  | Find _ -> 6
+  | Filter _ -> 7
+  | Hole -> 8
+
+let rec compare a b =
+  match (a, b) with
+  | Const x, Const y -> Simage.compare x y
+  | All, All | Hole, Hole -> 0
+  | Is p, Is q -> Pred.compare p q
+  | Complement x, Complement y -> compare x y
+  | Union xs, Union ys | Intersect xs, Intersect ys -> compare_list xs ys
+  | Find (x, p, f), Find (y, q, g) ->
+      let c = compare x y in
+      if c <> 0 then c
+      else
+        let c = Pred.compare p q in
+        if c <> 0 then c else Func.compare f g
+  | Filter (x, p), Filter (y, q) ->
+      let c = compare x y in
+      if c <> 0 then c else Pred.compare p q
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+and compare_list xs ys =
+  match (xs, ys) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | x :: xs, y :: ys ->
+      let c = compare x y in
+      if c <> 0 then c else compare_list xs ys
+
+let equal a b = compare a b = 0
+
+let rec hash = function
+  | Hole -> 3
+  | Const v -> (7 * Simage.hash v) + 1
+  | All -> 11
+  | Is p -> (13 * Hashtbl.hash p) + 2
+  | Complement t -> (17 * hash t) + 5
+  | Union ts -> List.fold_left (fun acc t -> (acc * 31) + hash t) 19 ts
+  | Intersect ts -> List.fold_left (fun acc t -> (acc * 37) + hash t) 23 ts
+  | Find (t, p, f) -> (29 * hash t) + (41 * Hashtbl.hash p) + Hashtbl.hash f
+  | Filter (t, p) -> (43 * hash t) + (47 * Hashtbl.hash p) + 7
+
+let rec pp fmt = function
+  | Hole -> Format.pp_print_string fmt "?"
+  | Const img -> Format.fprintf fmt "Const%a" Simage.pp img
+  | All -> Format.pp_print_string fmt "All"
+  | Is p -> Format.fprintf fmt "Is(%a)" Pred.pp p
+  | Complement t -> Format.fprintf fmt "Complement(%a)" pp t
+  | Union ts -> Format.fprintf fmt "Union(%a)" pp_list ts
+  | Intersect ts -> Format.fprintf fmt "Intersect(%a)" pp_list ts
+  | Find (t, p, f) -> Format.fprintf fmt "Find(%a, %a, %a)" pp t Pred.pp p Func.pp f
+  | Filter (t, p) -> Format.fprintf fmt "Filter(%a, %a)" pp t Pred.pp p
+
+and pp_list fmt ts =
+  Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ") pp fmt ts
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

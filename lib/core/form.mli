@@ -1,0 +1,35 @@
+(** Partially evaluated programs: the shape {!Peval} produces and the
+    rewrite system of {!Rewrite} operates on.  [Const] only appears when
+    collapsing; [All]/[Is] only when not.
+
+    This lives outside {!Peval} so that {!Partial} nodes can memoize the
+    [(form, value)] of their complete subtrees without a dependency
+    cycle. *)
+
+type t =
+  | Hole
+  | Const of Imageeye_symbolic.Simage.t
+  | All
+  | Is of Pred.t
+  | Complement of t
+  | Union of t list
+  | Intersect of t list
+  | Find of t * Pred.t * Func.t
+  | Filter of t * Pred.t
+
+val hash : t -> int
+(** Structural hash compatible with {!equal}; constants hash by their
+    set value (O(1) thanks to {!Imageeye_symbolic.Simage} hash-consing). *)
+
+val compare : t -> t -> int
+(** Total term order used to canonicalize commutative operators:
+    constants first (by set value), then composite terms structurally,
+    holes last — so that completing a hole on the right of an already
+    concrete operand keeps the term canonical. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Tbl : Hashtbl.S with type key = t
+(** Hashtables keyed by forms: the equivalence-dedup pass and the shared
+    evaluation cache. *)

@@ -1,4 +1,6 @@
-type t = { goal : Goal.t; node : node }
+type memo = { mform : Form.t; mvalue : Imageeye_symbolic.Simage.t }
+
+type t = { goal : Goal.t; node : node; mutable memo : memo option }
 
 and node =
   | Hole
@@ -10,7 +12,13 @@ and node =
   | Find of t * Pred.t * Func.t
   | Filter of t * Pred.t
 
-let hole goal = { goal; node = Hole }
+let make goal node = { goal; node; memo = None }
+
+let hole goal = make goal Hole
+
+let memo t = t.memo
+
+let set_memo t ~form ~value = t.memo <- Some { mform = form; mvalue = value }
 
 let rec of_extractor goal (e : Lang.extractor) =
   let child = of_extractor goal in
@@ -24,7 +32,7 @@ let rec of_extractor goal (e : Lang.extractor) =
     | Lang.Find (e1, p, f) -> Find (child e1, p, f)
     | Lang.Filter (e1, p) -> Filter (child e1, p)
   in
-  { goal; node }
+  make goal node
 
 let rec is_complete t =
   match t.node with

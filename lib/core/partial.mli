@@ -4,9 +4,18 @@
     The worklist of the top-down search stores these.  Holes are always
     extractor-shaped — predicates and spatial functions are filled in at
     expansion time — and every node carries the goal inferred for it when
-    its parent was expanded. *)
+    its parent was expanded.
 
-type t = { goal : Goal.t; node : node }
+    Each node additionally carries a mutable memo slot: once a complete
+    subtree has been partially evaluated, its [(form, value)] is recorded
+    on the node, and because expansion shares unchanged sibling subtrees
+    physically across candidates, a later evaluation of any candidate
+    containing the node reuses the result instead of re-evaluating the
+    subtree ({!Peval} reads and writes the slot when given a cache). *)
+
+type memo = { mform : Form.t; mvalue : Imageeye_symbolic.Simage.t }
+
+type t = { goal : Goal.t; node : node; mutable memo : memo option }
 
 and node =
   | Hole
@@ -18,8 +27,19 @@ and node =
   | Find of t * Pred.t * Func.t
   | Filter of t * Pred.t
 
+val make : Goal.t -> node -> t
+(** A node with an empty memo slot.  All construction goes through this
+    (or a [{ p with node = _ }] copy of a node that was never memoized,
+    i.e. one containing a hole). *)
+
 val hole : Goal.t -> t
 (** A single-node partial program (the CreateProg of Section 5.1). *)
+
+val memo : t -> memo option
+
+val set_memo : t -> form:Form.t -> value:Imageeye_symbolic.Simage.t -> unit
+(** Record the partial-evaluation result of a complete subtree.  Only
+    {!Peval} should call this, and only after any goal check passed. *)
 
 val of_extractor : Goal.t -> Lang.extractor -> t
 (** Embed a complete extractor, annotating every node with the same goal;

@@ -1,131 +1,126 @@
 module Simage = Imageeye_symbolic.Simage
 module Universe = Imageeye_symbolic.Universe
+module Form = Form
 
-module Form = struct
-  type t =
-    | Hole
-    | Const of Simage.t
-    | All
-    | Is of Pred.t
-    | Complement of t
-    | Union of t list
-    | Intersect of t list
-    | Find of t * Pred.t * Func.t
-    | Filter of t * Pred.t
+module Cache = struct
+  type t = {
+    values : Simage.t Form.Tbl.t;
+    mutable memo_hits : int;
+    mutable value_hits : int;
+    mutable value_misses : int;
+    mutable evaluated : int;
+  }
 
-  (* Rank orders constructors: constants first, holes last, so that in a
-     canonical commutative operator the concrete operands precede the still
-     unknown ones. *)
-  let rank = function
-    | Const _ -> 0
-    | All -> 1
-    | Is _ -> 2
-    | Complement _ -> 3
-    | Union _ -> 4
-    | Intersect _ -> 5
-    | Find _ -> 6
-    | Filter _ -> 7
-    | Hole -> 8
-
-  let rec compare a b =
-    match (a, b) with
-    | Const x, Const y -> Simage.compare x y
-    | All, All | Hole, Hole -> 0
-    | Is p, Is q -> Pred.compare p q
-    | Complement x, Complement y -> compare x y
-    | Union xs, Union ys | Intersect xs, Intersect ys -> compare_list xs ys
-    | Find (x, p, f), Find (y, q, g) ->
-        let c = compare x y in
-        if c <> 0 then c
-        else
-          let c = Pred.compare p q in
-          if c <> 0 then c else Func.compare f g
-    | Filter (x, p), Filter (y, q) ->
-        let c = compare x y in
-        if c <> 0 then c else Pred.compare p q
-    | _ -> Stdlib.compare (rank a) (rank b)
-
-  and compare_list xs ys =
-    match (xs, ys) with
-    | [], [] -> 0
-    | [], _ -> -1
-    | _, [] -> 1
-    | x :: xs, y :: ys ->
-        let c = compare x y in
-        if c <> 0 then c else compare_list xs ys
-
-  let equal a b = compare a b = 0
-
-  let rec hash = function
-    | Hole -> 3
-    | Const v -> (7 * Simage.hash v) + 1
-    | All -> 11
-    | Is p -> (13 * Hashtbl.hash p) + 2
-    | Complement t -> (17 * hash t) + 5
-    | Union ts -> List.fold_left (fun acc t -> (acc * 31) + hash t) 19 ts
-    | Intersect ts -> List.fold_left (fun acc t -> (acc * 37) + hash t) 23 ts
-    | Find (t, p, f) -> (29 * hash t) + (41 * Hashtbl.hash p) + Hashtbl.hash f
-    | Filter (t, p) -> (43 * hash t) + (47 * Hashtbl.hash p) + 7
-
-  let rec pp fmt = function
-    | Hole -> Format.pp_print_string fmt "?"
-    | Const img -> Format.fprintf fmt "Const%a" Simage.pp img
-    | All -> Format.pp_print_string fmt "All"
-    | Is p -> Format.fprintf fmt "Is(%a)" Pred.pp p
-    | Complement t -> Format.fprintf fmt "Complement(%a)" pp t
-    | Union ts -> Format.fprintf fmt "Union(%a)" pp_list ts
-    | Intersect ts -> Format.fprintf fmt "Intersect(%a)" pp_list ts
-    | Find (t, p, f) -> Format.fprintf fmt "Find(%a, %a, %a)" pp t Pred.pp p Func.pp f
-    | Filter (t, p) -> Format.fprintf fmt "Filter(%a, %a)" pp t Pred.pp p
-
-  and pp_list fmt ts =
-    Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ") pp fmt ts
+  let create () =
+    {
+      values = Form.Tbl.create 1024;
+      memo_hits = 0;
+      value_hits = 0;
+      value_misses = 0;
+      evaluated = 0;
+    }
 end
 
 exception Inconsistent
 
 let default_eval_is u phi = Simage.filter (fun ent -> Pred.entails ent phi) (Simage.full u)
 
-let run ?eval_is ~check_goals ~collapse u (p : Partial.t) =
+let run ?eval_is ?cache ~check_goals ~collapse u (p : Partial.t) =
   let eval_is = match eval_is with Some f -> f | None -> default_eval_is u in
+  let tick () =
+    Eval.tick_node_evaluated ();
+    match cache with
+    | Some c -> c.Cache.evaluated <- c.Cache.evaluated + 1
+    | None -> ()
+  in
+  (* Value cache for the operators whose semantics are worth sharing across
+     candidates: keyed by the (canonical) form, so two distinct candidates
+     containing the same subterm evaluate it once per search. *)
+  let cached_op form compute =
+    match cache with
+    | None ->
+        tick ();
+        compute ()
+    | Some c -> (
+        match Form.Tbl.find_opt c.Cache.values form with
+        | Some v ->
+            c.Cache.value_hits <- c.Cache.value_hits + 1;
+            v
+        | None ->
+            c.Cache.value_misses <- c.Cache.value_misses + 1;
+            tick ();
+            let v = compute () in
+            Form.Tbl.add c.Cache.values form v;
+            v)
+  in
   (* Bottom-up walk returning the partially evaluated form plus, when the
-     subtree is complete, its value. *)
+     subtree is complete, its value.  With a cache, a node whose subtree was
+     already evaluated during a previous [consider] of a candidate sharing
+     it physically answers from its memo slot — the goal check is skipped
+     because the memo is only written after the check passed and a node's
+     goal annotation never changes. *)
   let rec go (p : Partial.t) : Form.t * Simage.t option =
+    match cache with
+    | Some c -> (
+        match Partial.memo p with
+        | Some m ->
+            c.Cache.memo_hits <- c.Cache.memo_hits + 1;
+            (m.Partial.mform, Some m.Partial.mvalue)
+        | None -> eval_node p)
+    | None -> eval_node p
+  and eval_node (p : Partial.t) : Form.t * Simage.t option =
     let complete form value =
       if check_goals && not (Goal.consistent value p.Partial.goal) then raise Inconsistent;
-      ((if collapse then Form.Const value else form), Some value)
+      let form = if collapse then Form.Const value else form in
+      (match cache with
+      | Some _ -> Partial.set_memo p ~form ~value
+      | None -> ());
+      (form, Some value)
     in
     match p.node with
     | Partial.Hole -> (Form.Hole, None)
-    | Partial.All -> complete Form.All (Simage.full u)
-    | Partial.Is phi -> complete (Form.Is phi) (eval_is phi)
+    | Partial.All ->
+        tick ();
+        complete Form.All (Simage.full u)
+    | Partial.Is phi ->
+        (* [eval_is] is already table-backed by the engine (compute_facts),
+           so an extra form-keyed layer would only duplicate it. *)
+        tick ();
+        complete (Form.Is phi) (eval_is phi)
     | Partial.Complement q -> (
         let fq, vq = go q in
+        let form = Form.Complement fq in
         match vq with
-        | Some v -> complete (Form.Complement fq) (Simage.complement v)
-        | None -> (Form.Complement fq, None))
+        | Some v -> complete form (cached_op form (fun () -> Simage.complement v))
+        | None -> (form, None))
     | Partial.Union qs -> (
         let results = List.map go qs in
         let forms = List.map fst results in
         match all_values results with
-        | Some vs -> complete (Form.Union forms) (Simage.union_all u vs)
+        | Some vs ->
+            tick ();
+            complete (Form.Union forms) (Simage.union_all u vs)
         | None -> (Form.Union forms, None))
     | Partial.Intersect qs -> (
         let results = List.map go qs in
         let forms = List.map fst results in
         match all_values results with
-        | Some vs -> complete (Form.Intersect forms) (Simage.inter_all u vs)
+        | Some vs ->
+            tick ();
+            complete (Form.Intersect forms) (Simage.inter_all u vs)
         | None -> (Form.Intersect forms, None))
     | Partial.Find (q, phi, f) -> (
         let fq, vq = go q in
+        let form = Form.Find (fq, phi, f) in
         match vq with
-        | Some v -> complete (Form.Find (fq, phi, f)) (Eval.find_from u v phi f)
-        | None -> (Form.Find (fq, phi, f), None))
+        | Some v -> complete form (cached_op form (fun () -> Eval.find_from u v phi f))
+        | None -> (form, None))
     | Partial.Filter (q, phi) -> (
         let fq, vq = go q in
+        let form = Form.Filter (fq, phi) in
         match vq with
-        | Some v -> complete (Form.Filter (fq, phi)) (Eval.filter_from u v phi)
-        | None -> (Form.Filter (fq, phi), None))
+        | Some v -> complete form (cached_op form (fun () -> Eval.filter_from u v phi))
+        | None -> (form, None))
   and all_values results =
     List.fold_right
       (fun (_, v) acc ->

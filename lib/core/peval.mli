@@ -12,38 +12,36 @@
     The two ablations of Section 7.4 are expressed through the flags:
     [~check_goals:false] disables goal-directed pruning (the Complete rule
     never fails), and [~collapse:false] leaves complete subtrees in
-    syntactic form so rewriting is purely syntactic. *)
+    syntactic form so rewriting is purely syntactic.
 
-module Form : sig
-  (** Partially evaluated programs.  [Const] only appears when collapsing;
-      [All]/[Is] only when not. *)
-  type t =
-    | Hole
-    | Const of Imageeye_symbolic.Simage.t
-    | All
-    | Is of Pred.t
-    | Complement of t
-    | Union of t list
-    | Intersect of t list
-    | Find of t * Pred.t * Func.t
-    | Filter of t * Pred.t
+    Evaluation is incremental when given a {!Cache.t}: each complete
+    subtree's [(form, value)] is memoized on its {!Partial.t} node the
+    first time it is evaluated, and because expansion shares unchanged
+    sibling subtrees physically, a later candidate containing the node
+    re-evaluates only its fresh instantiation plus the spine above the
+    filled hole.  A shared form-keyed value table additionally dedupes
+    [Find]/[Filter]/[Complement] subterms across candidates. *)
 
-  val hash : t -> int
-  (** Structural hash compatible with {!equal}; constants hash by their
-      set value. *)
+module Form = Form
 
-  val compare : t -> t -> int
-  (** Total term order used to canonicalize commutative operators:
-      constants first (by set value), then composite terms structurally,
-      holes last — so that completing a hole on the right of an already
-      concrete operand keeps the term canonical. *)
+module Cache : sig
+  (** Per-search evaluation cache.  Counters are plain (non-atomic)
+      because a cache belongs to exactly one search, which runs on one
+      domain; the batch runner gives each task its own search. *)
+  type t = {
+    values : Imageeye_symbolic.Simage.t Form.Tbl.t;
+    mutable memo_hits : int;  (** subtree answered from a {!Partial} memo slot *)
+    mutable value_hits : int;  (** operator answered from the form-keyed table *)
+    mutable value_misses : int;  (** operator computed and stored in the table *)
+    mutable evaluated : int;  (** nodes actually evaluated (misses included) *)
+  }
 
-  val equal : t -> t -> bool
-  val pp : Format.formatter -> t -> unit
+  val create : unit -> t
 end
 
 val run :
   ?eval_is:(Pred.t -> Imageeye_symbolic.Simage.t) ->
+  ?cache:Cache.t ->
   check_goals:bool ->
   collapse:bool ->
   Imageeye_symbolic.Universe.t ->
@@ -52,7 +50,9 @@ val run :
 (** [run ~check_goals ~collapse u p] partially evaluates [p] on the input
     image Î_in = all objects of [u].  Returns [None] (the paper's ⊥) when
     [check_goals] is set and some complete subtree's value is inconsistent
-    with its goal annotation. *)
+    with its goal annotation.  With [?cache] the evaluation is incremental
+    (see above); the flags must be the same across all runs sharing a
+    cache, which holds because they are fixed per search. *)
 
 val value_of_complete :
   Imageeye_symbolic.Universe.t -> Partial.t -> Imageeye_symbolic.Simage.t option

@@ -58,12 +58,7 @@ let equiv_rewrite =
         | Some _ | None -> Admit);
   }
 
-module FormTbl = Hashtbl.Make (struct
-  type t = Peval.Form.t
-
-  let equal = Peval.Form.equal
-  let hash = Peval.Form.hash
-end)
+module FormTbl = Form.Tbl
 
 let equiv_dedup =
   {

@@ -8,6 +8,7 @@ type config = Engine_search.config = {
   goal_inference : bool;
   partial_eval : bool;
   equiv_reduction : bool;
+  eval_cache : bool;
   timeout_s : float;
   max_expansions : int;
   max_size : int;

@@ -21,6 +21,9 @@ type config = Engine_search.config = {
   goal_inference : bool;  (** Section 5.3 pruning *)
   partial_eval : bool;  (** collapse complete subtrees before rewriting *)
   equiv_reduction : bool;  (** Section 5.5 term rewriting *)
+  eval_cache : bool;
+      (** memoized incremental partial evaluation (see
+          {!Engine_search.config}); semantics-preserving, on by default *)
   timeout_s : float;  (** monotonic-clock budget per extractor search *)
   max_expansions : int;  (** hard cap on worklist pops *)
   max_size : int;  (** partial programs above this size are not enqueued *)

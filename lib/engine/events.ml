@@ -5,6 +5,7 @@ type event =
   | Popped
   | Pruned of string
   | Noted of string
+  | Counted of string * int
   | Success
 
 type recorder = {
@@ -26,17 +27,18 @@ let create ?sink () =
     sink;
   }
 
-let bump r label =
+let bump ?(n = 1) r label =
   match Hashtbl.find_opt r.labels label with
-  | Some c -> incr c
-  | None -> Hashtbl.add r.labels label (ref 1)
+  | Some c -> c := !c + n
+  | None -> Hashtbl.add r.labels label (ref n)
 
 let record r ev =
   (match ev with
   | Enqueued -> r.enqueued <- r.enqueued + 1
   | Popped -> r.popped <- r.popped + 1
   | Success -> r.successes <- r.successes + 1
-  | Pruned label | Noted label -> bump r label);
+  | Pruned label | Noted label -> bump r label
+  | Counted (label, n) -> bump ~n r label);
   match r.sink with None -> () | Some f -> f ev
 
 let enqueued r = r.enqueued

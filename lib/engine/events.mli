@@ -16,6 +16,9 @@ type event =
   | Popped  (** a partial program left the worklist for expansion *)
   | Pruned of string  (** rejected by the named pruning pass *)
   | Noted of string  (** informational per-label tick (not a rejection) *)
+  | Counted of string * int
+      (** bulk informational counter: adds [n] to the label at once (used
+          for end-of-search cache statistics) *)
   | Success  (** a complete program matched the specification *)
 
 type recorder

@@ -63,7 +63,7 @@ let page_template ~title ~program ~entries =
            (if e.edited then " edited" else "")
            e.image_id
            (if e.edited then " (edited)" else "")
-           e.before_file e.image_id e.after_file e.image_id))
+           (html_escape e.before_file) e.image_id (html_escape e.after_file) e.image_id))
     entries;
   Buffer.add_string buf "</body></html>\n";
   Buffer.contents buf

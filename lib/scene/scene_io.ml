@@ -12,11 +12,20 @@ let escape s =
 
 let unescape s =
   let buf = Buffer.create (String.length s) in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> failwith (Printf.sprintf "Scene_io: malformed %%-escape in %S" s)
+  in
   let i = ref 0 in
   let n = String.length s in
   while !i < n do
-    if s.[!i] = '%' && !i + 2 < n then begin
-      Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ String.sub s (!i + 1) 2)));
+    if s.[!i] = '%' then begin
+      if !i + 2 >= n then
+        failwith (Printf.sprintf "Scene_io: truncated %%-escape in %S" s);
+      Buffer.add_char buf (Char.chr ((16 * hex s.[!i + 1]) + hex s.[!i + 2]));
       i := !i + 3
     end
     else begin
@@ -39,7 +48,11 @@ let to_string (s : Scene.t) =
             Printf.sprintf "face %s %d %b %b %b %d %d" (box_fields it.bbox) f.face_id
               f.smiling f.eyes_open f.mouth_open f.age_low f.age_high
         | Scene.Text_item body -> Printf.sprintf "text %s %s" (box_fields it.bbox) (escape body)
-        | Scene.Thing_item cls -> Printf.sprintf "thing %s %s" (box_fields it.bbox) cls
+        | Scene.Thing_item cls ->
+            (* Class names come from detector label sets and may contain
+               spaces ("traffic light"); escaped like text bodies so the
+               line stays space-separated. *)
+            Printf.sprintf "thing %s %s" (box_fields it.bbox) (escape cls)
       in
       Buffer.add_string buf line;
       Buffer.add_char buf '\n')
@@ -84,7 +97,7 @@ let of_string text =
             | [ "text"; l; r; t; b; body ] ->
                 { Scene.kind = Scene.Text_item (unescape body); bbox = parse_box l r t b }
             | [ "thing"; l; r; t; b; cls ] ->
-                { Scene.kind = Scene.Thing_item cls; bbox = parse_box l r t b }
+                { Scene.kind = Scene.Thing_item (unescape cls); bbox = parse_box l r t b }
             | _ -> fail line "unrecognized object line")
           rest
       in

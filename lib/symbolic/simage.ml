@@ -1,51 +1,82 @@
 module Bitset = Imageeye_util.Bitset
 
-type t = { universe : Universe.t; objs : Bitset.t }
+(* Hash-consed: every symbolic image holds the canonical interned cell of
+   its object set, so [equal] is a uid comparison, [hash] is precomputed,
+   and structurally equal values built independently share one bitset. *)
+type t = { universe : Universe.t; cell : Universe.interned }
 
 let universe t = t.universe
 
-let empty u = { universe = u; objs = Bitset.create (Universe.size u) }
-let full u = { universe = u; objs = Bitset.full (Universe.size u) }
+let make u bits = { universe = u; cell = Universe.intern u bits }
 
-let of_ids u ids = { universe = u; objs = Bitset.of_list (Universe.size u) ids }
-let to_ids t = Bitset.to_list t.objs
+let objs t = t.cell.Universe.bits
+
+let empty u = make u (Bitset.create (Universe.size u))
+let full u = make u (Bitset.full (Universe.size u))
+
+let of_ids u ids = make u (Bitset.of_list (Universe.size u) ids)
+let to_ids t = Bitset.to_list (objs t)
 let of_bitset u b =
   if Bitset.universe_size b <> Universe.size u then
     invalid_arg "Simage.of_bitset: size mismatch";
-  { universe = u; objs = b }
+  make u b
 
-let bitset t = t.objs
+let bitset t = objs t
 
-let mem t i = Bitset.mem t.objs i
-let add t i = { t with objs = Bitset.add t.objs i }
-let cardinal t = Bitset.cardinal t.objs
-let is_empty t = Bitset.is_empty t.objs
+let mem t i = Bitset.mem (objs t) i
+let add t i = make t.universe (Bitset.add (objs t) i)
+let cardinal t = Bitset.cardinal (objs t)
+let is_empty t = Bitset.is_empty (objs t)
 
-let lift2 f a b = { a with objs = f a.objs b.objs }
+let lift2 f a b = make a.universe (f (objs a) (objs b))
 
 let union a b = lift2 Bitset.union a b
 let inter a b = lift2 Bitset.inter a b
 let diff a b = lift2 Bitset.diff a b
-let complement t = { t with objs = Bitset.complement t.objs }
+let complement t = make t.universe (Bitset.complement (objs t))
 
-let union_all u = List.fold_left union (empty u)
-let inter_all u = List.fold_left inter (full u)
+(* Fold on raw bitsets and intern the result once, instead of interning
+   every intermediate set. *)
+let union_all u imgs =
+  make u
+    (List.fold_left
+       (fun acc t -> Bitset.union acc (objs t))
+       (Bitset.create (Universe.size u))
+       imgs)
 
-let subset a b = Bitset.subset a.objs b.objs
-let equal a b = Bitset.equal a.objs b.objs
-let compare a b = Bitset.compare a.objs b.objs
-let hash t = Bitset.hash t.objs
+let inter_all u imgs =
+  make u
+    (List.fold_left
+       (fun acc t -> Bitset.inter acc (objs t))
+       (Bitset.full (Universe.size u))
+       imgs)
+
+let subset a b = Bitset.subset (objs a) (objs b)
+
+let equal a b =
+  if a.universe == b.universe then a.cell.Universe.uid = b.cell.Universe.uid
+  else Bitset.equal (objs a) (objs b)
+
+(* The ordering stays structural: interning uids depend on evaluation
+   order (and on Domain interleaving), while this order canonicalizes
+   commutative operands during search and must be reproducible. *)
+let compare a b =
+  if a.universe == b.universe && a.cell.Universe.uid = b.cell.Universe.uid then 0
+  else Bitset.compare (objs a) (objs b)
+
+let hash t = t.cell.Universe.bhash
 
 let filter p t =
-  { t with objs = Bitset.filter (fun i -> p (Universe.entity t.universe i)) t.objs }
+  make t.universe
+    (Bitset.filter (fun i -> p (Universe.entity t.universe i)) (objs t))
 
-let iter f t = Bitset.iter (fun i -> f (Universe.entity t.universe i)) t.objs
+let iter f t = Bitset.iter (fun i -> f (Universe.entity t.universe i)) (objs t)
 
 let fold f t init =
-  Bitset.fold (fun i acc -> f (Universe.entity t.universe i) acc) t.objs init
+  Bitset.fold (fun i acc -> f (Universe.entity t.universe i) acc) (objs t) init
 
 let entities t = List.rev (fold (fun e acc -> e :: acc) t [])
 
 let restrict_to_image t img = filter (fun e -> e.Entity.image_id = img) t
 
-let pp fmt t = Bitset.pp fmt t.objs
+let pp fmt t = Bitset.pp fmt (objs t)

@@ -5,7 +5,14 @@
     Section 3, several — raw images.  All DSL extractor semantics and all
     the synthesizer's goal reasoning are set operations on these values, so
     they are thin wrappers around {!Imageeye_util.Bitset} carrying their
-    universe. *)
+    universe.
+
+    Values are {e hash-consed} per universe (see {!Universe.intern}):
+    every constructor interns the resulting bitset, so {!equal} is an
+    integer comparison, {!hash} is precomputed, and structurally equal
+    images built by different search branches share one bitset.
+    {!compare} stays structural — it canonicalizes commutative operands
+    during search, and interning order is not reproducible across runs. *)
 
 type t
 

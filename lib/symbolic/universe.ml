@@ -1,4 +1,14 @@
 module Bbox = Imageeye_geometry.Bbox
+module Bitset = Imageeye_util.Bitset
+
+module BitsetTbl = Hashtbl.Make (struct
+  type t = Bitset.t
+
+  let equal = Bitset.equal
+  let hash = Bitset.hash
+end)
+
+type interned = { bits : Bitset.t; uid : int; bhash : int }
 
 type t = {
   entities : Entity.t array;
@@ -8,6 +18,13 @@ type t = {
   below : int array array;
   parents : int array array;
   contents : int array array;
+  (* Hash-consing of the object sets (symbolic images) over this universe:
+     each distinct bitset is interned once, so set equality is an integer
+     comparison and hashes are precomputed.  Shared by every Domain
+     searching over the universe, hence the mutex. *)
+  intern_tbl : interned BitsetTbl.t;
+  intern_mutex : Mutex.t;
+  mutable intern_next : int;
 }
 
 let sorted_related entities i ~related ~key ~ascending =
@@ -63,7 +80,34 @@ let of_entities ents =
         (fun o' o -> Bbox.strictly_contains ~outer:(box o) ~inner:(box o'))
         (fun e -> e.Entity.bbox.left)
         true;
+    intern_tbl = BitsetTbl.create 4096;
+    intern_mutex = Mutex.create ();
+    intern_next = 0;
   }
+
+let intern t bits =
+  if Bitset.universe_size bits <> Array.length t.entities then
+    invalid_arg "Universe.intern: bitset size does not match the universe";
+  Mutex.lock t.intern_mutex;
+  let cell =
+    match BitsetTbl.find_opt t.intern_tbl bits with
+    | Some cell -> cell
+    | None ->
+        (* The hash is structural (word-array based), so it is identical
+           across runs; uids are only ever compared for equality. *)
+        let cell = { bits; uid = t.intern_next; bhash = Bitset.hash bits } in
+        t.intern_next <- t.intern_next + 1;
+        BitsetTbl.add t.intern_tbl bits cell;
+        cell
+  in
+  Mutex.unlock t.intern_mutex;
+  cell
+
+let interned_count t =
+  Mutex.lock t.intern_mutex;
+  let n = t.intern_next in
+  Mutex.unlock t.intern_mutex;
+  n
 
 let size t = Array.length t.entities
 let entity t i = t.entities.(i)

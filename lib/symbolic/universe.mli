@@ -17,6 +17,17 @@
 
 type t
 
+type interned = private {
+  bits : Imageeye_util.Bitset.t;  (** the canonical (shared) bitset *)
+  uid : int;  (** unique within this universe; equal sets share one uid *)
+  bhash : int;  (** structural hash, precomputed once at intern time *)
+}
+(** A hash-consed object set over one universe: {!Simage} values carry
+    these cells, so set equality is a uid comparison and hashing is O(1).
+    The uid is an interning order, which can differ between runs (and
+    between Domains racing to intern); it must only ever be compared for
+    equality — orderings stay structural for cross-run determinism. *)
+
 val of_entities : Entity.t list -> t
 (** Entities must have ids exactly [0 .. n-1]; raises [Invalid_argument]
     otherwise. *)
@@ -29,6 +40,14 @@ val image_ids : t -> int list
 
 val objects_of_image : t -> int -> int list
 (** Ids of all objects detected in one raw image. *)
+
+val intern : t -> Imageeye_util.Bitset.t -> interned
+(** The canonical cell for a bitset over this universe, creating it on
+    first sight.  Thread-safe (callable from any Domain).  Raises
+    [Invalid_argument] when the bitset's universe size does not match. *)
+
+val interned_count : t -> int
+(** Number of distinct object sets interned so far (instrumentation). *)
 
 val right_of : t -> int -> int array
 val left_of : t -> int -> int array

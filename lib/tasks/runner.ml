@@ -2,8 +2,14 @@ module Domainpool = Imageeye_util.Domainpool
 
 let default_jobs () =
   match Sys.getenv_opt "IMAGEEYE_JOBS" with
-  | Some v -> ( match int_of_string_opt v with Some n when n >= 1 -> n | _ -> 1)
   | None -> 1
+  | Some v -> (
+      (* A typo'd value must not silently degrade to sequential mode. *)
+      match int_of_string_opt (String.trim v) with
+      | Some n when n >= 1 -> n
+      | Some _ | None ->
+          failwith
+            (Printf.sprintf "IMAGEEYE_JOBS must be a positive integer, got %S" v))
 
 let map ?jobs f xs =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in

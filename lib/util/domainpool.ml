@@ -3,6 +3,10 @@ type t = {
   mutex : Mutex.t;
   nonempty : Condition.t;
   mutable closed : bool;
+  (* First exception escaping a directly submitted job.  Workers must not
+     die on a raising job — that would silently shrink the pool — so they
+     record it here and keep serving; [shutdown] re-raises it. *)
+  mutable failed : (exn * Printexc.raw_backtrace) option;
   (* Mutated in place after spawning: the worker closures capture [t]
      itself, so [create] must not build a second record. *)
   mutable workers : unit Domain.t array;
@@ -26,7 +30,14 @@ let worker pool () =
     match job with
     | None -> ()
     | Some job ->
-        job ();
+        (try job ()
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           Mutex.lock pool.mutex;
+           (match pool.failed with
+           | None -> pool.failed <- Some (e, bt)
+           | Some _ -> ());
+           Mutex.unlock pool.mutex);
         loop ()
   in
   loop ()
@@ -39,6 +50,7 @@ let create n =
       mutex = Mutex.create ();
       nonempty = Condition.create ();
       closed = false;
+      failed = None;
       workers = [||];
     }
   in
@@ -102,7 +114,15 @@ let shutdown pool =
   pool.closed <- true;
   Condition.broadcast pool.nonempty;
   Mutex.unlock pool.mutex;
-  if not was_closed then Array.iter Domain.join pool.workers
+  if not was_closed then begin
+    Array.iter Domain.join pool.workers;
+    (* Cleared before raising so a second shutdown stays a no-op. *)
+    match pool.failed with
+    | Some (e, bt) ->
+        pool.failed <- None;
+        Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
 
 let with_pool ~jobs f =
   if jobs <= 1 then f None

@@ -26,13 +26,21 @@ val create : int -> t
 
 val size : t -> int
 
+val submit : t -> (unit -> unit) -> unit
+(** Fire-and-forget: enqueue one job.  Raises [Invalid_argument] after
+    {!shutdown}.  A raising job does {e not} kill its worker — the first
+    such exception is recorded and re-raised by {!shutdown}; prefer
+    {!map} when you need per-batch results and error handling. *)
+
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Ordered parallel map, see above.  Safe to call repeatedly; batches
     are independent. *)
 
 val shutdown : t -> unit
 (** Waits for queued jobs to finish, then joins all workers.  The pool
-    must not be used afterwards.  Idempotent. *)
+    must not be used afterwards.  Idempotent.  If any directly
+    {!submit}-ted job raised, the first such exception is re-raised here
+    (once, with its backtrace) after the workers have been joined. *)
 
 val with_pool : jobs:int -> (t option -> 'a) -> 'a
 (** [with_pool ~jobs f] runs [f (Some pool)] with a fresh pool of

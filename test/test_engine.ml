@@ -117,6 +117,16 @@ let test_events_counters () =
   Alcotest.(check int) "sink saw every event" 8 (List.length !seen);
   Alcotest.(check bool) "monotonic elapsed" true (Events.elapsed_s r >= 0.0)
 
+let test_events_bulk_counter () =
+  let r = Events.create () in
+  Events.record r (Events.Counted ("eval-cache(memo-hit)", 41));
+  Events.record r (Events.Counted ("eval-cache(memo-hit)", 1));
+  Events.record r (Events.Noted "eval-cache(memo-hit)");
+  Alcotest.(check (list (pair string int)))
+    "bulk counter adds n at once"
+    [ ("eval-cache(memo-hit)", 43) ]
+    (Events.counts r)
+
 let test_clock_monotonic () =
   let c = Clock.counter () in
   let a = Clock.elapsed_s c in
@@ -244,6 +254,21 @@ let test_pool_exception_propagation () =
       Alcotest.(check (list int)) "pool still usable" [ 0; 1; 2 ]
         (Domainpool.map pool Fun.id [ 0; 1; 2 ]))
 
+let test_pool_survives_raising_submit () =
+  let pool = Domainpool.create 2 in
+  (* A directly submitted job that raises must not silently kill its
+     worker (regression: the worker's loop had no guard, so the pool
+     shrank by one domain per raising job). *)
+  Domainpool.submit pool (fun () -> failwith "late boom");
+  let xs = List.init 20 Fun.id in
+  Alcotest.(check (list int)) "both workers still serve" (List.map succ xs)
+    (Domainpool.map pool succ xs);
+  (* The failure is not swallowed either: shutdown surfaces it... *)
+  Alcotest.check_raises "shutdown re-raises the job's exception"
+    (Failure "late boom") (fun () -> Domainpool.shutdown pool);
+  (* ...exactly once, so a second shutdown stays a no-op. *)
+  Domainpool.shutdown pool
+
 let test_pool_with_pool () =
   Alcotest.(check bool) "jobs=1 stays sequential" true
     (Domainpool.with_pool ~jobs:1 (fun p -> p = None));
@@ -277,6 +302,7 @@ let () =
       ( "events",
         [
           Alcotest.test_case "counters and attribution" `Quick test_events_counters;
+          Alcotest.test_case "bulk counters" `Quick test_events_bulk_counter;
           Alcotest.test_case "monotonic clock" `Quick test_clock_monotonic;
         ] );
       ( "pruning-pipeline",
@@ -297,6 +323,8 @@ let () =
           Alcotest.test_case "ordered map" `Quick test_pool_map_order;
           Alcotest.test_case "exception propagation" `Quick
             test_pool_exception_propagation;
+          Alcotest.test_case "survives a raising submitted job" `Quick
+            test_pool_survives_raising_submit;
           Alcotest.test_case "with_pool" `Quick test_pool_with_pool;
           Alcotest.test_case "runner matches sequential" `Quick
             test_runner_matches_sequential;

@@ -18,6 +18,7 @@ module Batch = Imageeye_vision.Batch
 module Task = Imageeye_tasks.Task
 module Benchmarks = Imageeye_tasks.Benchmarks
 module Domainpool = Imageeye_util.Domainpool
+module Eval = Imageeye_core.Eval
 
 let config =
   {
@@ -86,6 +87,25 @@ let outcome_sig = function
   | Synthesizer.Timeout s -> "timeout | " ^ stats_sig s
   | Synthesizer.Exhausted s -> "exhausted | " ^ stats_sig s
 
+(* The evaluation cache reports its own hit/miss counters through
+   [prune_counts]; stripping them leaves exactly what must be
+   byte-identical between cached and uncached runs (programs, worklist
+   traffic, per-pass prune attribution). *)
+let strip_cache_counts (s : Synthesizer.stats) =
+  {
+    s with
+    Synthesizer.prune_counts =
+      List.filter
+        (fun (l, _) ->
+          not (String.length l >= 11 && String.sub l 0 11 = "eval-cache("))
+        s.prune_counts;
+  }
+
+let map_stats f = function
+  | Synthesizer.Success (p, s) -> Synthesizer.Success (p, f s)
+  | Synthesizer.Timeout s -> Synthesizer.Timeout (f s)
+  | Synthesizer.Exhausted s -> Synthesizer.Exhausted (f s)
+
 (* Fig. 8 rebuilt directly on the layered engine, bypassing the
    Synthesizer wrappers: one Engine_search.search per demonstrated
    action, folded in action order. *)
@@ -112,7 +132,9 @@ let check_task ~pool task =
       Alcotest.failf "task %d: ground truth edits no image of the test dataset"
         task.Task.id
   | Some spec ->
+      let n0 = Eval.count_nodes_evaluated () in
       let wrapper = Synthesizer.synthesize ~config spec in
+      let cached_nodes = Eval.count_nodes_evaluated () - n0 in
       (match wrapper with
       | Synthesizer.Timeout _ ->
           Alcotest.failf "task %d: budget is supposed to be deterministic" task.Task.id
@@ -124,7 +146,25 @@ let check_task ~pool task =
       Alcotest.(check string)
         (Printf.sprintf "task %d: pool = sequential" task.Task.id)
         (outcome_sig wrapper)
-        (outcome_sig (Synthesizer.synthesize ~config ~pool spec))
+        (outcome_sig (Synthesizer.synthesize ~config ~pool spec));
+      (* The memoized incremental evaluator is a pure optimization: with
+         the cache counters stripped, a cache-off run is byte-identical. *)
+      let n1 = Eval.count_nodes_evaluated () in
+      let uncached =
+        Synthesizer.synthesize
+          ~config:{ config with Synthesizer.eval_cache = false }
+          spec
+      in
+      let uncached_nodes = Eval.count_nodes_evaluated () - n1 in
+      Alcotest.(check string)
+        (Printf.sprintf "task %d: eval cache preserves behavior" task.Task.id)
+        (outcome_sig (map_stats strip_cache_counts wrapper))
+        (outcome_sig (map_stats strip_cache_counts uncached));
+      Alcotest.(check bool)
+        (Printf.sprintf "task %d: cache never evaluates more nodes (%d vs %d)"
+           task.Task.id cached_nodes uncached_nodes)
+        true
+        (cached_nodes <= uncached_nodes)
 
 let suite_case domain =
   Alcotest.test_case (Dataset.domain_name domain) `Slow (fun () ->

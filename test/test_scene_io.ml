@@ -16,6 +16,8 @@ let sample () =
       { Scene.kind = Scene.Text_item "$12.99"; bbox = Test_support.box 50 10 40 7 };
       { Scene.kind = Scene.Text_item "two words"; bbox = Test_support.box 50 30 60 7 };
       { Scene.kind = Scene.Thing_item "cat"; bbox = Test_support.box 120 10 40 40 };
+      (* detector label sets include multi-word classes *)
+      { Scene.kind = Scene.Thing_item "traffic light"; bbox = Test_support.box 170 10 20 40 };
     ]
 
 let test_roundtrip () =
@@ -40,7 +42,35 @@ let test_rejects_garbage () =
            ignore (Scene_io.of_string input);
            false
          with Failure _ -> true))
-    [ ""; "nope"; "scene 1 2"; "scene 0 100 100\nblob 1 2 3 4 x" ]
+    [
+      "";
+      "nope";
+      "scene 1 2";
+      "scene 0 100 100\nblob 1 2 3 4 x";
+      (* malformed %-escapes must raise Failure, not Char.chr/int_of_string
+         errors or silent pass-through *)
+      "scene 0 100 100\ntext 1 2 3 4 a%XZb";
+      "scene 0 100 100\ntext 1 2 3 4 trailing%2";
+      "scene 0 100 100\ntext 1 2 3 4 trailing%";
+      "scene 0 100 100\nthing 1 2 3 4 bad%G0class";
+    ]
+
+(* Property: any printable body/class text survives a round-trip through
+   one serialized scene — spaces, percent signs and '%XX'-lookalikes
+   included. *)
+let text_prop =
+  let ascii = QCheck2.Gen.(map Char.chr (int_range 32 126)) in
+  QCheck2.Test.make ~name:"arbitrary text and thing classes roundtrip" ~count:200
+    QCheck2.Gen.(string_size ~gen:ascii (int_range 1 20))
+    (fun body ->
+      let s =
+        Scene.make ~image_id:1 ~width:100 ~height:100
+          [
+            { Scene.kind = Scene.Text_item body; bbox = Test_support.box 0 0 50 7 };
+            { Scene.kind = Scene.Thing_item body; bbox = Test_support.box 0 20 30 30 };
+          ]
+      in
+      Scene_io.of_string (Scene_io.to_string s) = s)
 
 let test_file_roundtrip () =
   let s = sample () in
@@ -85,6 +115,7 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_roundtrip;
           Alcotest.test_case "escapes" `Quick test_roundtrip_escapes;
           Alcotest.test_case "rejects garbage" `Quick test_rejects_garbage;
+          QCheck_alcotest.to_alcotest text_prop;
           Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
           Alcotest.test_case "dataset roundtrip" `Quick test_dataset_roundtrip;
           QCheck_alcotest.to_alcotest roundtrip_prop;

@@ -42,8 +42,8 @@ let partial_gen u target =
       oneof
         [
           hole;
-          return { Partial.goal; node = Partial.All };
-          (oneofl pool_preds >|= fun p -> { Partial.goal; node = Partial.Is p });
+          return (Partial.make goal Partial.All);
+          (oneofl pool_preds >|= fun p -> Partial.make goal (Partial.Is p));
         ]
     in
     if depth = 0 then leaf
@@ -52,18 +52,18 @@ let partial_gen u target =
         [
           leaf;
           ( gen (Goal.infer u Goal.For_complement goal) (depth - 1) >|= fun q ->
-            { Partial.goal; node = Partial.Complement q } );
+            Partial.make goal (Partial.Complement q) );
           ( pair
               (gen (Goal.infer u Goal.For_union goal) (depth - 1))
               (gen (Goal.infer u Goal.For_union goal) (depth - 1))
-          >|= fun (a, b) -> { Partial.goal; node = Partial.Union [ a; b ] } );
+          >|= fun (a, b) -> Partial.make goal (Partial.Union [ a; b ]) );
           ( pair
               (gen (Goal.infer u Goal.For_intersect goal) (depth - 1))
               (gen (Goal.infer u Goal.For_intersect goal) (depth - 1))
-          >|= fun (a, b) -> { Partial.goal; node = Partial.Intersect [ a; b ] } );
+          >|= fun (a, b) -> Partial.make goal (Partial.Intersect [ a; b ]) );
           ( triple (gen (Goal.infer u Goal.For_find goal) (depth - 1)) (oneofl pool_preds)
               (oneofl Func.all)
-          >|= fun (q, p, f) -> { Partial.goal; node = Partial.Find (q, p, f) } );
+          >|= fun (q, p, f) -> Partial.make goal (Partial.Find (q, p, f)) );
         ]
   in
   gen (Goal.exact target) 3
@@ -161,7 +161,7 @@ let rec annotate u goal (e : Lang.extractor) : Partial.t =
     | Lang.Filter (e1, p) ->
         Partial.Filter (annotate u (Goal.infer u Goal.For_filter goal) e1, p)
   in
-  { Partial.goal; node }
+  Partial.make goal node
 
 let rec carve (e : Lang.extractor) goal u : Partial.t list =
   let self = Partial.hole goal in
@@ -171,32 +171,32 @@ let rec carve (e : Lang.extractor) goal u : Partial.t list =
     | Lang.All | Lang.Is _ -> []
     | Lang.Complement e1 ->
         List.map
-          (fun q -> { Partial.goal; node = Partial.Complement q })
+          (fun q -> Partial.make goal (Partial.Complement q))
           (carve e1 (Goal.infer u Goal.For_complement goal) u)
     | Lang.Union [ a; b ] ->
         let ga = Goal.infer u Goal.For_union goal in
         List.map
-          (fun q -> { Partial.goal; node = Partial.Union [ q; annotate u ga b ] })
+          (fun q -> Partial.make goal (Partial.Union [ q; annotate u ga b ]))
           (carve a ga u)
         @ List.map
-            (fun q -> { Partial.goal; node = Partial.Union [ annotate u ga a; q ] })
+            (fun q -> Partial.make goal (Partial.Union [ annotate u ga a; q ]))
             (carve b ga u)
     | Lang.Intersect [ a; b ] ->
         let ga = Goal.infer u Goal.For_intersect goal in
         List.map
-          (fun q -> { Partial.goal; node = Partial.Intersect [ q; annotate u ga b ] })
+          (fun q -> Partial.make goal (Partial.Intersect [ q; annotate u ga b ]))
           (carve a ga u)
         @ List.map
-            (fun q -> { Partial.goal; node = Partial.Intersect [ annotate u ga a; q ] })
+            (fun q -> Partial.make goal (Partial.Intersect [ annotate u ga a; q ]))
             (carve b ga u)
     | Lang.Union _ | Lang.Intersect _ -> []
     | Lang.Find (e1, p, f) ->
         List.map
-          (fun q -> { Partial.goal; node = Partial.Find (q, p, f) })
+          (fun q -> Partial.make goal (Partial.Find (q, p, f)))
           (carve e1 (Goal.infer u Goal.For_find goal) u)
     | Lang.Filter (e1, p) ->
         List.map
-          (fun q -> { Partial.goal; node = Partial.Filter (q, p) })
+          (fun q -> Partial.make goal (Partial.Filter (q, p)))
           (carve e1 (Goal.infer u Goal.For_filter goal) u)
   in
   self :: embedded :: sub

@@ -82,7 +82,7 @@ let test_partial_metrics () =
   let h = Partial.hole g in
   Alcotest.(check int) "hole size" 1 (Partial.size h);
   Alcotest.(check bool) "hole incomplete" false (Partial.is_complete h);
-  let p = { Partial.goal = g; node = Partial.Union [ h; { Partial.goal = g; node = Partial.Is Pred.Smiling } ] } in
+  let p = Partial.make g (Partial.Union [ h; Partial.make g (Partial.Is Pred.Smiling) ]) in
   Alcotest.(check int) "union size" 4 (Partial.size p);
   Alcotest.(check int) "holes" 1 (Partial.count_holes p);
   Alcotest.(check bool) "incomplete" true (Partial.to_extractor p = None)
@@ -112,20 +112,14 @@ let test_peval_example_5_10 () =
   let union_goal = Goal.infer u Goal.For_union top in
   let compl_goal = Goal.infer u Goal.For_complement union_goal in
   let p =
-    {
-      Partial.goal = top;
-      node =
-        Partial.Union
-          [
-            {
-              Partial.goal = union_goal;
-              node =
-                Partial.Complement
-                  { Partial.goal = compl_goal; node = Partial.Is (Pred.Object "car") };
-            };
-            Partial.hole union_goal;
-          ];
-    }
+    Partial.make top
+      (Partial.Union
+         [
+           Partial.make union_goal
+             (Partial.Complement
+                (Partial.make compl_goal (Partial.Is (Pred.Object "car"))));
+           Partial.hole union_goal;
+         ])
   in
   Alcotest.(check bool) "rejected" true
     (Peval.run ~check_goals:true ~collapse:true u p = None);
@@ -137,12 +131,9 @@ let test_peval_collapses_complete_subtrees () =
   let u = three_cats_universe () in
   let g = Goal.trivial u in
   let p =
-    {
-      Partial.goal = g;
-      node =
-        Partial.Union
-          [ { Partial.goal = g; node = Partial.Is (Pred.Object "cat") }; Partial.hole g ];
-    }
+    Partial.make g
+      (Partial.Union
+         [ Partial.make g (Partial.Is (Pred.Object "cat")); Partial.hole g ])
   in
   match Peval.run ~check_goals:true ~collapse:true u p with
   | Some (Peval.Form.Union [ Peval.Form.Const v; Peval.Form.Hole ]) ->
@@ -154,7 +145,7 @@ let test_peval_syntactic_mode () =
   let u = three_cats_universe () in
   let g = Goal.trivial u in
   let p =
-    { Partial.goal = g; node = Partial.Complement { Partial.goal = g; node = Partial.All } }
+    Partial.make g (Partial.Complement (Partial.make g Partial.All))
   in
   match Peval.run ~check_goals:false ~collapse:false u p with
   | Some (Peval.Form.Complement Peval.Form.All) -> ()
