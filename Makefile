@@ -2,8 +2,9 @@
 #   make check   build + full test suite + a fast end-to-end benchmark smoke
 
 JOBS ?= 2
+BENCH_JSON ?= BENCH_PR3.json
 
-.PHONY: all build test smoke check clean
+.PHONY: all build test smoke check bench-json clean
 
 all: build
 
@@ -22,6 +23,18 @@ smoke: build
 
 check: build test smoke
 	@echo "check OK"
+
+# Benchmark trajectory for the committed before/after record: the full
+# table-2 sweep runs twice — value bank off (the baseline, embedded into
+# the final document) then on — writing $(BENCH_JSON) at the repo root.
+# Set IMAGEEYE_QUICK=1 for the CI-sized variant, and
+# IMAGEEYE_JSON_CI_MIN_SOLVED=<n> to stamp the solved floor CI enforces.
+bench-json: build
+	IMAGEEYE_VALUE_BANK=0 ./_build/default/bench/main.exe table2 \
+	  --json $(BENCH_JSON).baseline
+	IMAGEEYE_JSON_BASELINE=$(BENCH_JSON).baseline \
+	  ./_build/default/bench/main.exe table2 --json $(BENCH_JSON)
+	rm -f $(BENCH_JSON).baseline
 
 clean:
 	dune clean

@@ -2,7 +2,12 @@
    evaluation (Section 7) plus a Bechamel microbenchmark suite.
 
    Usage:  main.exe [table1] [table2] [fig15] [fig16] [rq5] [micro]
-   With no arguments, all sections run in paper order.
+                    [--json <path>]
+   With no section arguments, all sections run in paper order.
+   [--json <path>] additionally writes the table-2 sweep trajectory
+   (per-task solved/time/nodes/prune-counts plus aggregates, schema of
+   [Imageeye_interact.Sweep_json]) to <path>, running the sweep if no
+   chosen section already did.
 
    Environment knobs:
      IMAGEEYE_QUICK=1           smaller datasets and timeouts (for CI)
@@ -13,7 +18,15 @@
      IMAGEEYE_JOBS=<n>          Domain-pool size for task sweeps (default 1;
                                 per-task log lines may interleave, and a
                                 binding wall-clock timeout can cut
-                                differently under core contention) *)
+                                differently under core contention)
+     IMAGEEYE_VALUE_BANK=0      disable the extractor value bank in every
+                                non-ablation config (before/after runs)
+     IMAGEEYE_JSON_BASELINE=<p> embed the JSON document at <p> (a previous
+                                --json output) verbatim as a "baseline"
+                                field of the emitted trajectory
+     IMAGEEYE_JSON_CI_MIN_SOLVED=<n>
+                                emit <n> as "ci_min_solved" (the solved
+                                floor CI enforces on quick-mode sweeps) *)
 
 module Lang = Imageeye_core.Lang
 module Synthesizer = Imageeye_core.Synthesizer
@@ -56,6 +69,11 @@ let jobs = env_int "IMAGEEYE_JOBS" 1
 let timeout = env_float "IMAGEEYE_TIMEOUT" (if quick then 20.0 else 120.0)
 let eus_timeout = env_float "IMAGEEYE_EUS_TIMEOUT" (if quick then 10.0 else 30.0)
 let abl_timeout = env_float "IMAGEEYE_ABL_TIMEOUT" (if quick then 5.0 else 10.0)
+let value_bank = Sys.getenv_opt "IMAGEEYE_VALUE_BANK" <> Some "0"
+
+(* Every non-ablation section starts from this, so a single env knob gives
+   the before/after pair for the committed BENCH_PR3.json. *)
+let base_config = { Synthesizer.default_config with value_bank }
 
 let dataset_size domain =
   if quick then
@@ -126,7 +144,7 @@ let table1 () =
 (* Table 2: main results — shared session runs                         *)
 (* ------------------------------------------------------------------ *)
 
-let run_sessions ?(config = { Synthesizer.default_config with timeout_s = timeout }) () =
+let run_sessions ?(config = { base_config with timeout_s = timeout }) () =
   prefetch ();
   let nodes0 = Imageeye_core.Eval.count_nodes_evaluated () in
   let results =
@@ -330,11 +348,17 @@ let ablations =
        Must solve the same tasks (it is semantics-preserving) while the
        nodes-evaluated line above shows the work it saves. *)
     ("no-eval-cache", fun c -> { c with Synthesizer.eval_cache = false });
+    (* Also not a paper ablation: disables the bottom-up extractor value
+       bank, so hole closure falls back to pure grammar expansion.  Exact
+       lookups are solution-preserving, so the solved set must match
+       [full]; the separation shows up in nodes evaluated and in the
+       value-bank(...) counters of the prune table. *)
+    ("no-value-bank", fun c -> { c with Synthesizer.value_bank = false });
   ]
 
 let fig16 () =
   heading "Figure 16: ablation study (cumulative synthesis time vs benchmarks solved)";
-  let base = { Synthesizer.default_config with timeout_s = abl_timeout } in
+  let base = { base_config with timeout_s = abl_timeout } in
   let per_config =
     List.map
       (fun (name, tweak) ->
@@ -448,7 +472,7 @@ let rq5 () =
 let stress () =
   heading "Stress: randomly generated tasks (extension; not in the paper)";
   let per_domain = if quick then 4 else 10 in
-  let config = { Synthesizer.default_config with timeout_s = abl_timeout *. 2.0 } in
+  let config = { base_config with timeout_s = abl_timeout *. 2.0 } in
   let rows =
     List.map
       (fun domain ->
@@ -495,7 +519,7 @@ let micro () =
   let u = Imageeye_vision.Batch.universe_of_scenes wedding_small.scenes in
   let gt_edit = Imageeye_core.Edit.induced_by_program u task1.Task.ground_truth in
   let spec = Imageeye_core.Edit.Spec.make u [ (0, gt_edit) ] in
-  let cfg = { Synthesizer.default_config with timeout_s = 5.0 } in
+  let cfg = { base_config with timeout_s = 5.0 } in
   let tests =
     [
       Test.make ~name:"table1/dataset-generation"
@@ -545,10 +569,13 @@ let micro () =
                    (Imageeye_util.Bitset.union a b))));
       Test.make ~name:"component/pqueue-push-pop"
         (Staged.stage (fun () ->
+             (* The scheduler's own monomorphic comparator, not polymorphic
+                Stdlib.compare — this measures what the search actually runs. *)
              let q =
                List.fold_left
                  (fun q i -> Imageeye_util.Pqueue.push q (i mod 17, i) i)
-                 (Imageeye_util.Pqueue.empty ~compare:Stdlib.compare)
+                 (Imageeye_util.Pqueue.empty
+                    ~compare:Imageeye_engine.Scheduler.compare_priority)
                  (List.init 256 Fun.id)
              in
              ignore (Imageeye_util.Pqueue.to_sorted_list q)));
@@ -574,9 +601,54 @@ let micro () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Trajectory emission (--json): aggregates plus per-task rows for the
+   table-2 sweep, with optional baseline embedding and CI solved floor
+   from the environment (see the header comment). *)
+let json_meta () =
+  let open Imageeye_util.Jsonout in
+  let read_all path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  [
+    ("bench", Str "imageeye-table2-sweep");
+    ("mode", Str (if quick then "quick" else "full"));
+    ("seed", Int seed);
+    ("jobs", Int jobs);
+    ("timeout_s", Float timeout);
+    ("value_bank", Bool value_bank);
+  ]
+  @ (match Sys.getenv_opt "IMAGEEYE_JSON_CI_MIN_SOLVED" with
+    | Some v when String.trim v <> "" -> [ ("ci_min_solved", Int (int_of_string (String.trim v))) ]
+    | _ -> [])
+  @
+  match Sys.getenv_opt "IMAGEEYE_JSON_BASELINE" with
+  | Some path when Sys.file_exists path -> [ ("baseline", Raw (read_all path)) ]
+  | Some path ->
+      Printf.eprintf "error: IMAGEEYE_JSON_BASELINE file %S not found\n%!" path;
+      exit 2
+  | None -> []
+
+let write_json path =
+  let results = Lazy.force imageeye_results in
+  Imageeye_interact.Sweep_json.write ~meta:(json_meta ()) path results;
+  say "wrote sweep trajectory to %s" path
+
 let () =
-  let sections =
-    match Array.to_list Sys.argv with [] | [ _ ] -> [] | _ :: rest -> rest
+  let sections, json_path =
+    let rec split acc json = function
+      | [] -> (List.rev acc, json)
+      | [ "--json" ] ->
+          Printf.eprintf "error: --json needs a path argument\n%!";
+          exit 2
+      | "--json" :: path :: rest -> split acc (Some path) rest
+      | s :: rest -> split (s :: acc) json rest
+    in
+    match Array.to_list Sys.argv with
+    | [] -> ([], None)
+    | _ :: rest -> split [] None rest
   in
   let all =
     [
@@ -602,7 +674,9 @@ let () =
                 None)
           names
   in
-  say "ImageEye experiment harness (%s mode, seed %d, timeout %.0fs)"
+  say "ImageEye experiment harness (%s mode, seed %d, timeout %.0fs%s)"
     (if quick then "quick" else "full")
-    seed timeout;
-  List.iter (fun (_, f) -> f ()) chosen
+    seed timeout
+    (if value_bank then "" else ", value bank OFF");
+  List.iter (fun (_, f) -> f ()) chosen;
+  Option.iter write_json json_path

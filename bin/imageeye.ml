@@ -177,7 +177,7 @@ let learn_cmd =
 
 (* ---------- sweep ---------- *)
 
-let sweep task_ids images seed timeout jobs =
+let sweep task_ids images seed timeout jobs value_bank json_path =
   let tasks =
     match task_ids with
     | [] -> Benchmarks.all
@@ -202,7 +202,7 @@ let sweep task_ids images seed timeout jobs =
         (domain, (dataset, universe)))
       domains
   in
-  let config = { Synthesizer.default_config with timeout_s = timeout } in
+  let config = { Synthesizer.default_config with timeout_s = timeout; value_bank } in
   let started = Imageeye_util.Clock.counter () in
   let results =
     Imageeye_tasks.Runner.run_tasks ~jobs
@@ -258,6 +258,21 @@ let sweep task_ids images seed timeout jobs =
        "evaluation cache: %d memo hits, %d value hits, %d evaluated (hit rate %.1f%%)\n" memo
        vhit evaluated
        (100.0 *. float_of_int (memo + vhit) /. float_of_int visited));
+  Option.iter
+    (fun path ->
+      let open Imageeye_util.Jsonout in
+      Imageeye_interact.Sweep_json.write
+        ~meta:
+          [
+            ("bench", Str "imageeye-cli-sweep");
+            ("seed", Int seed);
+            ("jobs", Int jobs);
+            ("timeout_s", Float timeout);
+            ("value_bank", Bool value_bank);
+          ]
+        path (List.map snd results);
+      Printf.printf "wrote sweep trajectory to %s\n" path)
+    json_path;
   if solved = [] then exit 1
 
 let sweep_cmd =
@@ -277,10 +292,20 @@ let sweep_cmd =
     Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
            ~doc:"Domains to run tasks on in parallel (1 = sequential; size to the              available cores).")
   in
+  let value_bank =
+    Term.(
+      const not
+      $ Arg.(value & flag & info [ "no-value-bank" ]
+               ~doc:"Disable the bottom-up extractor value bank (pure top-down search)."))
+  in
+  let json_path =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the per-task sweep trajectory (solved, time, nodes, prune              counters) as JSON to FILE.")
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Run the demonstration loop over many benchmark tasks and summarize, optionally              on a parallel Domain pool.")
-    Term.(const sweep $ task_ids $ images $ seed_arg $ timeout $ jobs)
+    Term.(const sweep $ task_ids $ images $ seed_arg $ timeout $ jobs $ value_bank $ json_path)
 
 (* ---------- apply ---------- *)
 

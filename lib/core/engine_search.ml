@@ -8,6 +8,7 @@ type config = {
   partial_eval : bool;
   equiv_reduction : bool;
   eval_cache : bool;
+  value_bank : bool;
   timeout_s : float;
   max_expansions : int;
   max_size : int;
@@ -21,6 +22,7 @@ let default_config =
     partial_eval = true;
     equiv_reduction = true;
     eval_cache = true;
+    value_bank = true;
     timeout_s = 120.0;
     max_expansions = 2_000_000;
     max_size = 24;
@@ -33,6 +35,7 @@ type stats = {
   enqueued : int;
   pruned_infeasible : int;
   pruned_reducible : int;
+  nodes : int;
   elapsed_s : float;
   prune_counts : (string * int) list;
 }
@@ -45,6 +48,7 @@ let empty_stats =
     enqueued = 0;
     pruned_infeasible = 0;
     pruned_reducible = 0;
+    nodes = 0;
     elapsed_s = 0.0;
     prune_counts = [];
   }
@@ -66,6 +70,7 @@ let add_stats a b =
     enqueued = a.enqueued + b.enqueued;
     pruned_infeasible = a.pruned_infeasible + b.pruned_infeasible;
     pruned_reducible = a.pruned_reducible + b.pruned_reducible;
+    nodes = a.nodes + b.nodes;
     elapsed_s = a.elapsed_s +. b.elapsed_s;
     prune_counts = merge_counts a.prune_counts b.prune_counts;
   }
@@ -184,14 +189,25 @@ let min_delta = 0
 
 let max_delta = 4 (* largest instantiation is Find with a parameterized predicate *)
 
-let expand u vocab facts config ctx passes ~delta p =
+(* [close] is the value-bank hole closure: [close goal ~delta] returns
+   [Some candidates] to override the grammar for a hole (a bank emission,
+   or [] when the bank already emitted for it at a smaller increment) and
+   [None] to expand the grammar as usual.  Grammar instantiations are all
+   single-step, so they only exist up to [max_delta]; the scheduler visits
+   larger increments when the bank is on (its terms go deeper). *)
+let expand u vocab facts config ctx passes ~close ~delta p =
   let rec go (p : Partial.t) =
     match p.node with
-    | Partial.Hole ->
-        Some
-          (List.filter
-             (fun inst -> Partial.size inst - 1 = delta)
-             (instantiations u vocab facts config ctx passes p.goal))
+    | Partial.Hole -> (
+        match close p.goal ~delta with
+        | Some candidates -> Some candidates
+        | None ->
+            Some
+              (if delta > max_delta then []
+               else
+                 List.filter
+                   (fun inst -> Partial.size inst - 1 = delta)
+                   (instantiations u vocab facts config ctx passes p.goal)))
     | Partial.All | Partial.Is _ -> None
     (* Spine nodes above the hole are rebuilt fresh (empty memo slot);
        unchanged sibling subtrees are shared physically, which is what
@@ -225,7 +241,7 @@ let expand u vocab facts config ctx passes ~delta p =
 
 let const_solved_label = Prune.partial_eval.Prune.name ^ "(const-solved)"
 
-let stats_of_events ev =
+let stats_of_events ev ~nodes =
   {
     popped = Events.popped ev;
     enqueued = Events.enqueued ev;
@@ -233,12 +249,13 @@ let stats_of_events ev =
     pruned_reducible =
       Events.pruned ev Prune.equiv_rewrite.Prune.name
       + Events.pruned ev Prune.equiv_dedup.Prune.name;
+    nodes;
     elapsed_s = Events.elapsed_s ev;
     prune_counts = Events.counts ev;
   }
 
 let search ~config ~limit ?sink u i_out =
-  let vocab = Vocab.of_universe ~age_thresholds:config.age_thresholds u in
+  let vocab = Bank_registry.vocab u ~age_thresholds:config.age_thresholds in
   let passes =
     Prune.pipeline
       {
@@ -264,6 +281,34 @@ let search ~config ~limit ?sink u i_out =
   let checks = List.map (fun (p : Prune.pass) -> (p, p.Prune.fresh ())) passes in
   let cache = if config.eval_cache then Some (Peval.Cache.create ()) else None in
   let ev = Events.create ?sink () in
+  (* The value bank substitutes ONE term per exact-window hole, which is
+     only solution-preserving when one solution is all the caller wants:
+     multi-solution searches (active learning's candidate disagreement)
+     need the grammar's syntactic variety, so the bank stands down. *)
+  let bank =
+    if config.value_bank && limit = 1 then
+      Some
+        (Bank_registry.handle u ~age_thresholds:config.age_thresholds
+           ~max_operands:config.max_operands)
+    else None
+  in
+  let bank_stored0 = match bank with Some h -> Bank_registry.stored h | None -> 0 in
+  let close =
+    match bank with
+    | None -> fun _goal ~delta:_ -> None
+    | Some h -> (
+        fun goal ~delta ->
+          match Bank_registry.close_hole h ~collapse:ctx.Prune.collapse ~goal ~delta with
+          | None -> None
+          | Some (Bank_registry.Emit p) ->
+              Events.record ev (Events.Counted ("value-bank(hit)", 1));
+              Some [ p ]
+          | Some Bank_registry.Skip -> Some []
+          | Some Bank_registry.Fallback ->
+              Events.record ev (Events.Counted ("value-bank(miss)", 1));
+              None)
+  in
+  let nodes0 = Eval.count_local_nodes () in
   let solutions = ref [] in
   let exception Done in
   (* Process one freshly generated candidate: run the pruning pipeline,
@@ -316,9 +361,14 @@ let search ~config ~limit ?sink u i_out =
       Scheduler.Tiered.size = Partial.size;
       depth = Partial.depth;
       min_delta;
-      max_delta;
+      (* Bank terms reach sizes the single-step grammar never produces in
+         one increment, so the scheduler must visit the deeper tiers. *)
+      max_delta =
+        (match bank with
+        | Some _ -> max max_delta Bank_registry.bank_max_delta
+        | None -> max_delta);
       max_size = config.max_size;
-      expand = (fun p ~delta -> expand u vocab facts config ctx passes ~delta p);
+      expand = (fun p ~delta -> expand u vocab facts config ctx passes ~close ~delta p);
       consider;
     }
   in
@@ -353,4 +403,10 @@ let search ~config ~limit ?sink u i_out =
           ("evaluated", c.Peval.Cache.evaluated);
         ]
   | None -> ());
-  (List.rev !solutions, reason, stats_of_events ev)
+  (match bank with
+  | Some h ->
+      let built = Bank_registry.stored h - bank_stored0 in
+      if built > 0 then Events.record ev (Events.Counted ("value-bank(built)", built))
+  | None -> ());
+  (List.rev !solutions, reason,
+   stats_of_events ev ~nodes:(Eval.count_local_nodes () - nodes0))

@@ -23,6 +23,12 @@ type config = {
           memo slots plus a shared form-keyed value table; does not change
           which programs are found or what the pruning passes decide, only
           how much evaluation work [consider] repeats *)
+  value_bank : bool;
+      (** hybrid bottom-up/top-down search (on by default): holes whose
+          goal window is exact are closed from the per-universe
+          value-indexed extractor bank ({!Bank_registry}) instead of
+          being expanded through the grammar; semantics-preserving for
+          single-solution searches (multi-solution searches ignore it) *)
   timeout_s : float;  (** monotonic-clock budget per extractor search *)
   max_expansions : int;  (** hard cap on worklist pops *)
   max_size : int;  (** partial programs above this size are not enqueued *)
@@ -37,14 +43,24 @@ type stats = {
   enqueued : int;  (** partial programs added to the worklist *)
   pruned_infeasible : int;  (** rejected by goal-directed partial evaluation (⊥) *)
   pruned_reducible : int;  (** rejected by equivalence reduction *)
+  nodes : int;
+      (** extractor AST nodes evaluated during this search (Domain-local
+          difference of {!Eval.count_local_nodes}, so Domain-parallel
+          sibling searches don't contaminate it); includes value-bank
+          build work attributed to this search *)
   elapsed_s : float;
   prune_counts : (string * int) list;
       (** per-pass attribution, sorted by pass name: every pruning
           pass's rejection count, plus informational counters such as
           ["partial-eval(const-solved)"] (complete candidates decided
-          directly from their folded constant) and — when the evaluation
+          directly from their folded constant); when the evaluation
           cache is on — ["eval-cache(memo-hit)"], ["eval-cache(value-hit)"],
-          ["eval-cache(value-miss)"] and ["eval-cache(evaluated)"] *)
+          ["eval-cache(value-miss)"] and ["eval-cache(evaluated)"]; when
+          the value bank is on — ["value-bank(hit)"] (holes closed from
+          the bank), ["value-bank(miss)"] (exact-window lookups that fell
+          back to the grammar) and ["value-bank(built)"] (bank values
+          stored during this search; 0 when a shared bank was already
+          warm) *)
 }
 
 val stats_pruned_total : stats -> int

@@ -6,7 +6,16 @@ let nodes_evaluated = Atomic.make 0
 
 let count_nodes_evaluated () = Atomic.get nodes_evaluated
 
-let tick_node_evaluated () = Atomic.incr nodes_evaluated
+(* A second, Domain-local counter backs per-search deltas: the global
+   atomic is shared by every Domain, so under a pool the difference
+   around one search would count other Domains' work too. *)
+let local_nodes_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let count_local_nodes () = !(Domain.DLS.get local_nodes_key)
+
+let tick_node_evaluated () =
+  Atomic.incr nodes_evaluated;
+  incr (Domain.DLS.get local_nodes_key)
 
 let find_first u f phi o =
   let candidates = Func.apply u f o in
@@ -48,7 +57,7 @@ let filter_from u sources phi =
   Simage.of_ids u ids
 
 let rec extractor u e =
-  Atomic.incr nodes_evaluated;
+  tick_node_evaluated ();
   match e with
   | Lang.All -> Simage.full u
   | Lang.Is phi -> Simage.filter (fun ent -> Pred.entails ent phi) (Simage.full u)

@@ -37,6 +37,11 @@ val count_nodes_evaluated : unit -> int
 (** Total number of extractor AST nodes evaluated since program start;
     instrumentation for the benchmarks. *)
 
+val count_local_nodes : unit -> int
+(** Like {!count_nodes_evaluated} but counting only the calling Domain's
+    ticks, so a difference taken around one search is not contaminated by
+    concurrent Domains.  Monotonic within a Domain. *)
+
 val tick_node_evaluated : unit -> unit
 (** Count one node evaluation; atomic.  {!Peval} ticks this for every
     node it evaluates freshly (cache hits don't tick), so the counter

@@ -9,6 +9,7 @@ type config = Engine_search.config = {
   partial_eval : bool;
   equiv_reduction : bool;
   eval_cache : bool;
+  value_bank : bool;
   timeout_s : float;
   max_expansions : int;
   max_size : int;
@@ -23,6 +24,7 @@ type stats = Engine_search.stats = {
   enqueued : int;
   pruned_infeasible : int;
   pruned_reducible : int;
+  nodes : int;
   elapsed_s : float;
   prune_counts : (string * int) list;
 }

@@ -24,6 +24,10 @@ type config = Engine_search.config = {
   eval_cache : bool;
       (** memoized incremental partial evaluation (see
           {!Engine_search.config}); semantics-preserving, on by default *)
+  value_bank : bool;
+      (** hybrid bottom-up/top-down search (see {!Engine_search.config});
+          semantics-preserving for single-solution searches, on by
+          default; {!synthesize_extractors} with [count > 1] ignores it *)
   timeout_s : float;  (** monotonic-clock budget per extractor search *)
   max_expansions : int;  (** hard cap on worklist pops *)
   max_size : int;  (** partial programs above this size are not enqueued *)
@@ -41,6 +45,7 @@ type stats = Engine_search.stats = {
   enqueued : int;  (** partial programs added to the worklist *)
   pruned_infeasible : int;  (** rejected by partial evaluation (⊥) *)
   pruned_reducible : int;  (** rejected by term rewriting *)
+  nodes : int;  (** AST nodes evaluated (see {!Engine_search.stats}) *)
   elapsed_s : float;
   prune_counts : (string * int) list;
       (** per-pass prune attribution, sorted by pass name (see

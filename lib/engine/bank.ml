@@ -1,0 +1,111 @@
+module type VALUE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module Make (V : VALUE) = struct
+  module Tbl = Hashtbl.Make (V)
+
+  type 'term tier = { terms : ('term * V.t) array; saturated : bool }
+
+  type 'term t = {
+    grow : 'term t -> size:int -> offer:('term -> V.t -> unit) -> unit;
+    tier_cap : int;
+    offer_cap : int;
+    max_tier : int;
+    tiers : 'term tier option array; (* slot s holds tier of size s; slot 0 unused *)
+    index : ('term * int) Tbl.t; (* value -> smallest term carrying it, and its size *)
+    mutable built : int; (* tiers 1..built are materialized *)
+    mutable stored : int;
+    mutable offered : int;
+  }
+
+  exception Tier_full
+
+  let create ?(tier_cap = max_int) ?(offer_cap = max_int) ~max_tier ~grow () =
+    if max_tier < 1 then invalid_arg "Bank.create: max_tier must be >= 1";
+    {
+      grow;
+      tier_cap;
+      offer_cap;
+      max_tier;
+      tiers = Array.make (max_tier + 1) None;
+      index = Tbl.create 4096;
+      built = 0;
+      stored = 0;
+      offered = 0;
+    }
+
+  let built t = t.built
+  let max_tier t = t.max_tier
+  let stored t = t.stored
+  let offered t = t.offered
+  let distinct_values t = Tbl.length t.index
+
+  let entries t size =
+    if size < 1 || size > t.built then
+      invalid_arg "Bank.entries: tier not materialized";
+    match t.tiers.(size) with Some tier -> tier.terms | None -> assert false
+
+  let saturated t size =
+    if size < 1 || size > t.built then false
+    else match t.tiers.(size) with Some tier -> tier.saturated | None -> false
+
+  let ensure t n =
+    let n = min n t.max_tier in
+    while t.built < n do
+      let size = t.built + 1 in
+      let acc = ref [] in
+      let count = ref 0 in
+      let offers = ref 0 in
+      let saturated = ref false in
+      let offer term value =
+        incr offers;
+        t.offered <- t.offered + 1;
+        (* The offer cap bounds the enumeration work of one tier; the tier
+           cap bounds its stored footprint (and the cost of the tiers that
+           compose over it).  Either way the tier is marked saturated: a
+           lookup miss against a saturated bank is inconclusive, so the
+           caller must keep its fallback path. *)
+        if !offers > t.offer_cap then begin
+          saturated := true;
+          raise Tier_full
+        end;
+        if not (Tbl.mem t.index value) then
+          if !count >= t.tier_cap then saturated := true
+          else begin
+            Tbl.add t.index value (term, size);
+            acc := (term, value) :: !acc;
+            incr count;
+            t.stored <- t.stored + 1
+          end
+      in
+      (try t.grow t ~size ~offer with Tier_full -> ());
+      t.tiers.(size) <-
+        Some { terms = Array.of_list (List.rev !acc); saturated = !saturated };
+      t.built <- size
+    done
+
+  let find_value t value = Tbl.find_opt t.index value
+
+  let find_in_window ?max_size ~mem t =
+    let limit = match max_size with Some m -> min m t.built | None -> t.built in
+    let rec scan_tier s =
+      if s > limit then None
+      else
+        match t.tiers.(s) with
+        | None -> None
+        | Some tier ->
+            let n = Array.length tier.terms in
+            let rec go i =
+              if i >= n then scan_tier (s + 1)
+              else
+                let term, v = tier.terms.(i) in
+                if mem v then Some (term, v, s) else go (i + 1)
+            in
+            go 0
+    in
+    scan_tier 1
+end

@@ -1,0 +1,81 @@
+(** Size-stratified, value-indexed term banks (bottom-up enumeration with
+    observational-equivalence dedup, EUSolver-style), generic over the term
+    and value types so the engine layer stays DSL-agnostic.
+
+    A bank holds, per term size (a {e tier}), one representative term for
+    every distinct {e value} first reached at that size.  Tiers are
+    materialized lazily: {!Make.ensure} grows the bank one tier at a time
+    by calling back into a domain-specific [grow] function, which
+    enumerates all terms of exactly that size (composing values from the
+    already-built lower tiers, read back with {!Make.entries}) and feeds
+    them to [offer].  Values are deduplicated globally, so the first term
+    offered for a value — smallest size first, [grow]'s own order within a
+    tier — is the one the bank keeps, and lookups are O(1) against that
+    first-representative index.
+
+    Both caps make a tier {e saturated}: [tier_cap] bounds how many new
+    values one tier may store, [offer_cap] bounds how many candidate terms
+    one tier's enumeration may examine (the tier stops growing mid-way).
+    Saturation never breaks soundness — every stored term was genuinely
+    offered with its value — but it makes lookup {e misses} inconclusive,
+    so callers must keep a fallback search path for completeness.
+
+    Banks are not synchronized; callers that share a bank across Domains
+    must serialize access (the synthesizer's registry wraps every bank
+    operation in one registry-wide mutex). *)
+
+module type VALUE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module Make (V : VALUE) : sig
+  type 'term t
+
+  val create :
+    ?tier_cap:int ->
+    ?offer_cap:int ->
+    max_tier:int ->
+    grow:('term t -> size:int -> offer:('term -> V.t -> unit) -> unit) ->
+    unit ->
+    'term t
+  (** [grow] receives the bank itself so it can read lower tiers via
+      {!entries}; it must only be re-entered through {!ensure}. *)
+
+  val ensure : 'term t -> int -> unit
+  (** [ensure t n] materializes all tiers up to size [min n (max_tier t)].
+      Idempotent; tiers already built are never re-enumerated. *)
+
+  val built : 'term t -> int
+  (** Largest materialized tier (0 when nothing is built yet). *)
+
+  val max_tier : 'term t -> int
+
+  val entries : 'term t -> int -> ('term * V.t) array
+  (** The terms of one materialized tier, in offer order.  Raises
+      [Invalid_argument] when the tier is not built. *)
+
+  val find_value : 'term t -> V.t -> ('term * int) option
+  (** The smallest banked term whose value equals the argument, with its
+      size; [None] says nothing beyond "not in the built, unsaturated part
+      of the bank". *)
+
+  val find_in_window :
+    ?max_size:int -> mem:(V.t -> bool) -> 'term t -> ('term * V.t * int) option
+  (** The first banked term (smallest tier, offer order within a tier)
+      whose value satisfies [mem] — the goal-window lookup when [mem] is
+      the containment check [under ⊆ v ⊆ over]. *)
+
+  val saturated : 'term t -> int -> bool
+  (** Whether a tier hit one of its caps (misses are then inconclusive). *)
+
+  val stored : 'term t -> int
+  (** Total terms stored across built tiers (= distinct values). *)
+
+  val offered : 'term t -> int
+  (** Total terms examined while building, stored or not. *)
+
+  val distinct_values : 'term t -> int
+end

@@ -2,9 +2,16 @@ module Pqueue = Imageeye_util.Pqueue
 
 type priority = int * int
 
+(* Monomorphic: [Stdlib.compare] on tuples walks the generic comparison
+   machinery on every heap operation, and this queue sits in the hottest
+   loop of the search. *)
+let compare_priority ((s1, d1) : priority) ((s2, d2) : priority) =
+  let c = Int.compare s1 s2 in
+  if c <> 0 then c else Int.compare d1 d2
+
 type 'a t = { mutable q : (priority, 'a) Pqueue.t; mutable length : int }
 
-let create () = { q = Pqueue.empty ~compare:Stdlib.compare; length = 0 }
+let create () = { q = Pqueue.empty ~compare:compare_priority; length = 0 }
 
 let push t prio x =
   t.q <- Pqueue.push t.q prio x;

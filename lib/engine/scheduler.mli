@@ -19,6 +19,10 @@
 type priority = int * int
 (** [(size, depth)], compared lexicographically, smallest first. *)
 
+val compare_priority : priority -> priority -> int
+(** The monomorphic lexicographic comparison the worklist is built with
+    (polymorphic compare is too slow for the search's hottest loop). *)
+
 type 'a t
 
 val create : unit -> 'a t

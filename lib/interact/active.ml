@@ -112,7 +112,7 @@ let run ?(config = Synthesizer.default_config) ?(max_rounds = 10) ?(candidates =
   | Some first_demo ->
       let rec loop demo_images rounds round_index =
         let demo_scenes = List.map scene_of demo_images in
-        let demo_u = Batch.universe_of_scenes demo_scenes in
+        let demo_u = Batch.shared_universe_of_scenes demo_scenes in
         let demo_edit = Edit.induced_by_program demo_u task.Task.ground_truth in
         let spec = Edit.Spec.make demo_u [ (List.hd demo_images, demo_edit) ] in
         let t0 = Unix.gettimeofday () in

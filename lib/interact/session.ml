@@ -107,7 +107,10 @@ let run_with ~engine ?(max_rounds = 10) ?batch_universe ~dataset task =
         (* Build the demonstration universe (only demonstrated images) and
            the edit the user performs on it. *)
         let demo_scenes = List.map scene_of demo_images in
-        let demo_u = Batch.universe_of_scenes demo_scenes in
+        (* Interned: rounds and tasks demonstrating the same images share
+           one physical universe, and with it the synthesizer's
+           per-universe value bank and vocabulary. *)
+        let demo_u = Batch.shared_universe_of_scenes demo_scenes in
         let demo_edit = Edit.induced_by_program demo_u task.Task.ground_truth in
         let spec = Edit.Spec.make demo_u [ (List.hd demo_images, demo_edit) ] in
         let er = engine spec in

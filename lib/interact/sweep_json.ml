@@ -1,0 +1,74 @@
+module J = Imageeye_util.Jsonout
+module Synthesizer = Imageeye_core.Synthesizer
+module Dataset = Imageeye_scene.Dataset
+module Task = Imageeye_tasks.Task
+
+let failure_name = function
+  | Session.Synth_failed -> "synth-failed"
+  | Session.Rounds_exhausted -> "rounds-exhausted"
+  | Session.No_useful_image -> "no-useful-image"
+
+(* Merge per-round prune/counter tables into one association list, keeping
+   the first-seen label order so diffs between runs stay line-stable. *)
+let merge_counts tables =
+  let order = ref [] in
+  let totals = Hashtbl.create 16 in
+  List.iter
+    (List.iter (fun (label, n) ->
+         if not (Hashtbl.mem totals label) then begin
+           order := label :: !order;
+           Hashtbl.add totals label 0
+         end;
+         Hashtbl.replace totals label (Hashtbl.find totals label + n)))
+    tables;
+  List.rev_map (fun label -> (label, Hashtbl.find totals label)) !order
+
+let round_stats (r : Session.result) =
+  List.filter_map (fun (round : Session.round) -> round.synth_stats) r.rounds
+
+let task_nodes r =
+  List.fold_left (fun acc (st : Synthesizer.stats) -> acc + st.nodes) 0 (round_stats r)
+
+let task_time (r : Session.result) =
+  List.fold_left (fun acc (round : Session.round) -> acc +. round.synth_time) 0.0 r.rounds
+
+let task_counts r =
+  merge_counts (List.map (fun (st : Synthesizer.stats) -> st.prune_counts) (round_stats r))
+
+let counts_json counts = J.Obj (List.map (fun (label, n) -> (label, J.Int n)) counts)
+
+let task_json (r : Session.result) =
+  J.Obj
+    [
+      ( "name",
+        J.Str
+          (Printf.sprintf "%02d-%s" r.task.Task.id
+             (Dataset.domain_name r.task.Task.domain)) );
+      ("id", J.Int r.task.Task.id);
+      ("description", J.Str r.task.Task.description);
+      ("solved", J.Bool r.solved);
+      ( "failure",
+        match r.failure with None -> J.Null | Some f -> J.Str (failure_name f) );
+      ("rounds", J.Int (List.length r.rounds));
+      ("time_s", J.Float (task_time r));
+      ("nodes", J.Int (task_nodes r));
+      ("prune_counts", counts_json (task_counts r));
+    ]
+
+let sweep ?(meta = []) results =
+  let solved = List.length (List.filter (fun r -> r.Session.solved) results) in
+  let nodes = List.fold_left (fun acc r -> acc + task_nodes r) 0 results in
+  let time_s = List.fold_left (fun acc r -> acc +. task_time r) 0.0 results in
+  let counts = merge_counts (List.map task_counts results) in
+  J.Obj
+    (meta
+    @ [
+        ("solved", J.Int solved);
+        ("total", J.Int (List.length results));
+        ("nodes", J.Int nodes);
+        ("time_s", J.Float time_s);
+        ("prune_counts", counts_json counts);
+        ("tasks", J.List (List.map task_json results));
+      ])
+
+let write ?meta path results = J.write_file path (sweep ?meta results)

@@ -1,0 +1,23 @@
+(** Machine-readable sweep trajectories.
+
+    One schema shared by [bench/main.exe --json] and [imageeye sweep
+    --json]: a top-level object with sweep aggregates ([solved], [total],
+    [nodes], [time_s], merged [prune_counts]) and a [tasks] array with
+    one row per session — [{name; id; description; solved; failure;
+    rounds; time_s; nodes; prune_counts}].  [nodes] sums the per-search
+    {!Imageeye_core.Synthesizer.stats.nodes} deltas over the session's
+    rounds, so bank-construction work charged to the task is included
+    and before/after comparisons (e.g. the committed [BENCH_PR3.json])
+    are apples-to-apples. *)
+
+val sweep :
+  ?meta:(string * Imageeye_util.Jsonout.t) list ->
+  Session.result list ->
+  Imageeye_util.Jsonout.t
+(** [meta] fields (mode, seed, config knobs…) are prepended verbatim to
+    the top-level object. *)
+
+val write :
+  ?meta:(string * Imageeye_util.Jsonout.t) list ->
+  string -> Session.result list -> unit
+(** Serialize {!sweep} to a file (truncate/create). *)

@@ -11,6 +11,7 @@ end)
 type interned = { bits : Bitset.t; uid : int; bhash : int }
 
 type t = {
+  uid : int;
   entities : Entity.t array;
   right_of : int array array;
   left_of : int array array;
@@ -46,6 +47,11 @@ let sorted_related entities i ~related ~key ~ascending =
   Array.sort cmp arr;
   arr
 
+(* Universe identity for registries that key caches by universe (e.g. the
+   synthesizer's per-universe value banks).  Like interned uids, creation
+   order can differ between runs; only compare for equality. *)
+let next_uid = Atomic.make 0
+
 let of_entities ents =
   let entities = Array.of_list ents in
   Array.iteri
@@ -60,6 +66,7 @@ let of_entities ents =
   in
   let box (e : Entity.t) = e.bbox in
   {
+    uid = Atomic.fetch_and_add next_uid 1;
     entities;
     (* o' is right of o when o'.left > o.right (Fig. 7), closest first. *)
     right_of =
@@ -109,6 +116,7 @@ let interned_count t =
   Mutex.unlock t.intern_mutex;
   n
 
+let uid t = t.uid
 let size t = Array.length t.entities
 let entity t i = t.entities.(i)
 let entities t = Array.to_list t.entities

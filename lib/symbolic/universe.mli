@@ -32,6 +32,12 @@ val of_entities : Entity.t list -> t
 (** Entities must have ids exactly [0 .. n-1]; raises [Invalid_argument]
     otherwise. *)
 
+val uid : t -> int
+(** Identity of this universe, unique within the process; lets registries
+    (e.g. the synthesizer's per-universe extractor value banks) key caches
+    by universe without holding a comparison order.  Creation order can
+    differ between runs and Domains — only compare uids for equality. *)
+
 val size : t -> int
 val entity : t -> int -> Entity.t
 val entities : t -> Entity.t list

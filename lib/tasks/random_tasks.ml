@@ -47,8 +47,12 @@ let rec random_extractor rng preds depth =
     | _ -> Lang.Filter (random_extractor rng preds (depth - 1), Rng.choose_list rng preds)
 
 let generate ~seed ~count ~dataset =
-  let u = Imageeye_vision.Batch.universe_of_scenes dataset.Dataset.scenes in
-  let preds = Vocab.predicates (Vocab.of_universe u) in
+  let u = Imageeye_vision.Batch.shared_universe_of_scenes dataset.Dataset.scenes in
+  (* The registry caches the vocabulary per (universe, thresholds), so
+     repeated generation over one dataset builds it once. *)
+  let preds =
+    Vocab.predicates (Imageeye_core.Bank_registry.vocab u ~age_thresholds:[ 18 ])
+  in
   let rng = Rng.create seed in
   let seen_values = Hashtbl.create 16 in
   let rec sample acc accepted attempts =

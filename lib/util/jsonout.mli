@@ -1,0 +1,28 @@
+(** Minimal JSON serialization (output only, no parsing, no deps).
+
+    The benchmark harness and the CLI emit machine-readable run
+    trajectories ([bench/main.exe --json], [imageeye sweep --json]) so
+    CI and regression tooling can diff solved sets and node counts
+    without scraping the human tables.  This is the tiny shared writer:
+    a value tree rendered as pretty-printed, escaped JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+  | Raw of string
+      (** spliced verbatim (trimmed); the caller guarantees the text is
+          itself valid JSON — used to embed a previously emitted document
+          (e.g. a baseline run) without a parser *)
+
+val to_string : t -> string
+(** Pretty-printed (2-space indent) with a trailing newline.  Strings
+    are escaped per RFC 8259; floats print as [%.6g] (integral floats
+    keep a [.0] so the field stays a JSON number of float flavour). *)
+
+val write_file : string -> t -> unit
+(** [write_file path v] truncates/creates [path] with {!to_string}. *)
