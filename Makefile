@@ -4,7 +4,7 @@
 JOBS ?= 2
 BENCH_JSON ?= BENCH_PR3.json
 
-.PHONY: all build test smoke check bench-json clean
+.PHONY: all build test smoke serve-smoke check bench-json clean
 
 all: build
 
@@ -20,6 +20,12 @@ test:
 smoke: build
 	./_build/default/bin/imageeye.exe sweep --tasks 1,17,30 --images 8 \
 	  --timeout 30 --jobs $(JOBS)
+
+# Daemon lifecycle end to end: serve on a temp socket, loadgen with a
+# warm-bank assertion, a deadline probe, a wire-driven session, then a
+# graceful SIGTERM drain that must exit 0.
+serve-smoke: build
+	bash scripts/serve_smoke.sh
 
 check: build test smoke
 	@echo "check OK"

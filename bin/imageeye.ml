@@ -12,7 +12,10 @@
      apply      apply a DSL program file to a dataset directory
      accuracy   measure a task's RQ5 accuracy under the imperfect detector
      report     learn a task and write an HTML before/after gallery
-     parse      validate and pretty-print a DSL program file *)
+     parse      validate and pretty-print a DSL program file
+     serve      run the persistent synthesis daemon (NDJSON over a socket)
+     client     send one request to a running daemon
+     loadgen    closed-loop load generator against a running daemon *)
 
 open Cmdliner
 module Lang = Imageeye_core.Lang
@@ -527,6 +530,370 @@ let parse_cmd =
   Cmd.v (Cmd.info "parse" ~doc:"Validate and pretty-print a DSL program file.")
     Term.(const parse_impl $ file)
 
+(* ---------- serve / client / loadgen ---------- *)
+
+module Serve = Imageeye_serve.Server
+module Client = Imageeye_serve.Client
+module Protocol = Imageeye_serve.Protocol
+module Demo_io = Imageeye_interact.Demo_io
+module Edit = Imageeye_core.Edit
+module J = Imageeye_util.Jsonout
+module Jsonin = Imageeye_util.Jsonin
+module Clock = Imageeye_util.Clock
+
+let socket_arg =
+  Arg.(value & opt string "imageeye.sock" & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket path (ignored when --port is given).")
+
+let port_arg =
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT"
+         ~doc:"Listen/connect on TCP 127.0.0.1:PORT instead of a unix socket.")
+
+let serve socket port jobs timeout max_rounds quiet =
+  let endpoint =
+    match port with Some p -> Serve.Tcp p | None -> Serve.Unix_socket socket
+  in
+  Serve.run
+    { endpoint; jobs; default_timeout_s = timeout; max_rounds; quiet }
+
+let serve_cmd =
+  let jobs =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains draining the admission queue.")
+  in
+  let timeout =
+    Arg.(value & opt float 120.0 & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Default per-request deadline (requests may carry their own timeout_s).")
+  in
+  let max_rounds =
+    Arg.(value & opt int 10 & info [ "max-rounds" ] ~docv:"N"
+           ~doc:"Interaction-round cap per session.")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress per-connection logs.") in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent synthesis daemon: newline-delimited JSON requests over a              unix-domain or TCP socket, synthesis on a worker Domain pool with warm              cross-request value banks.  SIGTERM drains gracefully and dumps metrics.")
+    Term.(const serve $ socket_arg $ port_arg $ jobs $ timeout $ max_rounds $ quiet)
+
+let client_endpoint socket port =
+  match port with
+  | Some p -> Client.Tcp ("127.0.0.1", p)
+  | None -> Client.Unix_socket socket
+
+(* One response, pretty-printed; exit 1 unless ok (and, for synthesize,
+   unless the outcome is success — scripts grep less that way). *)
+let run_client_request endpoint request =
+  let c = Client.connect endpoint in
+  Fun.protect
+    ~finally:(fun () -> Client.close c)
+    (fun () ->
+      match Client.rpc c request with
+      | Error msg -> failwith msg
+      | Ok response ->
+          print_string (J.to_string response);
+          if not (Client.is_ok response) then exit 1)
+
+let client socket port op program_file scenes_dir demos_file timeout task images seed =
+  let endpoint = client_endpoint socket port in
+  let need what = function
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "client %s requires %s" op what)
+  in
+  match op with
+  | "ping" -> run_client_request endpoint Protocol.Ping
+  | "metrics" -> run_client_request endpoint Protocol.Metrics
+  | "shutdown" -> run_client_request endpoint Protocol.Shutdown
+  | "synthesize" ->
+      let scenes = Scene_io.load_scenes ~dir:(need "--scenes" scenes_dir) in
+      if scenes = [] then failwith "no .scene files in the scenes directory";
+      let demos =
+        match Demo_io.load (need "--demos" demos_file) with
+        | Ok d -> d
+        | Error e -> failwith (Demo_io.error_to_string e)
+      in
+      run_client_request endpoint (Protocol.Synthesize { scenes; demos; timeout_s = timeout })
+  | "apply" ->
+      let program = load_program (need "--program" program_file) in
+      let scenes = Scene_io.load_scenes ~dir:(need "--scenes" scenes_dir) in
+      if scenes = [] then failwith "no .scene files in the scenes directory";
+      run_client_request endpoint (Protocol.Apply { program; scenes })
+  | "session" ->
+      (* Drive the interactive loop end to end over the wire. *)
+      let c = Client.connect endpoint in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let rpc request =
+            match Client.rpc c request with
+            | Error msg -> failwith msg
+            | Ok r ->
+                if not (Client.is_ok r) then
+                  failwith (Printf.sprintf "server error: %s" (J.to_line r));
+                r
+          in
+          let opened =
+            rpc
+              (Protocol.Session_open
+                 { task_id = need "--task" task; images; seed })
+          in
+          let session =
+            match Option.bind (Jsonin.member "session" opened) Jsonin.to_int_opt with
+            | Some s -> s
+            | None -> failwith "session-open response carries no session id"
+          in
+          Printf.printf "session %d opened: %s\n" session
+            (Option.value ~default:""
+               (Option.bind (Jsonin.member "description" opened) Jsonin.to_string_opt));
+          let status_of r =
+            Option.value ~default:"?"
+              (Option.bind (Jsonin.member "status" r) Jsonin.to_string_opt)
+          in
+          let rec rounds () =
+            let r = rpc (Protocol.Session_round { session; timeout_s = timeout }) in
+            (match Option.bind (Jsonin.member "round" r) Jsonin.to_int_opt with
+            | Some n ->
+                Printf.printf "  round %d: demo image %s -> %s\n" n
+                  (match Option.bind (Jsonin.member "demo_image" r) Jsonin.to_int_opt with
+                  | Some i -> string_of_int i
+                  | None -> "?")
+                  (match Option.bind (Jsonin.member "candidate" r) Jsonin.to_string_opt with
+                  | Some p -> p
+                  | None -> "(failed)")
+            | None -> ());
+            match status_of r with
+            | "awaiting-round" -> rounds ()
+            | status -> (status, r)
+          in
+          let status, last = rounds () in
+          ignore (rpc (Protocol.Session_close { session }));
+          match status with
+          | "solved" ->
+              Printf.printf "solved: %s\n"
+                (Option.value ~default:"?"
+                   (Option.bind (Jsonin.member "program" last) Jsonin.to_string_opt))
+          | status ->
+              Printf.printf "finished: %s\n" status;
+              exit 1)
+  | other -> failwith (Printf.sprintf "unknown client op %S" other)
+
+let client_cmd =
+  let op =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OP"
+           ~doc:"One of ping, metrics, shutdown, synthesize, apply, session.")
+  in
+  let program = Arg.(value & opt (some file) None & info [ "p"; "program" ] ~docv:"FILE") in
+  let scenes = Arg.(value & opt (some dir) None & info [ "scenes" ] ~docv:"DIR") in
+  let demos = Arg.(value & opt (some file) None & info [ "demos" ] ~docv:"FILE") in
+  let timeout =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Per-request deadline sent with the request.")
+  in
+  let task = Arg.(value & opt (some int) None & info [ "task" ] ~docv:"TASK-ID") in
+  let images = Arg.(value & opt (some int) None & info [ "n"; "images" ] ~docv:"N") in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to a running imageeye daemon and print the JSON response.")
+    Term.(const client $ socket_arg $ port_arg $ op $ program $ scenes $ demos $ timeout
+          $ task $ images $ seed_arg)
+
+(* Build the synthesize payload the load generator replays: the paper's
+   demonstration for [task] — the ground-truth edit on the useful image
+   with the fewest objects — over a generated dataset. *)
+let loadgen_payload task_id images demo_images seed =
+  let task = Benchmarks.by_id task_id in
+  let n = Option.value images ~default:8 in
+  let dataset = Dataset.generate ~n_images:n ~seed task.Task.domain in
+  let u = Batch.universe_of_scenes dataset.Dataset.scenes in
+  let gt = Edit.induced_by_program u task.Task.ground_truth in
+  let weight (s : Scene.t) =
+    List.length (Imageeye_symbolic.Universe.objects_of_image u s.image_id)
+  in
+  let useful =
+    List.filter
+      (fun (s : Scene.t) ->
+        List.exists
+          (fun id -> Edit.actions_of gt id <> [])
+          (Imageeye_symbolic.Universe.objects_of_image u s.image_id))
+      dataset.Dataset.scenes
+  in
+  if useful = [] then
+    failwith
+      (Printf.sprintf "task %d edits nothing on a %d-image seed-%d dataset" task_id n seed);
+  (* Sparsest useful images first — one demo mirrors the session loop's
+     opening round; more demos mimic its later, harder rounds. *)
+  let chosen =
+    List.filteri
+      (fun i _ -> i < demo_images)
+      (List.stable_sort (fun a b -> compare (weight a) (weight b)) useful)
+  in
+  let demo_of (s : Scene.t) =
+    let edits =
+      List.concat
+        (List.mapi
+           (fun pos id -> List.map (fun a -> (pos, a)) (Edit.actions_of gt id))
+           (Imageeye_symbolic.Universe.objects_of_image u s.image_id))
+    in
+    { Demo_io.image_id = s.Scene.image_id; edits }
+  in
+  (chosen, List.map demo_of chosen)
+
+let response_outcome r =
+  Option.value ~default:"?" (Option.bind (Jsonin.member "outcome" r) Jsonin.to_string_opt)
+
+let response_stat r key =
+  Option.bind (Jsonin.member "stats" r) (fun st ->
+      Option.bind (Jsonin.member key st) Jsonin.to_int_opt)
+
+let response_prune_count r label =
+  Option.bind (Jsonin.member "stats" r) (fun st ->
+      Option.bind (Jsonin.member "prune_counts" st) (fun pc ->
+          Option.bind (Jsonin.member label pc) Jsonin.to_int_opt))
+
+type loadgen_sample = {
+  index : int;
+  latency_s : float;
+  outcome : string;
+  nodes : int option;
+  bank_hits : int option;
+}
+
+let loadgen socket port concurrency requests task images demo_images seed timeout expect_warm =
+  if requests < 1 then failwith "need --requests >= 1";
+  if concurrency < 1 then failwith "need --concurrency >= 1";
+  if demo_images < 1 then failwith "need --demo-images >= 1";
+  let endpoint = client_endpoint socket port in
+  let scenes, demos = loadgen_payload task images demo_images seed in
+  let request = Protocol.Synthesize { scenes; demos; timeout_s = timeout } in
+  let samples = Array.make requests None in
+  let errors = ref [] in
+  let next = ref 0 in
+  let lock = Mutex.create () in
+  let take () =
+    Mutex.lock lock;
+    let i = !next in
+    if i < requests then incr next;
+    Mutex.unlock lock;
+    if i < requests then Some i else None
+  in
+  let worker () =
+    let c = Client.connect endpoint in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        let rec loop () =
+          match take () with
+          | None -> ()
+          | Some i ->
+              let t0 = Clock.counter () in
+              (match Client.rpc c request with
+              | Error msg ->
+                  Mutex.lock lock;
+                  errors := Printf.sprintf "request %d: %s" i msg :: !errors;
+                  Mutex.unlock lock
+              | Ok r ->
+                  let outcome =
+                    if Client.is_ok r then response_outcome r else "error:" ^ J.to_line r
+                  in
+                  samples.(i) <-
+                    Some
+                      {
+                        index = i;
+                        latency_s = Clock.elapsed_s t0;
+                        outcome;
+                        nodes = response_stat r "nodes";
+                        bank_hits = response_prune_count r "value-bank(hit)";
+                      });
+              loop ()
+        in
+        loop ())
+  in
+  let started = Clock.counter () in
+  let threads = List.init (min concurrency requests) (fun _ -> Thread.create worker ()) in
+  List.iter Thread.join threads;
+  let wall = Clock.elapsed_s started in
+  let done_ = List.filter_map Fun.id (Array.to_list samples) in
+  let by_outcome o = List.length (List.filter (fun s -> s.outcome = o) done_) in
+  let failures =
+    List.filter (fun s -> s.outcome <> "success" && s.outcome <> "timeout") done_
+  in
+  let latencies = List.sort compare (List.map (fun s -> s.latency_s) done_) in
+  let quantile q =
+    match latencies with
+    | [] -> 0.0
+    | l ->
+        let arr = Array.of_list l in
+        arr.(min (Array.length arr - 1)
+               (int_of_float (Float.round (q *. float_of_int (Array.length arr - 1)))))
+  in
+  Printf.printf
+    "loadgen: %d request(s), concurrency %d: %d success, %d timeout, %d failed, %d transport error(s)\n"
+    requests concurrency (by_outcome "success") (by_outcome "timeout") (List.length failures)
+    (List.length !errors);
+  Printf.printf "  wall %.2fs  throughput %.1f req/s  p50 %.4fs  p95 %.4fs\n" wall
+    (float_of_int (List.length done_) /. wall)
+    (quantile 0.50) (quantile 0.95);
+  List.iter (fun m -> Printf.eprintf "  transport error: %s\n" m) !errors;
+  let ordered = List.sort (fun a b -> compare a.index b.index) done_ in
+  (match (ordered, List.rev ordered) with
+  | first :: _, last :: _ when requests > 1 ->
+      let show = function Some n -> string_of_int n | None -> "?" in
+      Printf.printf
+        "  cold request: %d nodes; warm request: %d nodes (value-bank hits %s)\n"
+        (Option.value first.nodes ~default:0)
+        (Option.value last.nodes ~default:0)
+        (show last.bank_hits);
+      if expect_warm then begin
+        (match (first.nodes, last.nodes) with
+        | Some cold, Some warm when warm < cold ->
+            Printf.printf "  warm check OK: %d < %d nodes\n" warm cold
+        | cold, warm ->
+            Printf.eprintf "  warm check FAILED: cold=%s warm=%s\n"
+              (show cold) (show warm);
+            exit 1);
+        match last.bank_hits with
+        | Some hits when hits > 0 -> Printf.printf "  warm bank hits OK: %d\n" hits
+        | hits ->
+            Printf.eprintf "  warm check FAILED: no value-bank hits (%s)\n" (show hits);
+            exit 1
+      end
+  | _ -> ());
+  if !errors <> [] || failures <> [] || List.length done_ <> requests then exit 1
+
+let loadgen_cmd =
+  let concurrency =
+    Arg.(value & opt int 4 & info [ "c"; "concurrency" ] ~docv:"N"
+           ~doc:"Closed-loop client threads, one connection each.")
+  in
+  let requests =
+    Arg.(value & opt int 16 & info [ "m"; "requests" ] ~docv:"M"
+           ~doc:"Total requests across all clients.")
+  in
+  let task =
+    Arg.(value & opt int 1 & info [ "task" ] ~docv:"TASK-ID"
+           ~doc:"Benchmark task whose demonstration is replayed.")
+  in
+  let images =
+    Arg.(value & opt (some int) None & info [ "n"; "images" ] ~docv:"N"
+           ~doc:"Dataset size the demonstration is drawn from (default 8).")
+  in
+  let demo_images =
+    Arg.(value & opt int 1 & info [ "demo-images" ] ~docv:"K"
+           ~doc:"Demonstrated images per request; more demos constrain the spec harder              (useful for timeout probes).")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Per-request deadline sent with each request.")
+  in
+  let expect_warm =
+    Arg.(value & flag & info [ "expect-warm" ]
+           ~doc:"Fail unless the last request is cheaper than the first (fewer              stats.nodes) and reports warm value-bank hits.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Closed-loop load generator: replay one task's synthesize request against a              running daemon and report throughput, latency quantiles and warm-bank              speedup.")
+    Term.(const loadgen $ socket_arg $ port_arg $ concurrency $ requests $ task $ images
+          $ demo_images $ seed_arg $ timeout $ expect_warm)
+
 let () =
   let info =
     Cmd.info "imageeye" ~version:"1.0.0"
@@ -538,4 +905,5 @@ let () =
           [
             generate_cmd; objects_cmd; synthesize_cmd; explain_cmd; tasks_cmd; show_cmd;
             learn_cmd; sweep_cmd; apply_cmd; accuracy_cmd; report_cmd; parse_cmd;
+            serve_cmd; client_cmd; loadgen_cmd;
           ]))

@@ -84,7 +84,7 @@ let save demos path =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_string demos))
 
-let to_spec ~scenes demos =
+let to_spec ?(shared = false) ~scenes demos =
   let find_scene img = List.find_opt (fun s -> s.Scene.image_id = img) scenes in
   match
     List.find_opt (fun d -> find_scene d.image_id = None) demos
@@ -96,7 +96,10 @@ let to_spec ~scenes demos =
       in
       if demo_scenes = [] then Error "no demonstrated images"
       else
-        let u = Batch.universe_of_scenes demo_scenes in
+        let u =
+          if shared then Batch.shared_universe_of_scenes demo_scenes
+          else Batch.universe_of_scenes demo_scenes
+        in
         (* position of each object within its image, by universe id order *)
         let ids_of_image img = Universe.objects_of_image u img in
         let lookup img pos =

@@ -38,10 +38,19 @@ val load : string -> (demo list, error) result
 val save : demo list -> string -> unit
 
 val to_spec :
+  ?shared:bool ->
   scenes:Imageeye_scene.Scene.t list ->
   demo list ->
   (Imageeye_core.Edit.Spec.t, string) result
 (** Build the synthesis specification: a universe containing exactly the
     demonstrated images (perfect detection) and the edit the file
     describes.  Fails when a demo references an unknown image or an object
-    position out of range. *)
+    position out of range.
+
+    With [~shared:true] the universe is interned via
+    {!Imageeye_vision.Batch.shared_universe_of_scenes}: repeated specs
+    over equal demonstrated scenes share one physical universe and with
+    it the synthesizer's per-universe value banks and vocabulary.  The
+    serve daemon uses this so identical requests get warmer (entries
+    live for the process lifetime — a one-shot CLI run keeps the
+    default). *)

@@ -69,87 +69,147 @@ let sparsest u candidates =
       Some
         (List.fold_left (fun best img -> if weight img < weight best then img else best) c cs)
 
-let run_with ~engine ?(max_rounds = 10) ?batch_universe ~dataset task =
-  let scenes = dataset.Dataset.scenes in
-  let batch_u =
-    match batch_universe with Some u -> u | None -> Batch.universe_of_scenes scenes
-  in
-  let gt_edit = Edit.induced_by_program batch_u task.Task.ground_truth in
-  let image_ids = List.map (fun s -> s.Scene.image_id) scenes in
-  let scene_of img = List.find (fun s -> s.Scene.image_id = img) scenes in
-  (* Images on which the ground-truth program actually does something:
-     only these are useful demonstrations. *)
-  let useful =
-    List.filter
-      (fun img ->
-        List.exists
-          (fun id -> Edit.actions_of gt_edit id <> [])
-          (Universe.objects_of_image batch_u img))
-      image_ids
-  in
-  let finish ~solved ~failure ~rounds ~program =
-    let rounds = List.rev rounds in
+module Stepwise = struct
+  type status =
+    | Awaiting_round
+    | Solved of Lang.program
+    | Failed of failure_reason
+
+  type t = {
+    engine : engine;
+    max_rounds : int;
+    task : Task.t;
+    batch_u : Universe.t;
+    gt_edit : Edit.t;
+    image_ids : int list;
+    scene_of : int -> Scene.t;
+    (* demonstrated images, most recent first; the head is the image the
+       next round demonstrates *)
+    mutable demo_images : int list;
+    mutable rounds : round list;  (** accumulated in reverse *)
+    mutable round_index : int;
+    mutable status : status;
+  }
+
+  let status t = t.status
+
+  let next_demo t =
+    match (t.status, t.demo_images) with
+    | Awaiting_round, img :: _ -> Some img
+    | _ -> None
+
+  let start ~engine ?(max_rounds = 10) ?batch_universe ~dataset task =
+    let scenes = dataset.Dataset.scenes in
+    let batch_u =
+      match batch_universe with Some u -> u | None -> Batch.universe_of_scenes scenes
+    in
+    let gt_edit = Edit.induced_by_program batch_u task.Task.ground_truth in
+    let image_ids = List.map (fun s -> s.Scene.image_id) scenes in
+    let scene_of img = List.find (fun s -> s.Scene.image_id = img) scenes in
+    (* Images on which the ground-truth program actually does something:
+       only these are useful demonstrations. *)
+    let useful =
+      List.filter
+        (fun img ->
+          List.exists
+            (fun id -> Edit.actions_of gt_edit id <> [])
+            (Universe.objects_of_image batch_u img))
+        image_ids
+    in
+    let demo_images, status =
+      match sparsest batch_u useful with
+      | None -> ([], Failed No_useful_image)
+      | Some first_demo -> ([ first_demo ], Awaiting_round)
+    in
     {
+      engine;
+      max_rounds;
       task;
-      solved;
-      failure;
-      rounds;
-      program;
-      examples_used = List.length rounds;
-      last_round_time =
-        (match List.rev rounds with [] -> 0.0 | r :: _ -> r.synth_time);
+      batch_u;
+      gt_edit;
+      image_ids;
+      scene_of;
+      demo_images;
+      rounds = [];
+      round_index = 1;
+      status;
     }
-  in
-  match sparsest batch_u useful with
-  | None -> finish ~solved:false ~failure:(Some No_useful_image) ~rounds:[] ~program:None
-  | Some first_demo ->
-      let rec loop demo_images rounds round_index =
+
+  let step t =
+    match t.status with
+    | Solved _ | Failed _ -> None
+    | Awaiting_round ->
         (* Build the demonstration universe (only demonstrated images) and
            the edit the user performs on it. *)
-        let demo_scenes = List.map scene_of demo_images in
+        let demo_scenes = List.map t.scene_of t.demo_images in
         (* Interned: rounds and tasks demonstrating the same images share
            one physical universe, and with it the synthesizer's
            per-universe value bank and vocabulary. *)
         let demo_u = Batch.shared_universe_of_scenes demo_scenes in
-        let demo_edit = Edit.induced_by_program demo_u task.Task.ground_truth in
-        let spec = Edit.Spec.make demo_u [ (List.hd demo_images, demo_edit) ] in
-        let er = engine spec in
+        let demo_edit = Edit.induced_by_program demo_u t.task.Task.ground_truth in
+        let spec = Edit.Spec.make demo_u [ (List.hd t.demo_images, demo_edit) ] in
+        let er = t.engine spec in
         let round =
           {
-            round_index;
-            demo_image = List.hd demo_images;
+            round_index = t.round_index;
+            demo_image = List.hd t.demo_images;
             synth_time = er.time;
             synth_stats = er.stats;
             candidate = er.program;
           }
         in
-        match er.program with
-        | None ->
-            finish ~solved:false ~failure:(Some Synth_failed) ~rounds:(round :: rounds)
-              ~program:None
+        t.rounds <- round :: t.rounds;
+        (match er.program with
+        | None -> t.status <- Failed Synth_failed
         | Some prog -> (
-            let rounds = round :: rounds in
-            let cand_edit = Edit.induced_by_program batch_u prog in
+            let cand_edit = Edit.induced_by_program t.batch_u prog in
             let mismatches =
               List.filter
-                (fun img -> not (edits_agree_on_image batch_u gt_edit cand_edit img))
-                image_ids
+                (fun img ->
+                  not (edits_agree_on_image t.batch_u t.gt_edit cand_edit img))
+                t.image_ids
             in
             match mismatches with
-            | [] -> finish ~solved:true ~failure:None ~rounds ~program:(Some prog)
-            | _ when round_index >= max_rounds ->
-                finish ~solved:false ~failure:(Some Rounds_exhausted) ~rounds ~program:None
+            | [] -> t.status <- Solved prog
+            | _ when t.round_index >= t.max_rounds -> t.status <- Failed Rounds_exhausted
             | _ -> (
-                let fresh = List.filter (fun i -> not (List.mem i demo_images)) mismatches in
-                match sparsest batch_u fresh with
+                let fresh =
+                  List.filter (fun i -> not (List.mem i t.demo_images)) mismatches
+                in
+                match sparsest t.batch_u fresh with
                 | None ->
                     (* Every mismatching image is already demonstrated: more
                        examples cannot help. *)
-                    finish ~solved:false ~failure:(Some Rounds_exhausted) ~rounds
-                      ~program:None
-                | Some next -> loop (next :: demo_images) rounds (round_index + 1)))
-      in
-      loop [ first_demo ] [] 1
+                    t.status <- Failed Rounds_exhausted
+                | Some next ->
+                    t.demo_images <- next :: t.demo_images;
+                    t.round_index <- t.round_index + 1)));
+        Some round
+
+  let result t =
+    let rounds = List.rev t.rounds in
+    let solved, failure, program =
+      match t.status with
+      | Solved prog -> (true, None, Some prog)
+      | Failed reason -> (false, Some reason, None)
+      | Awaiting_round -> (false, None, None)
+    in
+    {
+      task = t.task;
+      solved;
+      failure;
+      rounds;
+      program;
+      examples_used = List.length rounds;
+      last_round_time = (match t.rounds with [] -> 0.0 | r :: _ -> r.synth_time);
+    }
+end
+
+let run_with ~engine ?max_rounds ?batch_universe ~dataset task =
+  let s = Stepwise.start ~engine ?max_rounds ?batch_universe ~dataset task in
+  let rec drive () = match Stepwise.step s with Some _ -> drive () | None -> () in
+  drive ();
+  Stepwise.result s
 
 let run ?(config = Synthesizer.default_config) ?max_rounds ?batch_universe ~dataset task =
   run_with ~engine:(imageeye_engine config) ?max_rounds ?batch_universe ~dataset task

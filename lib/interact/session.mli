@@ -50,6 +50,50 @@ type result = {
   last_round_time : float;  (** synthesis time of the final round *)
 }
 
+(** The same loop, one round at a time.
+
+    The serving layer drives sessions from network requests — one
+    [session-round] request per iteration — so the loop's state must
+    survive between rounds instead of living on [run_with]'s stack.
+    [run_with] below is a [start]/[step]-until-finished wrapper over
+    this module, so both entry points share one implementation. *)
+module Stepwise : sig
+  type status =
+    | Awaiting_round  (** another {!step} will run a synthesis round *)
+    | Solved of Imageeye_core.Lang.program
+    | Failed of failure_reason
+
+  type t
+  (** Mutable loop state.  Not thread-safe: callers running rounds from
+      concurrent requests must serialize per session. *)
+
+  val start :
+    engine:engine ->
+    ?max_rounds:int ->
+    ?batch_universe:Imageeye_symbolic.Universe.t ->
+    dataset:Imageeye_scene.Dataset.t ->
+    Imageeye_tasks.Task.t ->
+    t
+  (** Prepare the loop: build the batch universe, the ground-truth edit
+      and the first demonstration.  Starts [Failed No_useful_image] when
+      the ground truth edits nothing anywhere. *)
+
+  val status : t -> status
+
+  val next_demo : t -> int option
+  (** The image the next {!step} will demonstrate, when awaiting. *)
+
+  val step : t -> round option
+  (** Run one round: synthesize from the demonstrations accumulated so
+      far, check the candidate on the full dataset, and either finish or
+      queue the next demonstration image.  Returns the round just run,
+      or [None] when the session is already finished. *)
+
+  val result : t -> result
+  (** Snapshot of the session as a {!result}; identical to what
+      {!run_with} returns once {!status} is no longer [Awaiting_round]. *)
+end
+
 val run :
   ?config:Imageeye_core.Synthesizer.config ->
   ?max_rounds:int ->

@@ -1,0 +1,63 @@
+module J = Imageeye_util.Jsonout
+module Jsonin = Imageeye_util.Jsonin
+
+type endpoint = Unix_socket of string | Tcp of string * int
+
+type t = { fd : Unix.file_descr; ic : in_channel; mutable next_id : int }
+
+let connect endpoint =
+  let fd, addr =
+    match endpoint with
+    | Unix_socket path -> (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX path)
+    | Tcp (host, port) ->
+        ( Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0,
+          Unix.ADDR_INET (Unix.inet_addr_of_string host, port) )
+  in
+  (match Unix.connect fd addr with
+  | () -> ()
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; next_id = 1 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+let send_line t json =
+  let line = J.to_line json ^ "\n" in
+  match write_all t.fd line 0 (String.length line) with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "write failed: %s" (Unix.error_message e))
+
+let read_response t =
+  match input_line t.ic with
+  | line -> (
+      match Jsonin.parse line with
+      | Ok doc -> Ok doc
+      | Error e -> Error (Printf.sprintf "malformed response: %s" (Jsonin.error_to_string e)))
+  | exception End_of_file -> Error "connection closed by server"
+  | exception Sys_error msg -> Error (Printf.sprintf "read failed: %s" msg)
+
+let rpc_json t json =
+  match send_line t json with Error _ as e -> e | Ok () -> read_response t
+
+let rpc t request =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  match rpc_json t (Protocol.to_json ~id:(J.Int id) request) with
+  | Error _ as e -> e
+  | Ok response -> (
+      match Jsonin.member "id" response with
+      | Some (J.Int got) when got = id -> Ok response
+      | Some other ->
+          Error
+            (Printf.sprintf "response id mismatch: sent %d, got %s" id (J.to_line other))
+      | None -> Error "response carries no id")
+
+let is_ok response = Jsonin.member "ok" response = Some (J.Bool true)

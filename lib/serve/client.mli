@@ -1,0 +1,31 @@
+(** A blocking client for the serve protocol.
+
+    One value per connection; not thread-safe (the load generator opens
+    one client per worker thread).  {!rpc} writes a request line and
+    blocks for one response line — for pipelining, talk to the socket
+    directly; this client covers the CLI, the load generator and the
+    tests. *)
+
+module J = Imageeye_util.Jsonout
+
+type endpoint = Unix_socket of string | Tcp of string * int
+
+type t
+
+val connect : endpoint -> t
+(** Raises [Unix.Unix_error] when nothing listens there. *)
+
+val close : t -> unit
+
+val rpc : t -> Protocol.request -> (J.t, string) result
+(** Send one request (with a fresh integer id) and wait for its
+    response.  [Error] covers transport failures and responses whose id
+    does not match — protocol-level failures come back as [Ok] responses
+    with ["ok": false]. *)
+
+val rpc_json : t -> J.t -> (J.t, string) result
+(** Escape hatch: send a raw JSON document as one line (used to test the
+    server's malformed-request handling end to end). *)
+
+val is_ok : J.t -> bool
+(** ["ok"] is [true] in the response. *)

@@ -1,0 +1,39 @@
+(** Server-wide request metrics.
+
+    One mutex-guarded accumulator shared by every connection and worker:
+    per-(op, outcome) request counts, a bounded latency reservoir from
+    which p50/p95 are computed at snapshot time, queue-depth highwater,
+    dropped-response count (client went away mid-response), and the
+    synthesis counters (notably the [value-bank(...)] and
+    [eval-cache(...)] labels of [stats.prune_counts]) summed over every
+    stats-bearing response — how warm the shared banks run is a
+    first-class serving metric.
+
+    A snapshot is served for [metrics] requests and dumped to stderr on
+    graceful shutdown. *)
+
+type t
+
+val create : unit -> t
+
+val record :
+  t ->
+  op:string ->
+  outcome:string ->
+  latency_s:float ->
+  ?counts:(string * int) list ->
+  unit ->
+  unit
+(** [outcome] is [ok], [timeout], [exhausted] or [error]; [latency_s]
+    runs from admission (or inline receipt) to response written;
+    [counts] are the request's [stats.prune_counts]. *)
+
+val observe_queue_depth : t -> int -> unit
+(** Feed the point-in-time admission-queue depth; the maximum is kept. *)
+
+val record_dropped : t -> unit
+(** A response could not be written (EPIPE etc. — client disconnected). *)
+
+val snapshot :
+  t -> queue_depth:int -> sessions_open:int -> Imageeye_util.Jsonout.t
+(** Live gauges are passed in by the server. *)

@@ -1,0 +1,156 @@
+module J = Imageeye_util.Jsonout
+module Jsonin = Imageeye_util.Jsonin
+
+type request =
+  | Ping
+  | Metrics
+  | Shutdown
+  | Synthesize of {
+      scenes : Imageeye_scene.Scene.t list;
+      demos : Imageeye_interact.Demo_io.demo list;
+      timeout_s : float option;
+    }
+  | Apply of {
+      program : Imageeye_core.Lang.program;
+      scenes : Imageeye_scene.Scene.t list;
+    }
+  | Session_open of { task_id : int; images : int option; seed : int }
+  | Session_round of { session : int; timeout_s : float option }
+  | Session_close of { session : int }
+
+type t = { id : J.t; request : request }
+
+type error = { id : J.t; code : string; message : string }
+
+let make_error ~id ~code ~message = { id; code; message }
+
+let op_name = function
+  | Ping -> "ping"
+  | Metrics -> "metrics"
+  | Shutdown -> "shutdown"
+  | Synthesize _ -> "synthesize"
+  | Apply _ -> "apply"
+  | Session_open _ -> "session-open"
+  | Session_round _ -> "session-round"
+  | Session_close _ -> "session-close"
+
+let is_heavy = function
+  | Ping | Metrics | Shutdown -> false
+  | Synthesize _ | Apply _ | Session_open _ | Session_round _ | Session_close _ -> true
+
+(* ---------- decoding ---------- *)
+
+exception Bad of string * string  (* code, message *)
+
+let bad code message = raise (Bad (code, message))
+
+let field doc key = Jsonin.member key doc
+
+let required doc key decode =
+  match field doc key with
+  | None -> bad "bad-request" (Printf.sprintf "missing field %S" key)
+  | Some v -> decode key v
+
+let optional doc key decode =
+  match field doc key with None | Some J.Null -> None | Some v -> Some (decode key v)
+
+let as_int key v =
+  match Jsonin.to_int_opt v with
+  | Some i -> i
+  | None -> bad "bad-request" (Printf.sprintf "field %S: expected an integer" key)
+
+let as_float key v =
+  match Jsonin.to_float_opt v with
+  | Some f -> f
+  | None -> bad "bad-request" (Printf.sprintf "field %S: expected a number" key)
+
+(* Wire errors that already name the field ("scenes[2]: ...") pass
+   through unprefixed. *)
+let payload key = function
+  | Ok v -> v
+  | Error msg ->
+      bad "bad-payload"
+        (if String.length msg >= String.length key && String.sub msg 0 (String.length key) = key
+         then msg
+         else key ^ ": " ^ msg)
+
+let decode_request doc op =
+  match op with
+  | "ping" -> Ping
+  | "metrics" -> Metrics
+  | "shutdown" -> Shutdown
+  | "synthesize" ->
+      let scenes = payload "scenes" (Wire.scenes_of_json (required doc "scenes" (fun _ v -> v))) in
+      let demos = payload "demos" (Wire.demos_of_json (required doc "demos" (fun _ v -> v))) in
+      let timeout_s = optional doc "timeout_s" as_float in
+      Synthesize { scenes; demos; timeout_s }
+  | "apply" ->
+      let program =
+        payload "program" (Wire.program_of_json (required doc "program" (fun _ v -> v)))
+      in
+      let scenes = payload "scenes" (Wire.scenes_of_json (required doc "scenes" (fun _ v -> v))) in
+      Apply { program; scenes }
+  | "session-open" ->
+      let task_id = required doc "task" as_int in
+      let images = optional doc "images" as_int in
+      let seed = Option.value (optional doc "seed" as_int) ~default:42 in
+      Session_open { task_id; images; seed }
+  | "session-round" ->
+      let session = required doc "session" as_int in
+      let timeout_s = optional doc "timeout_s" as_float in
+      Session_round { session; timeout_s }
+  | "session-close" -> Session_close { session = required doc "session" as_int }
+  | other -> bad "unknown-op" (Printf.sprintf "unknown op %S" other)
+
+let of_line line =
+  match Jsonin.parse line with
+  | Error e ->
+      Error { id = J.Null; code = "bad-json"; message = Jsonin.error_to_string e }
+  | Ok doc -> (
+      let id = Option.value (Jsonin.member "id" doc) ~default:J.Null in
+      match doc with
+      | J.Obj _ -> (
+          match Jsonin.member "op" doc with
+          | None -> Error { id; code = "bad-request"; message = "missing field \"op\"" }
+          | Some op_v -> (
+              match Jsonin.to_string_opt op_v with
+              | None ->
+                  Error { id; code = "bad-request"; message = "field \"op\": expected a string" }
+              | Some op -> (
+                  match decode_request doc op with
+                  | request -> Ok { id; request }
+                  | exception Bad (code, message) -> Error { id; code; message })))
+      | _ -> Error { id; code = "bad-request"; message = "expected a JSON object" })
+
+(* ---------- encoding ---------- *)
+
+let to_json ~id request =
+  let base = [ ("id", id); ("op", J.Str (op_name request)) ] in
+  let fields =
+    match request with
+    | Ping | Metrics | Shutdown -> []
+    | Synthesize { scenes; demos; timeout_s } ->
+        [ ("scenes", Wire.scenes_to_json scenes); ("demos", Wire.demos_to_json demos) ]
+        @ (match timeout_s with None -> [] | Some t -> [ ("timeout_s", J.Float t) ])
+    | Apply { program; scenes } ->
+        [ ("program", Wire.program_to_json program); ("scenes", Wire.scenes_to_json scenes) ]
+    | Session_open { task_id; images; seed } ->
+        ("task", J.Int task_id)
+        :: (match images with None -> [] | Some n -> [ ("images", J.Int n) ])
+        @ [ ("seed", J.Int seed) ]
+    | Session_round { session; timeout_s } ->
+        ("session", J.Int session)
+        :: (match timeout_s with None -> [] | Some t -> [ ("timeout_s", J.Float t) ])
+    | Session_close { session } -> [ ("session", J.Int session) ]
+  in
+  J.Obj (base @ fields)
+
+let ok ~id ~op fields = J.Obj ([ ("id", id); ("ok", J.Bool true); ("op", J.Str op) ] @ fields)
+
+let error_response { id; code; message } =
+  J.Obj
+    [
+      ("id", id);
+      ("ok", J.Bool false);
+      ("error", J.Obj [ ("code", J.Str code); ("message", J.Str message) ]);
+    ]

@@ -1,0 +1,65 @@
+(** The serve wire protocol: newline-delimited JSON requests and
+    responses.
+
+    Every request is one JSON object on one line with an ["op"] field
+    and an optional ["id"] the server echoes back verbatim, so clients
+    may pipeline requests and match responses out of order.  Responses
+    are [{"id", "ok": true, "op", ...}] on success and
+    [{"id", "ok": false, "error": {"code", "message"}}] on failure;
+    malformed input becomes a structured error response, never a dropped
+    connection or a raw exception across the socket.
+
+    Operations:
+    - [ping] — liveness.
+    - [metrics] — server-wide counters and latency quantiles.
+    - [shutdown] — acknowledge, then drain and exit gracefully.
+    - [synthesize] — [{scenes, demos, timeout_s?}]: learn a program from
+      demonstrations ({!Wire} payload formats).
+    - [apply] — [{program, scenes}]: the edit the program induces.
+    - [session-open] — [{task, images?, seed?}]: start an interactive
+      session (the paper's demonstration loop) for a benchmark task.
+    - [session-round] — [{session, timeout_s?}]: run one loop round.
+    - [session-close] — [{session}]. *)
+
+module J = Imageeye_util.Jsonout
+
+type request =
+  | Ping
+  | Metrics
+  | Shutdown
+  | Synthesize of {
+      scenes : Imageeye_scene.Scene.t list;
+      demos : Imageeye_interact.Demo_io.demo list;
+      timeout_s : float option;
+    }
+  | Apply of {
+      program : Imageeye_core.Lang.program;
+      scenes : Imageeye_scene.Scene.t list;
+    }
+  | Session_open of { task_id : int; images : int option; seed : int }
+  | Session_round of { session : int; timeout_s : float option }
+  | Session_close of { session : int }
+
+type t = { id : J.t;  (** echoed back; [Null] when the client sent none *) request : request }
+
+type error = { id : J.t; code : string; message : string }
+(** [code] is machine-readable: [bad-json], [bad-request],
+    [bad-payload], [unknown-op], [shutting-down], [no-session],
+    [internal]. *)
+
+val of_line : string -> (t, error) result
+
+val to_json : id:J.t -> request -> J.t
+(** Encode a request (clients and the load generator use this; requests
+    round-trip through {!of_line}). *)
+
+val op_name : request -> string
+
+val is_heavy : request -> bool
+(** Whether the request must go through the admission queue to a worker
+    domain ([synthesize], [apply], session ops) rather than being
+    answered inline by the connection's reader thread. *)
+
+val ok : id:J.t -> op:string -> (string * J.t) list -> J.t
+val error_response : error -> J.t
+val make_error : id:J.t -> code:string -> message:string -> error

@@ -1,0 +1,486 @@
+module J = Imageeye_util.Jsonout
+module Clock = Imageeye_util.Clock
+module Domainpool = Imageeye_util.Domainpool
+module Synthesizer = Imageeye_core.Synthesizer
+module Edit = Imageeye_core.Edit
+module Batch = Imageeye_vision.Batch
+module Scene = Imageeye_scene.Scene
+module Dataset = Imageeye_scene.Dataset
+module Benchmarks = Imageeye_tasks.Benchmarks
+module Task = Imageeye_tasks.Task
+module Session = Imageeye_interact.Session
+
+type endpoint = Unix_socket of string | Tcp of int
+
+type config = {
+  endpoint : endpoint;
+  jobs : int;
+  default_timeout_s : float;
+  max_rounds : int;
+  quiet : bool;
+}
+
+let default_config =
+  {
+    endpoint = Unix_socket "imageeye.sock";
+    jobs = 1;
+    default_timeout_s = 120.0;
+    max_rounds = 10;
+    quiet = false;
+  }
+
+(* ---------- connections ---------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  peer : string;
+  write_mutex : Mutex.t;
+  mutable alive : bool;  (* false once a write failed; guarded by write_mutex *)
+  pending_mutex : Mutex.t;
+  pending_done : Condition.t;
+  mutable pending : int;  (* jobs in flight for this connection *)
+}
+
+type session_entry = {
+  sw : Session.Stepwise.t;
+  lock : Mutex.t;  (* serializes rounds of one session *)
+  timeout_ref : float ref;  (* per-round budget, set by each request *)
+}
+
+type state = {
+  config : config;
+  pool : Domainpool.t;
+  metrics : Metrics.t;
+  stop : bool Atomic.t;
+  conns_mutex : Mutex.t;
+  mutable conns : conn list;
+  mutable readers : Thread.t list;
+  sessions_mutex : Mutex.t;
+  sessions : (int, session_entry) Hashtbl.t;
+  mutable next_session : int;
+}
+
+let logf state fmt =
+  Printf.ksprintf
+    (fun msg -> if not state.config.quiet then Printf.eprintf "imageeye-serve: %s\n%!" msg)
+    fmt
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+(* Write one response line.  With SIGPIPE ignored, a client that went
+   away surfaces as EPIPE/ECONNRESET here: the connection is marked dead
+   and the daemon keeps serving everyone else. *)
+let send state conn json =
+  let line = J.to_line json ^ "\n" in
+  Mutex.lock conn.write_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.write_mutex)
+    (fun () ->
+      if conn.alive then
+        try write_all conn.fd line 0 (String.length line)
+        with Unix.Unix_error _ | Sys_error _ ->
+          conn.alive <- false;
+          Metrics.record_dropped state.metrics)
+
+let sessions_open state =
+  Mutex.lock state.sessions_mutex;
+  let n = Hashtbl.length state.sessions in
+  Mutex.unlock state.sessions_mutex;
+  n
+
+let metrics_snapshot state =
+  Metrics.snapshot state.metrics ~queue_depth:(Domainpool.pending state.pool)
+    ~sessions_open:(sessions_open state)
+
+(* ---------- heavy-request handlers (run on worker domains) ---------- *)
+
+let failure_name = function
+  | Session.Synth_failed -> "synth-failed"
+  | Session.Rounds_exhausted -> "rounds-exhausted"
+  | Session.No_useful_image -> "no-useful-image"
+
+let stepwise_status_fields sw =
+  match Session.Stepwise.status sw with
+  | Session.Stepwise.Awaiting_round ->
+      ("status", J.Str "awaiting-round")
+      ::
+      (match Session.Stepwise.next_demo sw with
+      | Some img -> [ ("next_demo", J.Int img) ]
+      | None -> [])
+  | Session.Stepwise.Solved prog ->
+      [ ("status", J.Str "solved"); ("program", Wire.program_to_json prog) ]
+  | Session.Stepwise.Failed reason ->
+      [ ("status", J.Str "failed"); ("failure", J.Str (failure_name reason)) ]
+
+let round_fields (r : Session.round) =
+  [
+    ("round", J.Int r.round_index);
+    ("demo_image", J.Int r.demo_image);
+    ("synth_time_s", J.Float r.synth_time);
+  ]
+  @ (match r.candidate with
+    | Some p -> [ ("candidate", Wire.program_to_json p) ]
+    | None -> [])
+  @
+  match r.synth_stats with
+  | Some st -> [ ("stats", Wire.stats_to_json st) ]
+  | None -> []
+
+let stats_counts = function Some (st : Synthesizer.stats) -> st.prune_counts | None -> []
+
+(* Every handler returns (response, metrics outcome, synthesis counters). *)
+let handle_synthesize ~id ~scenes ~demos ~remaining =
+  match Wire.spec_of ~scenes demos with
+  | Error message ->
+      ( Protocol.error_response (Protocol.make_error ~id ~code:"bad-payload" ~message),
+        "error",
+        [] )
+  | Ok spec -> (
+      let config = { Synthesizer.default_config with timeout_s = remaining } in
+      match Synthesizer.synthesize ~config spec with
+      | Synthesizer.Success (program, st) ->
+          ( Protocol.ok ~id ~op:"synthesize"
+              [
+                ("outcome", J.Str "success");
+                ("program", Wire.program_to_json program);
+                ("stats", Wire.stats_to_json st);
+              ],
+            "ok",
+            st.prune_counts )
+      | Synthesizer.Timeout st ->
+          ( Protocol.ok ~id ~op:"synthesize"
+              [ ("outcome", J.Str "timeout"); ("stats", Wire.stats_to_json st) ],
+            "timeout",
+            st.prune_counts )
+      | Synthesizer.Exhausted st ->
+          ( Protocol.ok ~id ~op:"synthesize"
+              [ ("outcome", J.Str "exhausted"); ("stats", Wire.stats_to_json st) ],
+            "exhausted",
+            st.prune_counts ))
+
+let handle_apply ~id ~program ~scenes =
+  let u = Batch.shared_universe_of_scenes scenes in
+  let edit = Edit.induced_by_program u program in
+  let image_ids = List.map (fun (s : Scene.t) -> s.image_id) scenes in
+  ( Protocol.ok ~id ~op:"apply" [ ("edits", Wire.edit_to_json u ~image_ids edit) ],
+    "ok",
+    [] )
+
+let handle_session_open state ~id ~task_id ~images ~seed =
+  match Benchmarks.by_id task_id with
+  | exception Not_found ->
+      ( Protocol.error_response
+          (Protocol.make_error ~id ~code:"bad-request"
+             ~message:
+               (Printf.sprintf "no benchmark task %d (ids run 1-%d)" task_id
+                  Benchmarks.count)),
+        "error",
+        [] )
+  | task ->
+      let n = Option.value images ~default:(Dataset.default_image_count task.Task.domain) in
+      let dataset = Dataset.generate ~n_images:n ~seed task.Task.domain in
+      (* Interned: two sessions over the same (domain, n, seed) dataset
+         share the batch universe and its warm caches. *)
+      let batch_universe = Batch.shared_universe_of_scenes dataset.Dataset.scenes in
+      let timeout_ref = ref state.config.default_timeout_s in
+      let engine spec =
+        Session.imageeye_engine
+          { Synthesizer.default_config with timeout_s = !timeout_ref }
+          spec
+      in
+      let sw =
+        Session.Stepwise.start ~engine ~max_rounds:state.config.max_rounds
+          ~batch_universe ~dataset task
+      in
+      let entry = { sw; lock = Mutex.create (); timeout_ref } in
+      Mutex.lock state.sessions_mutex;
+      let session = state.next_session in
+      state.next_session <- session + 1;
+      Hashtbl.replace state.sessions session entry;
+      Mutex.unlock state.sessions_mutex;
+      ( Protocol.ok ~id ~op:"session-open"
+          ([
+             ("session", J.Int session);
+             ("task", J.Int task.Task.id);
+             ("description", J.Str task.Task.description);
+             ("images", J.Int n);
+           ]
+          @ stepwise_status_fields sw),
+        "ok",
+        [] )
+
+let find_session state session =
+  Mutex.lock state.sessions_mutex;
+  let entry = Hashtbl.find_opt state.sessions session in
+  Mutex.unlock state.sessions_mutex;
+  entry
+
+let handle_session_round state ~id ~session ~remaining =
+  match find_session state session with
+  | None ->
+      ( Protocol.error_response
+          (Protocol.make_error ~id ~code:"no-session"
+             ~message:(Printf.sprintf "no open session %d" session)),
+        "error",
+        [] )
+  | Some entry ->
+      Mutex.lock entry.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock entry.lock)
+        (fun () ->
+          entry.timeout_ref := remaining;
+          match Session.Stepwise.step entry.sw with
+          | None ->
+              ( Protocol.ok ~id ~op:"session-round"
+                  (("outcome", J.Str "finished") :: stepwise_status_fields entry.sw),
+                "ok",
+                [] )
+          | Some round ->
+              ( Protocol.ok ~id ~op:"session-round"
+                  ((("outcome", J.Str "round") :: round_fields round)
+                  @ stepwise_status_fields entry.sw),
+                (match round.candidate with Some _ -> "ok" | None -> "timeout"),
+                stats_counts round.synth_stats ))
+
+let handle_session_close state ~id ~session =
+  Mutex.lock state.sessions_mutex;
+  let existed = Hashtbl.mem state.sessions session in
+  Hashtbl.remove state.sessions session;
+  Mutex.unlock state.sessions_mutex;
+  if existed then (Protocol.ok ~id ~op:"session-close" [ ("closed", J.Bool true) ], "ok", [])
+  else
+    ( Protocol.error_response
+        (Protocol.make_error ~id ~code:"no-session"
+           ~message:(Printf.sprintf "no open session %d" session)),
+      "error",
+      [] )
+
+let request_timeout state = function
+  | Protocol.Synthesize { timeout_s; _ } | Protocol.Session_round { timeout_s; _ } ->
+      Option.value timeout_s ~default:state.config.default_timeout_s
+  | _ -> state.config.default_timeout_s
+
+(* The admission-queue deadline: [admitted] started ticking when the
+   reader enqueued the request, so time spent waiting for a worker is
+   charged against the request's budget. *)
+let handle_heavy state ~id ~admitted request =
+  let timeout_s = request_timeout state request in
+  let remaining = timeout_s -. Clock.elapsed_s admitted in
+  let op = Protocol.op_name request in
+  if remaining <= 0.0 then
+    ( Protocol.ok ~id ~op [ ("outcome", J.Str "timeout"); ("queue_expired", J.Bool true) ],
+      "timeout",
+      [] )
+  else
+    match request with
+    | Protocol.Synthesize { scenes; demos; _ } ->
+        handle_synthesize ~id ~scenes ~demos ~remaining
+    | Protocol.Apply { program; scenes } -> handle_apply ~id ~program ~scenes
+    | Protocol.Session_open { task_id; images; seed } ->
+        handle_session_open state ~id ~task_id ~images ~seed
+    | Protocol.Session_round { session; _ } ->
+        handle_session_round state ~id ~session ~remaining
+    | Protocol.Session_close { session } -> handle_session_close state ~id ~session
+    | Protocol.Ping | Protocol.Metrics | Protocol.Shutdown ->
+        assert false (* light ops never reach the queue *)
+
+(* ---------- reader threads ---------- *)
+
+let submit_heavy state conn ~id ~admitted request =
+  let op = Protocol.op_name request in
+  Mutex.lock conn.pending_mutex;
+  conn.pending <- conn.pending + 1;
+  Mutex.unlock conn.pending_mutex;
+  let finished () =
+    Mutex.lock conn.pending_mutex;
+    conn.pending <- conn.pending - 1;
+    if conn.pending = 0 then Condition.broadcast conn.pending_done;
+    Mutex.unlock conn.pending_mutex
+  in
+  let job () =
+    (* A raising job would poison the pool's shutdown; everything is
+       caught and turned into an [internal] protocol error instead. *)
+    Fun.protect ~finally:finished (fun () ->
+        let response, outcome, counts =
+          try handle_heavy state ~id ~admitted request
+          with e ->
+            ( Protocol.error_response
+                (Protocol.make_error ~id ~code:"internal" ~message:(Printexc.to_string e)),
+              "error",
+              [] )
+        in
+        send state conn response;
+        Metrics.record state.metrics ~op ~outcome ~latency_s:(Clock.elapsed_s admitted)
+          ~counts ())
+  in
+  match Domainpool.submit state.pool job with
+  | () -> Metrics.observe_queue_depth state.metrics (Domainpool.pending state.pool)
+  | exception Invalid_argument _ ->
+      (* Raced with shutdown: the pool is closed, answer directly. *)
+      finished ();
+      send state conn
+        (Protocol.error_response
+           (Protocol.make_error ~id ~code:"shutting-down"
+              ~message:"server is draining; request not admitted"));
+      Metrics.record state.metrics ~op ~outcome:"error" ~latency_s:(Clock.elapsed_s admitted)
+        ()
+
+let handle_line state conn line =
+  let received = Clock.counter () in
+  match Protocol.of_line line with
+  | Error err ->
+      send state conn (Protocol.error_response err);
+      Metrics.record state.metrics ~op:"invalid" ~outcome:"error"
+        ~latency_s:(Clock.elapsed_s received) ()
+  | Ok { id; request } -> (
+      match request with
+      | Protocol.Ping ->
+          send state conn (Protocol.ok ~id ~op:"ping" [ ("pong", J.Bool true) ]);
+          Metrics.record state.metrics ~op:"ping" ~outcome:"ok"
+            ~latency_s:(Clock.elapsed_s received) ()
+      | Protocol.Metrics ->
+          send state conn
+            (Protocol.ok ~id ~op:"metrics" [ ("metrics", metrics_snapshot state) ]);
+          Metrics.record state.metrics ~op:"metrics" ~outcome:"ok"
+            ~latency_s:(Clock.elapsed_s received) ()
+      | Protocol.Shutdown ->
+          send state conn (Protocol.ok ~id ~op:"shutdown" [ ("draining", J.Bool true) ]);
+          Metrics.record state.metrics ~op:"shutdown" ~outcome:"ok"
+            ~latency_s:(Clock.elapsed_s received) ();
+          Atomic.set state.stop true
+      | heavy -> submit_heavy state conn ~id ~admitted:received heavy)
+
+let deregister_and_close state conn =
+  Mutex.lock state.conns_mutex;
+  state.conns <- List.filter (fun c -> c != conn) state.conns;
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  Mutex.unlock state.conns_mutex
+
+let reader state conn () =
+  let ic = Unix.in_channel_of_descr conn.fd in
+  let rec loop () =
+    match input_line ic with
+    | line ->
+        if String.trim line <> "" then handle_line state conn line;
+        loop ()
+    | exception (End_of_file | Sys_error _) -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  loop ();
+  (* EOF: let this connection's in-flight responses finish before
+     closing the descriptor (closing early could hand the fd number to a
+     new connection while a worker still writes to it). *)
+  Mutex.lock conn.pending_mutex;
+  while conn.pending > 0 do
+    Condition.wait conn.pending_done conn.pending_mutex
+  done;
+  Mutex.unlock conn.pending_mutex;
+  deregister_and_close state conn;
+  logf state "disconnected %s" conn.peer
+
+(* ---------- lifecycle ---------- *)
+
+let endpoint_name = function
+  | Unix_socket path -> Printf.sprintf "unix:%s" path
+  | Tcp port -> Printf.sprintf "tcp:127.0.0.1:%d" port
+
+let bind_endpoint = function
+  | Unix_socket path ->
+      (* The daemon owns the path: replace a stale socket left by a
+         previous run (bind would otherwise fail with EADDRINUSE). *)
+      if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+  | Tcp port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.listen fd 64;
+      fd
+
+let install_signals state =
+  (* A disconnecting client must surface as EPIPE on its own connection,
+     not as a process-killing signal. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let drain = Sys.Signal_handle (fun _ -> Atomic.set state.stop true) in
+  Sys.set_signal Sys.sigterm drain;
+  Sys.set_signal Sys.sigint drain
+
+let peer_name addr =
+  match addr with
+  | Unix.ADDR_UNIX _ -> "unix-peer"
+  | Unix.ADDR_INET (host, port) ->
+      Printf.sprintf "%s:%d" (Unix.string_of_inet_addr host) port
+
+let run config =
+  let state =
+    {
+      config;
+      pool = Domainpool.create (max 1 config.jobs);
+      metrics = Metrics.create ();
+      stop = Atomic.make false;
+      conns_mutex = Mutex.create ();
+      conns = [];
+      readers = [];
+      sessions_mutex = Mutex.create ();
+      sessions = Hashtbl.create 8;
+      next_session = 1;
+    }
+  in
+  install_signals state;
+  let listen_fd = bind_endpoint config.endpoint in
+  logf state "listening on %s (%d worker domain(s), default deadline %.0fs)"
+    (endpoint_name config.endpoint) (Domainpool.size state.pool) config.default_timeout_s;
+  (* Accept loop: select with a short timeout so a stop flag set by a
+     signal handler or a shutdown request is noticed promptly. *)
+  while not (Atomic.get state.stop) do
+    match Unix.select [ listen_fd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept listen_fd with
+        | fd, addr ->
+            let conn =
+              {
+                fd;
+                peer = peer_name addr;
+                write_mutex = Mutex.create ();
+                alive = true;
+                pending_mutex = Mutex.create ();
+                pending_done = Condition.create ();
+                pending = 0;
+              }
+            in
+            Mutex.lock state.conns_mutex;
+            state.conns <- conn :: state.conns;
+            state.readers <- Thread.create (reader state conn) () :: state.readers;
+            Mutex.unlock state.conns_mutex;
+            logf state "accepted %s" conn.peer
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (* Graceful drain: stop accepting, let queued jobs finish and their
+     responses flush, then wake and join every reader. *)
+  logf state "draining";
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (match config.endpoint with
+  | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+  | Tcp _ -> ());
+  Domainpool.shutdown state.pool;
+  Mutex.lock state.conns_mutex;
+  let open_conns = state.conns in
+  let readers = state.readers in
+  Mutex.unlock state.conns_mutex;
+  List.iter
+    (fun c -> try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    open_conns;
+  List.iter Thread.join readers;
+  (* The final snapshot goes to stderr unconditionally: it is the
+     SIGTERM-triggered dump the operator greps after a deploy. *)
+  Printf.eprintf "imageeye-serve: final metrics\n%s%!"
+    (J.to_string (metrics_snapshot state))

@@ -1,0 +1,90 @@
+module J = Imageeye_util.Jsonout
+module Jsonin = Imageeye_util.Jsonin
+module Scene = Imageeye_scene.Scene
+module Scene_io = Imageeye_scene.Scene_io
+module Demo_io = Imageeye_interact.Demo_io
+module Lang = Imageeye_core.Lang
+module Parser = Imageeye_core.Parser
+module Edit = Imageeye_core.Edit
+module Synthesizer = Imageeye_core.Synthesizer
+module Universe = Imageeye_symbolic.Universe
+
+let scenes_to_json scenes = J.List (List.map (fun s -> J.Str (Scene_io.to_string s)) scenes)
+
+let scenes_of_json v =
+  match Jsonin.to_list_opt v with
+  | None -> Error "scenes: expected an array of scene strings"
+  | Some [] -> Error "scenes: empty batch"
+  | Some items ->
+      let rec decode i acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest -> (
+            match Jsonin.to_string_opt item with
+            | None -> Error (Printf.sprintf "scenes[%d]: expected a string" i)
+            | Some text -> (
+                match Scene_io.of_string text with
+                | s -> decode (i + 1) (s :: acc) rest
+                | exception Failure msg -> Error (Printf.sprintf "scenes[%d]: %s" i msg)))
+      in
+      decode 0 [] items
+
+let demos_to_json demos = J.Str (Demo_io.to_string demos)
+
+let demos_of_json v =
+  match Jsonin.to_string_opt v with
+  | None -> Error "demos: expected a demonstration-file string"
+  | Some text -> (
+      match Demo_io.parse text with
+      | Ok demos -> Ok demos
+      | Error e -> Error (Demo_io.error_to_string e))
+
+let spec_of ~scenes demos = Demo_io.to_spec ~shared:true ~scenes demos
+
+let program_to_json p = J.Str (Lang.program_to_string p)
+
+let program_of_json v =
+  match Jsonin.to_string_opt v with
+  | None -> Error "program: expected a DSL program string"
+  | Some text -> (
+      match Parser.program text with
+      | Ok p -> Ok p
+      | Error e -> Error (Parser.error_to_string e))
+
+let stats_to_json (st : Synthesizer.stats) =
+  J.Obj
+    [
+      ("popped", J.Int st.popped);
+      ("enqueued", J.Int st.enqueued);
+      ("pruned_infeasible", J.Int st.pruned_infeasible);
+      ("pruned_reducible", J.Int st.pruned_reducible);
+      ("nodes", J.Int st.nodes);
+      ("elapsed_s", J.Float st.elapsed_s);
+      ("prune_counts", J.Obj (List.map (fun (l, n) -> (l, J.Int n)) st.prune_counts));
+    ]
+
+let edit_to_json u ~image_ids edit =
+  J.List
+    (List.map
+       (fun img ->
+         let objects =
+           List.concat
+             (List.mapi
+                (fun pos id ->
+                  match Edit.actions_of edit id with
+                  | [] -> []
+                  | actions ->
+                      [
+                        J.Obj
+                          [
+                            ("object", J.Int pos);
+                            ( "actions",
+                              J.List
+                                (List.map
+                                   (fun a -> J.Str (Lang.action_to_string a))
+                                   actions) );
+                          ];
+                      ])
+                (Universe.objects_of_image u img))
+         in
+         J.Obj [ ("image", J.Int img); ("objects", J.List objects) ])
+       image_ids)

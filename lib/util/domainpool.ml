@@ -59,6 +59,12 @@ let create n =
 
 let size pool = Array.length pool.workers
 
+let pending pool =
+  Mutex.lock pool.mutex;
+  let n = Queue.length pool.queue in
+  Mutex.unlock pool.mutex;
+  n
+
 let submit pool job =
   Mutex.lock pool.mutex;
   if pool.closed then begin

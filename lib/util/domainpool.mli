@@ -26,11 +26,19 @@ val create : int -> t
 
 val size : t -> int
 
+val pending : t -> int
+(** Jobs currently queued and not yet picked up by a worker (excludes
+    jobs already running).  A point-in-time gauge for service metrics;
+    the value can be stale by the time the caller reads it. *)
+
 val submit : t -> (unit -> unit) -> unit
 (** Fire-and-forget: enqueue one job.  Raises [Invalid_argument] after
     {!shutdown}.  A raising job does {e not} kill its worker — the first
-    such exception is recorded and re-raised by {!shutdown}; prefer
-    {!map} when you need per-batch results and error handling. *)
+    such exception is recorded and re-raised by {!shutdown}; any job
+    raising {e after} a failure is already recorded has its exception
+    dropped (first-failure-wins, asserted by [test_engine]).  Long-lived
+    services should therefore catch inside the job; prefer {!map} when
+    you need per-batch results and error handling. *)
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Ordered parallel map, see above.  Safe to call repeatedly; batches
@@ -38,9 +46,11 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 
 val shutdown : t -> unit
 (** Waits for queued jobs to finish, then joins all workers.  The pool
-    must not be used afterwards.  Idempotent.  If any directly
-    {!submit}-ted job raised, the first such exception is re-raised here
-    (once, with its backtrace) after the workers have been joined. *)
+    must not be used afterwards.  Idempotent: only the first call joins
+    (and, if any directly {!submit}-ted job raised, re-raises the first
+    such exception, once, with its backtrace, after the workers have
+    been joined); every later call — including one made after a raising
+    first call — is a no-op. *)
 
 val with_pool : jobs:int -> (t option -> 'a) -> 'a
 (** [with_pool ~jobs f] runs [f (Some pool)] with a fresh pool of

@@ -1,0 +1,254 @@
+type error = { pos : int; message : string }
+
+let error_to_string e = Printf.sprintf "JSON error at byte %d: %s" e.pos e.message
+
+exception E of error
+
+let fail pos message = raise (E { pos; message })
+
+type state = { input : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let rec loop () =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance st;
+        loop ()
+    | _ -> ()
+  in
+  loop ()
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | Some d -> fail st.pos (Printf.sprintf "expected %C, found %C" c d)
+  | None -> fail st.pos (Printf.sprintf "expected %C, found end of input" c)
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.input && String.sub st.input st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st.pos (Printf.sprintf "invalid literal (expected %s)" word)
+
+let hex_digit pos c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> fail pos (Printf.sprintf "invalid hex digit %C" c)
+
+let hex4 st =
+  if st.pos + 4 > String.length st.input then fail st.pos "truncated \\u escape";
+  let v = ref 0 in
+  for i = 0 to 3 do
+    v := (!v * 16) + hex_digit (st.pos + i) st.input.[st.pos + i]
+  done;
+  st.pos <- st.pos + 4;
+  !v
+
+(* Encode one Unicode scalar value as UTF-8 bytes. *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xf0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+
+let unicode_escape st =
+  let start = st.pos - 2 in
+  let cp = hex4 st in
+  if cp >= 0xd800 && cp <= 0xdbff then begin
+    (* High surrogate: must be followed by \uDC00-\uDFFF. *)
+    if st.pos + 2 <= String.length st.input
+       && st.input.[st.pos] = '\\'
+       && st.input.[st.pos + 1] = 'u'
+    then begin
+      st.pos <- st.pos + 2;
+      let lo = hex4 st in
+      if lo >= 0xdc00 && lo <= 0xdfff then
+        0x10000 + ((cp - 0xd800) lsl 10) + (lo - 0xdc00)
+      else fail start "invalid low surrogate in \\u escape pair"
+    end
+    else fail start "lone high surrogate in \\u escape"
+  end
+  else if cp >= 0xdc00 && cp <= 0xdfff then fail start "lone low surrogate in \\u escape"
+  else cp
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st.pos "unterminated string"
+    | Some '"' ->
+        advance st;
+        Buffer.contents buf
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | None -> fail st.pos "unterminated escape"
+        | Some c ->
+            advance st;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' -> add_utf8 buf (unicode_escape st)
+            | c -> fail (st.pos - 1) (Printf.sprintf "invalid escape \\%c" c));
+            loop ())
+    | Some c when Char.code c < 0x20 ->
+        fail st.pos "unescaped control character in string"
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  (match peek st with Some '-' -> advance st | _ -> ());
+  let digits () =
+    let seen = ref false in
+    let rec loop () =
+      match peek st with
+      | Some '0' .. '9' ->
+          seen := true;
+          advance st;
+          loop ()
+      | _ -> ()
+    in
+    loop ();
+    if not !seen then fail st.pos "expected digit"
+  in
+  digits ();
+  (match peek st with
+  | Some '.' ->
+      is_float := true;
+      advance st;
+      digits ()
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+      digits ()
+  | _ -> ());
+  let text = String.sub st.input start (st.pos - start) in
+  if !is_float then Jsonout.Float (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Jsonout.Int i
+    | None -> Jsonout.Float (float_of_string text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st.pos "unexpected end of input"
+  | Some 'n' -> literal st "null" Jsonout.Null
+  | Some 't' -> literal st "true" (Jsonout.Bool true)
+  | Some 'f' -> literal st "false" (Jsonout.Bool false)
+  | Some '"' -> Jsonout.Str (parse_string st)
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        advance st;
+        Jsonout.List []
+      end
+      else
+        let rec items acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              items (v :: acc)
+          | Some ']' ->
+              advance st;
+              List.rev (v :: acc)
+          | Some c -> fail st.pos (Printf.sprintf "expected ',' or ']', found %C" c)
+          | None -> fail st.pos "unterminated array"
+        in
+        Jsonout.List (items [])
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        advance st;
+        Jsonout.Obj []
+      end
+      else
+        let field () =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          (k, v)
+        in
+        let rec fields acc =
+          let kv = field () in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              fields (kv :: acc)
+          | Some '}' ->
+              advance st;
+              List.rev (kv :: acc)
+          | Some c -> fail st.pos (Printf.sprintf "expected ',' or '}', found %C" c)
+          | None -> fail st.pos "unterminated object"
+        in
+        Jsonout.Obj (fields [])
+  | Some c -> fail st.pos (Printf.sprintf "unexpected character %C" c)
+
+let parse input =
+  let st = { input; pos = 0 } in
+  match parse_value st with
+  | v ->
+      skip_ws st;
+      if st.pos < String.length input then
+        Error { pos = st.pos; message = "trailing garbage after document" }
+      else Ok v
+  | exception E e -> Error e
+
+let member key = function
+  | Jsonout.Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_string_opt = function Jsonout.Str s -> Some s | _ -> None
+let to_int_opt = function Jsonout.Int i -> Some i | _ -> None
+let to_bool_opt = function Jsonout.Bool b -> Some b | _ -> None
+
+let to_float_opt = function
+  | Jsonout.Float f -> Some f
+  | Jsonout.Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_list_opt = function Jsonout.List l -> Some l | _ -> None

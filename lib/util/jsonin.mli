@@ -1,0 +1,42 @@
+(** Minimal JSON parsing: the dual of {!Jsonout}.
+
+    The serve subsystem speaks newline-delimited JSON over sockets, so
+    the repo finally needs the reading half of its JSON support.  The
+    parser is a plain recursive-descent reader producing {!Jsonout.t}
+    values (never [Raw]), chosen so that writer and reader share one
+    value type and round-trip by construction:
+    [parse (Jsonout.to_string v) = Ok v] for every [Raw]-free [v] whose
+    floats survive [%.6g] printing (property-tested in [test_serve]).
+
+    Errors are values, not exceptions: a malformed document from the
+    network must become a structured protocol error, never a crash. *)
+
+type error = { pos : int; message : string }
+(** [pos] is a 0-based byte offset into the input. *)
+
+val error_to_string : error -> string
+
+val parse : string -> (Jsonout.t, error) result
+(** Parses exactly one JSON document (surrounding whitespace allowed;
+    trailing garbage is an error).  Number tokens without [.], [e] or
+    [E] that fit in an OCaml [int] become [Int]; all others become
+    [Float].  [\uXXXX] escapes decode to UTF-8 bytes (surrogate pairs
+    combined; lone surrogates rejected). *)
+
+(** {1 Accessors}
+
+    Total helpers for picking a parsed document apart; protocol code
+    uses these so a wrong-typed field is a [None], not a [match]
+    failure. *)
+
+val member : string -> Jsonout.t -> Jsonout.t option
+(** First binding of the key in an [Obj]; [None] otherwise. *)
+
+val to_string_opt : Jsonout.t -> string option
+val to_int_opt : Jsonout.t -> int option
+val to_bool_opt : Jsonout.t -> bool option
+
+val to_float_opt : Jsonout.t -> float option
+(** Accepts both [Float] and [Int] (JSON does not distinguish them). *)
+
+val to_list_opt : Jsonout.t -> Jsonout.t list option

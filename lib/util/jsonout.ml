@@ -24,7 +24,10 @@ let escape s =
   Buffer.contents buf
 
 let float_to_string f =
-  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  (* JSON has no non-finite numbers; "nan"/"inf" from %g would corrupt
+     the document for every downstream reader, so they become null. *)
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
   else Printf.sprintf "%.6g" f
 
 let rec emit buf indent v =
@@ -71,6 +74,44 @@ let to_string v =
   let buf = Buffer.create 1024 in
   emit buf 0 v;
   Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* Compact, single-line form: the NDJSON wire protocol frames one
+   document per line, so embedded newlines are not an option there. *)
+let rec emit_compact buf v =
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_to_string f)
+  | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | Raw s -> Buffer.add_string buf (String.trim s)
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit_compact buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          emit_compact buf item)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_line v =
+  let buf = Buffer.create 256 in
+  emit_compact buf v;
   Buffer.contents buf
 
 let write_file path v =

@@ -22,7 +22,14 @@ type t =
 val to_string : t -> string
 (** Pretty-printed (2-space indent) with a trailing newline.  Strings
     are escaped per RFC 8259; floats print as [%.6g] (integral floats
-    keep a [.0] so the field stays a JSON number of float flavour). *)
+    keep a [.0] so the field stays a JSON number of float flavour).
+    Non-finite floats ([nan], [infinity]) have no JSON number syntax and
+    are emitted as [null]. *)
+
+val to_line : t -> string
+(** Compact single-line form (no indentation, no trailing newline), for
+    newline-delimited JSON wire protocols.  A [Raw] payload containing a
+    newline would break the framing; the serve layer never embeds one. *)
 
 val write_file : string -> t -> unit
 (** [write_file path v] truncates/creates [path] with {!to_string}. *)

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the serving stack: start the daemon on a
+# temporary unix socket, drive it with the client and the load
+# generator (asserting warm value-bank reuse and deadline handling),
+# then SIGTERM it and require a graceful, metrics-dumping, zero-status
+# exit.  Run via `make serve-smoke`; CI runs it on every push.
+set -euo pipefail
+
+BIN=${BIN:-./_build/default/bin/imageeye.exe}
+SOCK=$(mktemp -u "${TMPDIR:-/tmp}/imageeye-smoke-XXXXXX.sock")
+LOG=$(mktemp "${TMPDIR:-/tmp}/imageeye-smoke-XXXXXX.log")
+SERVER_PID=
+
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -TERM "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -f "$SOCK" "$LOG"
+}
+trap cleanup EXIT
+
+"$BIN" serve --socket "$SOCK" --jobs 1 >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+if [ ! -S "$SOCK" ]; then
+  echo "server never bound $SOCK" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+
+echo "== ping"
+"$BIN" client ping --socket "$SOCK" >/dev/null
+
+echo "== loadgen: 8 requests over 4 connections, warm banks required"
+"$BIN" loadgen --socket "$SOCK" --concurrency 4 --requests 8 --task 1 --expect-warm
+
+echo "== deadline probe: hard 6-demo spec on a 10 ms budget must time out"
+out=$("$BIN" loadgen --socket "$SOCK" -c 1 -m 1 --task 16 -n 10 \
+  --demo-images 6 --seed 97 --timeout 0.01)
+echo "$out"
+echo "$out" | grep -q " 1 timeout," || {
+  echo "expected a timeout outcome from the deadline probe" >&2
+  exit 1
+}
+
+echo "== server keeps serving after the timeout"
+"$BIN" client ping --socket "$SOCK" >/dev/null
+
+echo "== interactive session over the wire"
+"$BIN" client session --task 30 --images 40 --socket "$SOCK"
+
+echo "== metrics"
+"$BIN" client metrics --socket "$SOCK" | grep -q '"requests_total"'
+
+echo "== graceful shutdown on SIGTERM"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"   # set -e: a non-zero daemon exit fails the smoke
+SERVER_PID=
+grep -q "final metrics" "$LOG" || {
+  echo "no final metrics dump in the server log" >&2
+  cat "$LOG" >&2
+  exit 1
+}
+if [ -e "$SOCK" ]; then
+  echo "socket not unlinked on shutdown" >&2
+  exit 1
+fi
+
+echo "serve smoke OK"

@@ -269,6 +269,46 @@ let test_pool_survives_raising_submit () =
   (* ...exactly once, so a second shutdown stays a no-op. *)
   Domainpool.shutdown pool
 
+let test_pool_first_failure_wins () =
+  let pool = Domainpool.create 1 in
+  (* A single worker forces the two raising jobs to run in submission
+     order, so "first failure" is deterministic here.  The second job
+     raises *after* the first failure is already recorded: its exception
+     is dropped by design (first-failure-wins), and the worker keeps
+     serving. *)
+  Domainpool.submit pool (fun () -> failwith "first boom");
+  Domainpool.submit pool (fun () -> failwith "second boom");
+  Alcotest.(check (list int)) "worker survives both raising jobs" [ 1; 2; 3 ]
+    (Domainpool.map pool Fun.id [ 1; 2; 3 ]);
+  Alcotest.(check int) "drained queue" 0 (Domainpool.pending pool);
+  Alcotest.check_raises "shutdown re-raises the first exception only"
+    (Failure "first boom") (fun () -> Domainpool.shutdown pool);
+  (* Idempotent after a raising shutdown: the later exception does not
+     resurface on repeated calls. *)
+  Domainpool.shutdown pool;
+  Domainpool.shutdown pool
+
+let test_pool_pending_gauge () =
+  let pool = Domainpool.create 1 in
+  Fun.protect
+    ~finally:(fun () -> Domainpool.shutdown pool)
+    (fun () ->
+      let release = Mutex.create () in
+      Mutex.lock release;
+      (* Park the only worker so later submissions provably queue. *)
+      Domainpool.submit pool (fun () ->
+          Mutex.lock release;
+          Mutex.unlock release);
+      let deadline = Imageeye_util.Clock.counter () in
+      while Domainpool.pending pool > 0 && Imageeye_util.Clock.elapsed_s deadline < 5.0 do
+        Domain.cpu_relax ()
+      done;
+      Domainpool.submit pool ignore;
+      Domainpool.submit pool ignore;
+      Alcotest.(check int) "two jobs parked behind the running one" 2
+        (Domainpool.pending pool);
+      Mutex.unlock release)
+
 let test_pool_with_pool () =
   Alcotest.(check bool) "jobs=1 stays sequential" true
     (Domainpool.with_pool ~jobs:1 (fun p -> p = None));
@@ -325,6 +365,10 @@ let () =
             test_pool_exception_propagation;
           Alcotest.test_case "survives a raising submitted job" `Quick
             test_pool_survives_raising_submit;
+          Alcotest.test_case "first failure wins, shutdown idempotent" `Quick
+            test_pool_first_failure_wins;
+          Alcotest.test_case "pending queue-depth gauge" `Quick
+            test_pool_pending_gauge;
           Alcotest.test_case "with_pool" `Quick test_pool_with_pool;
           Alcotest.test_case "runner matches sequential" `Quick
             test_runner_matches_sequential;

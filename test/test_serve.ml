@@ -1,0 +1,482 @@
+(* Tests for the serve subsystem: the Jsonin reader (round-trip with
+   Jsonout, malformed input as values), the wire protocol, the metrics
+   accumulator, and an in-process end-to-end daemon over a temporary
+   unix socket. *)
+
+module J = Imageeye_util.Jsonout
+module Jsonin = Imageeye_util.Jsonin
+module Protocol = Imageeye_serve.Protocol
+module Metrics = Imageeye_serve.Metrics
+module Server = Imageeye_serve.Server
+module Client = Imageeye_serve.Client
+module Demo_io = Imageeye_interact.Demo_io
+module Dataset = Imageeye_scene.Dataset
+module Scene = Imageeye_scene.Scene
+module Batch = Imageeye_vision.Batch
+module Universe = Imageeye_symbolic.Universe
+module Edit = Imageeye_core.Edit
+module Benchmarks = Imageeye_tasks.Benchmarks
+module Task = Imageeye_tasks.Task
+module Clock = Imageeye_util.Clock
+
+(* ---------- Jsonin: round-trip with Jsonout ---------- *)
+
+(* Raw-free documents whose floats survive [%.6g] printing: dyadic
+   rationals below 100 keep at most 5 significant digits. *)
+let json_gen =
+  let open QCheck2.Gen in
+  let key = string_size ~gen:printable (int_bound 8) in
+  let scalar =
+    oneof
+      [
+        return J.Null;
+        map (fun b -> J.Bool b) bool;
+        map (fun i -> J.Int i) int;
+        map (fun n -> J.Float (float_of_int n /. 8.0)) (int_range (-799) 799);
+        map (fun s -> J.Str s) (string_size (int_bound 24));
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then scalar
+         else
+           frequency
+             [
+               (3, scalar);
+               (1, map (fun l -> J.List l) (list_size (int_bound 4) (self (n / 2))));
+               ( 1,
+                 map
+                   (fun l -> J.Obj l)
+                   (list_size (int_bound 4) (pair key (self (n / 2)))) );
+             ])
+
+let rec json_print v =
+  match v with
+  | J.Null -> "Null"
+  | J.Bool b -> Printf.sprintf "Bool %b" b
+  | J.Int i -> Printf.sprintf "Int %d" i
+  | J.Float f -> Printf.sprintf "Float %h" f
+  | J.Str s -> Printf.sprintf "Str %S" s
+  | J.List l -> "List [" ^ String.concat "; " (List.map json_print l) ^ "]"
+  | J.Obj l ->
+      "Obj ["
+      ^ String.concat "; " (List.map (fun (k, x) -> Printf.sprintf "%S, %s" k (json_print x)) l)
+      ^ "]"
+  | J.Raw s -> Printf.sprintf "Raw %S" s
+
+let roundtrip_pretty =
+  QCheck2.Test.make ~name:"parse (to_string v) = v" ~count:500 ~print:json_print json_gen
+    (fun v -> Jsonin.parse (J.to_string v) = Ok v)
+
+let roundtrip_line =
+  QCheck2.Test.make ~name:"parse (to_line v) = v" ~count:500 ~print:json_print json_gen
+    (fun v -> Jsonin.parse (J.to_line v) = Ok v)
+
+let parse_never_raises =
+  QCheck2.Test.make ~name:"parse never raises" ~count:1000
+    ~print:(Printf.sprintf "%S")
+    QCheck2.Gen.(string_size (int_bound 40))
+    (fun s ->
+      match Jsonin.parse s with Ok _ | Error _ -> true)
+
+(* ---------- Jsonout: non-finite floats ---------- *)
+
+let test_nonfinite_floats () =
+  Alcotest.(check string) "nan" "null" (J.to_line (J.Float Float.nan));
+  Alcotest.(check string) "inf" "null" (J.to_line (J.Float Float.infinity));
+  Alcotest.(check string) "-inf" "null" (J.to_line (J.Float Float.neg_infinity));
+  Alcotest.(check string) "nested" "[null,1,2.5]"
+    (J.to_line (J.List [ J.Float Float.nan; J.Int 1; J.Float 2.5 ]));
+  (* The whole document stays valid JSON for any reader. *)
+  Alcotest.(check bool) "reparses" true
+    (Jsonin.parse (J.to_string (J.Obj [ ("x", J.Float Float.infinity) ]))
+    = Ok (J.Obj [ ("x", J.Null) ]))
+
+(* ---------- Jsonin: units ---------- *)
+
+let test_parse_scalars () =
+  Alcotest.(check bool) "int" true (Jsonin.parse "42" = Ok (J.Int 42));
+  Alcotest.(check bool) "negative" true (Jsonin.parse "-7" = Ok (J.Int (-7)));
+  Alcotest.(check bool) "float" true (Jsonin.parse "4.5" = Ok (J.Float 4.5));
+  Alcotest.(check bool) "exponent" true (Jsonin.parse "1e3" = Ok (J.Float 1000.0));
+  Alcotest.(check bool) "true" true (Jsonin.parse "true" = Ok (J.Bool true));
+  Alcotest.(check bool) "null" true (Jsonin.parse " null " = Ok J.Null);
+  Alcotest.(check bool) "string" true (Jsonin.parse {|"hi"|} = Ok (J.Str "hi"))
+
+let test_parse_escapes () =
+  Alcotest.(check bool) "basic escapes" true
+    (Jsonin.parse {|"a\"b\\c\nd\te"|} = Ok (J.Str "a\"b\\c\nd\te"));
+  Alcotest.(check bool) "unicode escape" true
+    (Jsonin.parse "\"A\\u00e9\"" = Ok (J.Str "A\xc3\xa9"));
+  Alcotest.(check bool) "surrogate pair" true
+    (Jsonin.parse "\"\\ud83d\\ude00\"" = Ok (J.Str "\xf0\x9f\x98\x80"));
+  Alcotest.(check bool) "lone surrogate rejected" true
+    (Result.is_error (Jsonin.parse {|"\ud800"|}))
+
+let test_parse_malformed () =
+  let bad =
+    [
+      ""; "{"; "[1,"; "[1,]"; {|{"a":}|}; {|{"a" 1}|}; "nul"; "tru"; "1 2"; "[1] x";
+      {|"unterminated|}; "\"ctrl\nchar\""; "{\"a\":1,}"; "+1"; "-"; "[,]"; "}";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Jsonin.parse s with
+      | Error e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "error has message for %S" s)
+            true
+            (String.length (Jsonin.error_to_string e) > 0)
+      | Ok v -> Alcotest.failf "parsed %S as %s" s (json_print v))
+    bad
+
+let test_accessors () =
+  let doc = J.Obj [ ("a", J.Int 3); ("b", J.Str "x"); ("c", J.List [ J.Null ]) ] in
+  Alcotest.(check bool) "member hit" true (Jsonin.member "b" doc = Some (J.Str "x"));
+  Alcotest.(check bool) "member miss" true (Jsonin.member "z" doc = None);
+  Alcotest.(check bool) "int opt" true (Jsonin.to_int_opt (J.Int 5) = Some 5);
+  Alcotest.(check bool) "float accepts int" true (Jsonin.to_float_opt (J.Int 5) = Some 5.0);
+  Alcotest.(check bool) "wrong type is None" true (Jsonin.to_string_opt (J.Int 5) = None);
+  Alcotest.(check bool) "list opt" true
+    (Jsonin.to_list_opt (J.List [ J.Null ]) = Some [ J.Null ])
+
+(* ---------- Protocol ---------- *)
+
+let check_error line code =
+  match Protocol.of_line line with
+  | Ok _ -> Alcotest.failf "accepted %S" line
+  | Error e -> Alcotest.(check string) (Printf.sprintf "code for %S" line) code e.Protocol.code
+
+let test_protocol_errors () =
+  check_error "not json at all" "bad-json";
+  check_error "[1,2]" "bad-request";
+  check_error {|{"id": 7}|} "bad-request";
+  check_error {|{"op": 3}|} "bad-request";
+  check_error {|{"op": "frobnicate", "id": 7}|} "unknown-op";
+  check_error {|{"op": "synthesize"}|} "bad-request";
+  check_error {|{"op": "synthesize", "scenes": [], "demos": ""}|} "bad-payload";
+  check_error {|{"op": "session-round"}|} "bad-request";
+  (* The id is echoed even on errors, so pipelining clients can match. *)
+  (match Protocol.of_line {|{"op": "frobnicate", "id": 7}|} with
+  | Error e -> Alcotest.(check bool) "id echoed" true (e.Protocol.id = J.Int 7)
+  | Ok _ -> Alcotest.fail "accepted unknown op")
+
+let test_protocol_roundtrip () =
+  let requests =
+    [
+      Protocol.Ping;
+      Protocol.Metrics;
+      Protocol.Shutdown;
+      Protocol.Session_open { task_id = 3; images = Some 6; seed = 11 };
+      Protocol.Session_open { task_id = 1; images = None; seed = 42 };
+      Protocol.Session_round { session = 2; timeout_s = Some 1.5 };
+      Protocol.Session_round { session = 2; timeout_s = None };
+      Protocol.Session_close { session = 2 };
+    ]
+  in
+  List.iter
+    (fun request ->
+      let line = J.to_line (Protocol.to_json ~id:(J.Int 9) request) in
+      match Protocol.of_line line with
+      | Ok t ->
+          Alcotest.(check bool) ("id of " ^ line) true (t.Protocol.id = J.Int 9);
+          Alcotest.(check bool) ("payload of " ^ line) true (t.Protocol.request = request)
+      | Error e -> Alcotest.failf "rejected %s: %s" line e.Protocol.message)
+    requests
+
+let test_protocol_synthesize_roundtrip () =
+  let dataset = Dataset.generate ~n_images:3 ~seed:5 Dataset.Objects in
+  let scenes = dataset.Dataset.scenes in
+  let demos = [ { Demo_io.image_id = (List.hd scenes).Scene.image_id; edits = [] } ] in
+  let request = Protocol.Synthesize { scenes; demos; timeout_s = Some 0.25 } in
+  let line = J.to_line (Protocol.to_json ~id:J.Null request) in
+  (match Protocol.of_line line with
+  | Ok t -> Alcotest.(check bool) "synthesize round-trips" true (t.Protocol.request = request)
+  | Error e -> Alcotest.failf "rejected synthesize: %s" e.Protocol.message);
+  let task = Benchmarks.by_id 30 in
+  let apply = Protocol.Apply { program = task.Task.ground_truth; scenes } in
+  match Protocol.of_line (J.to_line (Protocol.to_json ~id:J.Null apply)) with
+  | Ok t -> Alcotest.(check bool) "apply round-trips" true (t.Protocol.request = apply)
+  | Error e -> Alcotest.failf "rejected apply: %s" e.Protocol.message
+
+(* ---------- Metrics ---------- *)
+
+let snap_path snapshot path =
+  let rec go doc = function
+    | [] -> Some doc
+    | key :: rest -> ( match Jsonin.member key doc with None -> None | Some v -> go v rest)
+  in
+  go snapshot path
+
+let snap_float snapshot path =
+  match Option.bind (snap_path snapshot path) Jsonin.to_float_opt with
+  | Some f -> f
+  | None -> Alcotest.failf "missing %s" (String.concat "." path)
+
+let snap_int snapshot path =
+  match Option.bind (snap_path snapshot path) Jsonin.to_int_opt with
+  | Some i -> i
+  | None -> Alcotest.failf "missing %s" (String.concat "." path)
+
+let test_metrics_quantiles () =
+  let m = Metrics.create () in
+  (* 100 known latencies, out of order on purpose. *)
+  let latencies = List.init 100 (fun i -> float_of_int (((i * 37) mod 100) + 1) /. 1000.0) in
+  List.iter (fun l -> Metrics.record m ~op:"synthesize" ~outcome:"ok" ~latency_s:l ()) latencies;
+  Metrics.observe_queue_depth m 3;
+  Metrics.observe_queue_depth m 7;
+  Metrics.observe_queue_depth m 2;
+  let s = Metrics.snapshot m ~queue_depth:1 ~sessions_open:0 in
+  Alcotest.(check int) "total" 100 (snap_int s [ "requests_total" ]);
+  Alcotest.(check int) "per-op" 100 (snap_int s [ "requests"; "synthesize"; "ok" ]);
+  Alcotest.(check int) "count" 100 (snap_int s [ "latency"; "count" ]);
+  Alcotest.(check int) "max queue" 7 (snap_int s [ "max_queue_depth" ]);
+  Alcotest.(check int) "live queue" 1 (snap_int s [ "queue_depth" ]);
+  let p50 = snap_float s [ "latency"; "p50_s" ] in
+  let p95 = snap_float s [ "latency"; "p95_s" ] in
+  Alcotest.(check bool) "p50 near 0.050" true (Float.abs (p50 -. 0.050) <= 0.002);
+  Alcotest.(check bool) "p95 near 0.095" true (Float.abs (p95 -. 0.095) <= 0.002);
+  Alcotest.(check (float 1e-9)) "max" 0.100 (snap_float s [ "latency"; "max_s" ])
+
+let test_metrics_value_bank () =
+  let m = Metrics.create () in
+  Metrics.record m ~op:"synthesize" ~outcome:"ok" ~latency_s:0.01
+    ~counts:[ ("value-bank(hit)", 3); ("value-bank(miss)", 1); ("equiv-dedup", 5) ] ();
+  Metrics.record m ~op:"synthesize" ~outcome:"ok" ~latency_s:0.01
+    ~counts:[ ("value-bank(hit)", 1) ] ();
+  Metrics.record_dropped m;
+  let s = Metrics.snapshot m ~queue_depth:0 ~sessions_open:2 in
+  Alcotest.(check int) "hits" 4 (snap_int s [ "value_bank"; "hits" ]);
+  Alcotest.(check int) "misses" 1 (snap_int s [ "value_bank"; "misses" ]);
+  Alcotest.(check (float 1e-6)) "hit rate" 0.8 (snap_float s [ "value_bank"; "hit_rate" ]);
+  Alcotest.(check int) "counter summed" 5 (snap_int s [ "counters"; "equiv-dedup" ]);
+  Alcotest.(check int) "dropped" 1 (snap_int s [ "dropped_responses" ]);
+  Alcotest.(check int) "sessions gauge" 2 (snap_int s [ "sessions_open" ])
+
+(* ---------- end-to-end over a temporary unix socket ---------- *)
+
+(* One demonstration per chosen image, sparsest first, replaying the
+   task's ground truth — the same payload the load generator sends. *)
+let demo_payload task_id ~images ~demo_images ~seed =
+  let task = Benchmarks.by_id task_id in
+  let dataset = Dataset.generate ~n_images:images ~seed task.Task.domain in
+  let u = Batch.universe_of_scenes dataset.Dataset.scenes in
+  let gt = Edit.induced_by_program u task.Task.ground_truth in
+  let weight (s : Scene.t) = List.length (Universe.objects_of_image u s.image_id) in
+  let useful =
+    List.filter
+      (fun (s : Scene.t) ->
+        List.exists (fun id -> Edit.actions_of gt id <> []) (Universe.objects_of_image u s.image_id))
+      dataset.Dataset.scenes
+  in
+  let chosen =
+    List.filteri
+      (fun i _ -> i < demo_images)
+      (List.stable_sort (fun a b -> compare (weight a) (weight b)) useful)
+  in
+  let demo_of (s : Scene.t) =
+    let edits =
+      List.concat
+        (List.mapi
+           (fun pos id -> List.map (fun a -> (pos, a)) (Edit.actions_of gt id))
+           (Universe.objects_of_image u s.image_id))
+    in
+    { Demo_io.image_id = s.Scene.image_id; edits }
+  in
+  (chosen, List.map demo_of chosen)
+
+let temp_socket () =
+  let path = Filename.temp_file "imageeye-serve" ".sock" in
+  Sys.remove path;
+  path
+
+let connect_with_retry path =
+  let deadline = Clock.counter () in
+  let rec go () =
+    match Client.connect (Client.Unix_socket path) with
+    | c -> c
+    | exception Unix.Unix_error _ when Clock.elapsed_s deadline < 10.0 ->
+        Thread.delay 0.02;
+        go ()
+  in
+  go ()
+
+let rpc_ok c request =
+  match Client.rpc c request with
+  | Error msg -> Alcotest.failf "transport error: %s" msg
+  | Ok r ->
+      if not (Client.is_ok r) then Alcotest.failf "server error: %s" (J.to_line r);
+      r
+
+let rpc_err c request =
+  match Client.rpc c request with
+  | Error msg -> Alcotest.failf "transport error: %s" msg
+  | Ok r ->
+      if Client.is_ok r then Alcotest.failf "expected error, got: %s" (J.to_line r);
+      Option.value ~default:"?"
+        (Option.bind
+           (Option.bind (Jsonin.member "error" r) (Jsonin.member "code"))
+           Jsonin.to_string_opt)
+
+let outcome r =
+  Option.value ~default:"?" (Option.bind (Jsonin.member "outcome" r) Jsonin.to_string_opt)
+
+let stat r key = Option.bind (Jsonin.member "stats" r) (fun s -> Jsonin.member key s)
+
+let prune_count r label =
+  match
+    Option.bind (stat r "prune_counts") (fun pc ->
+        Option.bind (Jsonin.member label pc) Jsonin.to_int_opt)
+  with
+  | Some n -> n
+  | None -> 0
+
+(* The whole daemon lifecycle in one test: the sub-checks share a
+   running server, and alcotest runs tests in declaration order anyway.
+   Bounded by the per-request deadlines, not the test harness. *)
+let test_e2e () =
+  let path = temp_socket () in
+  let config =
+    {
+      Server.default_config with
+      endpoint = Server.Unix_socket path;
+      quiet = true;
+      default_timeout_s = 30.0;
+    }
+  in
+  let server = Thread.create (fun () -> Server.run config) () in
+  let c = connect_with_retry path in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (* ping *)
+  let r = rpc_ok c Protocol.Ping in
+  Alcotest.(check bool) "pong" true (Jsonin.member "pong" r = Some (J.Bool true));
+
+  (* synthesize: cold, then twice more against the same interned
+     universe — the recurrence-gated bank builds on the second search
+     and pays off from the third. *)
+  let scenes, demos = demo_payload 30 ~images:6 ~demo_images:1 ~seed:3 in
+  let synth = Protocol.Synthesize { scenes; demos; timeout_s = Some 20.0 } in
+  let r1 = rpc_ok c synth in
+  Alcotest.(check string) "cold outcome" "success" (outcome r1);
+  Alcotest.(check bool) "has program" true (Jsonin.member "program" r1 <> None);
+  let cold_nodes = Option.value ~default:0 (Option.bind (stat r1 "nodes") Jsonin.to_int_opt) in
+  Alcotest.(check bool) "searched" true (cold_nodes > 0);
+  let _ = rpc_ok c synth in
+  let r3 = rpc_ok c synth in
+  Alcotest.(check string) "warm outcome" "success" (outcome r3);
+  let warm_nodes = Option.value ~default:max_int (Option.bind (stat r3 "nodes") Jsonin.to_int_opt) in
+  Alcotest.(check bool) "warm not costlier" true (warm_nodes <= cold_nodes);
+  Alcotest.(check bool) "warm bank hit" true (prune_count r3 "value-bank(hit)" > 0);
+
+  (* apply: the learned program induces an edit on every sent scene *)
+  let program =
+    match Option.bind (Jsonin.member "program" r1) Jsonin.to_string_opt with
+    | Some p -> (
+        match Imageeye_core.Parser.program p with
+        | Ok prog -> prog
+        | Error e -> Alcotest.failf "unparsable program: %s" (Imageeye_core.Parser.error_to_string e))
+    | None -> Alcotest.fail "no program in response"
+  in
+  let r = rpc_ok c (Protocol.Apply { program; scenes }) in
+  (match Option.bind (Jsonin.member "edits" r) Jsonin.to_list_opt with
+  | Some edits -> Alcotest.(check int) "one entry per image" (List.length scenes) (List.length edits)
+  | None -> Alcotest.fail "no edits in apply response");
+
+  (* deadline: a hard multi-demo spec with a 10 ms budget times out,
+     and the server keeps serving afterwards *)
+  let hard_scenes, hard_demos = demo_payload 16 ~images:10 ~demo_images:6 ~seed:97 in
+  let r =
+    rpc_ok c (Protocol.Synthesize { scenes = hard_scenes; demos = hard_demos; timeout_s = Some 0.01 })
+  in
+  Alcotest.(check string) "deadline outcome" "timeout" (outcome r);
+  let r = rpc_ok c Protocol.Ping in
+  Alcotest.(check bool) "alive after timeout" true (Jsonin.member "pong" r = Some (J.Bool true));
+
+  (* malformed input: structured errors, connection survives *)
+  (match Client.rpc_json c (J.Raw "this is not json") with
+  | Ok r ->
+      Alcotest.(check bool) "bad json not ok" false (Client.is_ok r);
+      Alcotest.(check bool) "bad json code" true
+        (Option.bind (Jsonin.member "error" r) (Jsonin.member "code")
+        = Some (J.Str "bad-json"))
+  | Error msg -> Alcotest.failf "transport error: %s" msg);
+  (match Client.rpc_json c (J.Obj [ ("id", J.Int 1); ("op", J.Str "frobnicate") ]) with
+  | Ok r ->
+      Alcotest.(check bool) "unknown op code" true
+        (Option.bind (Jsonin.member "error" r) (Jsonin.member "code")
+        = Some (J.Str "unknown-op"))
+  | Error msg -> Alcotest.failf "transport error: %s" msg);
+
+  (* session: open, run rounds to completion, close *)
+  let r = rpc_ok c (Protocol.Session_open { task_id = 30; images = Some 40; seed = 42 }) in
+  let session =
+    match Option.bind (Jsonin.member "session" r) Jsonin.to_int_opt with
+    | Some s -> s
+    | None -> Alcotest.fail "no session id"
+  in
+  let status r =
+    Option.value ~default:"?" (Option.bind (Jsonin.member "status" r) Jsonin.to_string_opt)
+  in
+  let rec rounds n last =
+    if n > 12 then last
+    else
+      let r = rpc_ok c (Protocol.Session_round { session; timeout_s = Some 20.0 }) in
+      if status r = "awaiting-round" then rounds (n + 1) r else r
+  in
+  let final = rounds 0 r in
+  Alcotest.(check string) "session solved" "solved" (status final);
+  Alcotest.(check bool) "session program" true (Jsonin.member "program" final <> None);
+  let _ = rpc_ok c (Protocol.Session_close { session }) in
+  Alcotest.(check string) "closed twice" "no-session"
+    (rpc_err c (Protocol.Session_close { session }));
+  Alcotest.(check string) "round after close" "no-session"
+    (rpc_err c (Protocol.Session_round { session; timeout_s = None }));
+  Alcotest.(check string) "bad task id" "bad-request"
+    (rpc_err c (Protocol.Session_open { task_id = 99999; images = None; seed = 1 }));
+
+  (* metrics reflect what this test did *)
+  let r = rpc_ok c Protocol.Metrics in
+  let m = match Jsonin.member "metrics" r with Some m -> m | None -> Alcotest.fail "no metrics" in
+  Alcotest.(check bool) "requests counted" true (snap_int m [ "requests_total" ] >= 10);
+  Alcotest.(check bool) "synthesize ok counted" true
+    (snap_int m [ "requests"; "synthesize"; "ok" ] >= 3);
+  Alcotest.(check bool) "timeout counted" true
+    (snap_int m [ "requests"; "synthesize"; "timeout" ] >= 1);
+  Alcotest.(check bool) "bank hits surfaced" true (snap_int m [ "value_bank"; "hits" ] > 0);
+  Alcotest.(check int) "no open sessions" 0 (snap_int m [ "sessions_open" ]);
+
+  (* graceful shutdown via the protocol *)
+  let r = rpc_ok c Protocol.Shutdown in
+  Alcotest.(check bool) "shutdown acked" true (Jsonin.member "draining" r = Some (J.Bool true));
+  Thread.join server;
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists path)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "jsonin",
+        [
+          QCheck_alcotest.to_alcotest roundtrip_pretty;
+          QCheck_alcotest.to_alcotest roundtrip_line;
+          QCheck_alcotest.to_alcotest parse_never_raises;
+          Alcotest.test_case "scalars" `Quick test_parse_scalars;
+          Alcotest.test_case "escapes" `Quick test_parse_escapes;
+          Alcotest.test_case "malformed input is an error value" `Quick test_parse_malformed;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+        ] );
+      ( "jsonout",
+        [ Alcotest.test_case "non-finite floats become null" `Quick test_nonfinite_floats ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "structured errors" `Quick test_protocol_errors;
+          Alcotest.test_case "request round-trip" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "payload round-trip" `Quick test_protocol_synthesize_roundtrip;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "latency quantiles" `Quick test_metrics_quantiles;
+          Alcotest.test_case "value-bank counters" `Quick test_metrics_value_bank;
+        ] );
+      ("e2e", [ Alcotest.test_case "daemon lifecycle" `Slow test_e2e ]);
+    ]
