@@ -4,7 +4,7 @@
 JOBS ?= 2
 BENCH_JSON ?= BENCH_PR3.json
 
-.PHONY: all build test smoke serve-smoke check bench-json clean
+.PHONY: all build test smoke serve-smoke fault-smoke check bench-json clean
 
 all: build
 
@@ -22,9 +22,17 @@ smoke: build
 	  --timeout 30 --jobs $(JOBS)
 
 # Daemon lifecycle end to end: serve on a temp socket, loadgen with a
-# warm-bank assertion, a deadline probe, a wire-driven session, then a
-# graceful SIGTERM drain that must exit 0.
+# warm-bank assertion, a deadline probe, a wire-driven session,
+# adversarial probes (nesting bomb, oversized line), then a graceful
+# SIGTERM drain that must exit 0.
 serve-smoke: build
+	bash scripts/serve_smoke.sh
+
+# Hostile-input hardening: the deterministic fault-injection harness
+# (torn frames, slow-loris, bombs, disconnects, overload shedding)
+# plus the adversarial end-to-end smoke above.
+fault-smoke: build
+	dune exec test/test_faults.exe
 	bash scripts/serve_smoke.sh
 
 check: build test smoke

@@ -549,12 +549,24 @@ let port_arg =
   Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT"
          ~doc:"Listen/connect on TCP 127.0.0.1:PORT instead of a unix socket.")
 
-let serve socket port jobs timeout max_rounds quiet =
+let serve socket port jobs timeout max_rounds quiet max_line_bytes read_timeout max_conns =
   let endpoint =
     match port with Some p -> Serve.Tcp p | None -> Serve.Unix_socket socket
   in
+  if max_line_bytes < 2 then failwith "need --max-line-bytes >= 2";
+  if max_conns < 1 then failwith "need --max-conns >= 1";
+  if read_timeout < 0.0 then failwith "need --read-timeout >= 0 (0 disables)";
   Serve.run
-    { endpoint; jobs; default_timeout_s = timeout; max_rounds; quiet }
+    {
+      endpoint;
+      jobs;
+      default_timeout_s = timeout;
+      max_rounds;
+      quiet;
+      max_line_bytes;
+      read_timeout_s = (if read_timeout = 0.0 then None else Some read_timeout);
+      max_connections = max_conns;
+    }
 
 let serve_cmd =
   let jobs =
@@ -570,10 +582,35 @@ let serve_cmd =
            ~doc:"Interaction-round cap per session.")
   in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress per-connection logs.") in
+  (* Hostile-input limits; each also reads an IMAGEEYE_* variable, and a
+     malformed value fails startup loudly (cmdliner rejects it) rather
+     than silently serving with defaults. *)
+  let max_line_bytes =
+    Arg.(value
+         & opt int Serve.default_config.max_line_bytes
+         & info [ "max-line-bytes" ] ~docv:"BYTES"
+             ~env:(Cmd.Env.info "IMAGEEYE_MAX_LINE_BYTES")
+             ~doc:"Longest accepted request line; anything longer gets a structured              line-too-long error and a closed connection.")
+  in
+  let read_timeout =
+    Arg.(value
+         & opt float (Option.value Serve.default_config.read_timeout_s ~default:0.0)
+         & info [ "read-timeout" ] ~docv:"SECONDS"
+             ~env:(Cmd.Env.info "IMAGEEYE_READ_TIMEOUT")
+             ~doc:"Mid-frame read deadline per connection: a request line dripping in              slower than this is dropped with read-timeout.  Idle connections              between requests are never timed out.  0 disables.")
+  in
+  let max_conns =
+    Arg.(value
+         & opt int Serve.default_config.max_connections
+         & info [ "max-conns" ] ~docv:"N"
+             ~env:(Cmd.Env.info "IMAGEEYE_MAX_CONNS")
+             ~doc:"Connection admission cap; excess connections are shed with one              overloaded error line.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the persistent synthesis daemon: newline-delimited JSON requests over a              unix-domain or TCP socket, synthesis on a worker Domain pool with warm              cross-request value banks.  SIGTERM drains gracefully and dumps metrics.")
-    Term.(const serve $ socket_arg $ port_arg $ jobs $ timeout $ max_rounds $ quiet)
+    Term.(const serve $ socket_arg $ port_arg $ jobs $ timeout $ max_rounds $ quiet
+          $ max_line_bytes $ read_timeout $ max_conns)
 
 let client_endpoint socket port =
   match port with
@@ -583,7 +620,7 @@ let client_endpoint socket port =
 (* One response, pretty-printed; exit 1 unless ok (and, for synthesize,
    unless the outcome is success — scripts grep less that way). *)
 let run_client_request endpoint request =
-  let c = Client.connect endpoint in
+  let c = Client.connect_retry endpoint in
   Fun.protect
     ~finally:(fun () -> Client.close c)
     (fun () ->
@@ -603,6 +640,22 @@ let client socket port op program_file scenes_dir demos_file timeout task images
   | "ping" -> run_client_request endpoint Protocol.Ping
   | "metrics" -> run_client_request endpoint Protocol.Metrics
   | "shutdown" -> run_client_request endpoint Protocol.Shutdown
+  | "raw" ->
+      (* Adversarial probe: ship stdin verbatim as one request line and
+         print the daemon's structured answer.  Stdin, not argv — probe
+         payloads (multi-megabyte lines, nesting bombs) blow past the
+         kernel's argument-length limit. *)
+      let payload = In_channel.input_all In_channel.stdin in
+      if String.trim payload = "" then failwith "client raw reads the request line from stdin";
+      let c = Client.connect_retry endpoint in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          match Client.rpc_raw c payload with
+          | Error msg -> failwith msg
+          | Ok response ->
+              print_string (J.to_string response);
+              if not (Client.is_ok response) then exit 1)
   | "synthesize" ->
       let scenes = Scene_io.load_scenes ~dir:(need "--scenes" scenes_dir) in
       if scenes = [] then failwith "no .scene files in the scenes directory";
@@ -619,7 +672,7 @@ let client socket port op program_file scenes_dir demos_file timeout task images
       run_client_request endpoint (Protocol.Apply { program; scenes })
   | "session" ->
       (* Drive the interactive loop end to end over the wire. *)
-      let c = Client.connect endpoint in
+      let c = Client.connect_retry endpoint in
       Fun.protect
         ~finally:(fun () -> Client.close c)
         (fun () ->
@@ -679,7 +732,7 @@ let client socket port op program_file scenes_dir demos_file timeout task images
 let client_cmd =
   let op =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"OP"
-           ~doc:"One of ping, metrics, shutdown, synthesize, apply, session.")
+           ~doc:"One of ping, metrics, shutdown, synthesize, apply, session, raw (sends              stdin verbatim as one request line).")
   in
   let program = Arg.(value & opt (some file) None & info [ "p"; "program" ] ~docv:"FILE") in
   let scenes = Arg.(value & opt (some dir) None & info [ "scenes" ] ~docv:"DIR") in
@@ -776,16 +829,35 @@ let loadgen socket port concurrency requests task images demo_images seed timeou
     if i < requests then Some i else None
   in
   let worker () =
-    let c = Client.connect endpoint in
+    (* Connect with bounded backoff, and on a mid-run transport failure
+       (daemon restarted, EPIPE, connection shed) reconnect and retry
+       the request a bounded number of times before counting it lost. *)
+    let c = ref (Client.connect_retry endpoint) in
+    let reconnect () =
+      Client.close !c;
+      c := Client.connect_retry endpoint
+    in
     Fun.protect
-      ~finally:(fun () -> Client.close c)
+      ~finally:(fun () -> Client.close !c)
       (fun () ->
+        let rec rpc_with_retry tries =
+          match Client.rpc !c request with
+          | Ok r -> Ok r
+          | Error msg ->
+              if tries >= 3 then Error msg
+              else (
+                (match reconnect () with
+                | () -> ()
+                | exception Unix.Unix_error (e, _, _) ->
+                    failwith (Printf.sprintf "reconnect failed: %s" (Unix.error_message e)));
+                rpc_with_retry (tries + 1))
+        in
         let rec loop () =
           match take () with
           | None -> ()
           | Some i ->
               let t0 = Clock.counter () in
-              (match Client.rpc c request with
+              (match rpc_with_retry 1 with
               | Error msg ->
                   Mutex.lock lock;
                   errors := Printf.sprintf "request %d: %s" i msg :: !errors;

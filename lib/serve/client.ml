@@ -22,6 +22,32 @@ let connect endpoint =
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
+(* Transient connect failures: the daemon is starting up, draining this
+   endpoint, or momentarily over its accept backlog. *)
+let transient = function
+  | Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET | Unix.EAGAIN | Unix.EINTR
+  | Unix.ETIMEDOUT ->
+      true
+  | _ -> false
+
+let connect_retry ?(attempts = 8) ?(backoff_s = 0.05) ?(max_backoff_s = 2.0) endpoint =
+  (* Deterministically seeded jitter: retries desynchronize without the
+     client's behavior varying run to run. *)
+  let rng = Imageeye_util.Rng.create 0x1e57c0de in
+  let rec go attempt =
+    match connect endpoint with
+    | c -> c
+    | exception (Unix.Unix_error (e, _, _) as exn) ->
+        if attempt >= attempts || not (transient e) then raise exn
+        else begin
+          let cap = Float.min max_backoff_s (backoff_s *. (2.0 ** float_of_int (attempt - 1))) in
+          (* Half fixed, half jittered: bounded above by [cap], never 0. *)
+          Thread.delay ((cap /. 2.0) +. Imageeye_util.Rng.float rng (cap /. 2.0));
+          go (attempt + 1)
+        end
+  in
+  go 1
+
 let rec write_all fd s off len =
   if len > 0 then begin
     let n = Unix.write_substring fd s off len in
@@ -46,6 +72,13 @@ let read_response t =
 
 let rpc_json t json =
   match send_line t json with Error _ as e -> e | Ok () -> read_response t
+
+let rpc_raw t raw =
+  let line = if String.length raw > 0 && raw.[String.length raw - 1] = '\n' then raw else raw ^ "\n" in
+  match write_all t.fd line 0 (String.length line) with
+  | () -> read_response t
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "write failed: %s" (Unix.error_message e))
 
 let rpc t request =
   let id = t.next_id in

@@ -15,6 +15,15 @@ type t
 val connect : endpoint -> t
 (** Raises [Unix.Unix_error] when nothing listens there. *)
 
+val connect_retry :
+  ?attempts:int -> ?backoff_s:float -> ?max_backoff_s:float -> endpoint -> t
+(** {!connect} with bounded retry on transient failures ([ECONNREFUSED],
+    [ENOENT], [ECONNRESET], ...): exponential backoff from [backoff_s]
+    (default 0.05 s) doubling up to [max_backoff_s] (default 2 s), with
+    deterministic jitter so a fleet of retrying clients desynchronizes.
+    After [attempts] (default 8) failures the last exception is
+    re-raised; non-transient errors raise immediately. *)
+
 val close : t -> unit
 
 val rpc : t -> Protocol.request -> (J.t, string) result
@@ -26,6 +35,12 @@ val rpc : t -> Protocol.request -> (J.t, string) result
 val rpc_json : t -> J.t -> (J.t, string) result
 (** Escape hatch: send a raw JSON document as one line (used to test the
     server's malformed-request handling end to end). *)
+
+val rpc_raw : t -> string -> (J.t, string) result
+(** Sharper escape hatch: send arbitrary bytes as one line (a newline is
+    appended unless present) and wait for one response line — the
+    [imageeye client raw] adversarial probe and the fault harness use
+    this to hit the framing and parsing limits on purpose. *)
 
 val is_ok : J.t -> bool
 (** ["ok"] is [true] in the response. *)

@@ -1,0 +1,158 @@
+module J = Imageeye_util.Jsonout
+module Jsonin = Imageeye_util.Jsonin
+module Clock = Imageeye_util.Clock
+
+(* ---------- waiting on observed conditions ---------- *)
+
+let eventually ?(timeout_s = 10.0) cond =
+  let started = Clock.counter () in
+  let rec go () =
+    if cond () then true
+    else if Clock.elapsed_s started >= timeout_s then false
+    else begin
+      Thread.yield ();
+      Thread.delay 0.002;
+      go ()
+    end
+  in
+  go ()
+
+let fd_count () = Array.length (Sys.readdir "/proc/self/fd")
+
+(* ---------- in-process daemon fixture ---------- *)
+
+type daemon = { path : string; config : Server.config; thread : Thread.t }
+
+let temp_socket_path () =
+  let path = Filename.temp_file "imageeye-fault" ".sock" in
+  Sys.remove path;
+  path
+
+let start ?(config = Server.default_config) ?path () =
+  let path = match path with Some p -> p | None -> temp_socket_path () in
+  let config = { config with Server.endpoint = Server.Unix_socket path; quiet = true } in
+  let thread = Thread.create (fun () -> Server.run config) () in
+  (* Readiness is observed, not slept for: the daemon is up when a
+     connect succeeds (connect_retry waits on exactly that). *)
+  let c = Client.connect_retry ~attempts:12 (Client.Unix_socket path) in
+  Client.close c;
+  { path; config; thread }
+
+let endpoint d = Client.Unix_socket d.path
+
+let with_client d f =
+  let c = Client.connect_retry (endpoint d) in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let metrics d =
+  with_client d (fun c ->
+      match Client.rpc c Protocol.Metrics with
+      | Ok r -> (
+          match Jsonin.member "metrics" r with
+          | Some m -> m
+          | None -> failwith "metrics response carries no metrics object")
+      | Error msg -> failwith ("metrics rpc failed: " ^ msg))
+
+let metric_path m path =
+  let rec go doc = function
+    | [] -> Some doc
+    | key :: rest -> Option.bind (Jsonin.member key doc) (fun v -> go v rest)
+  in
+  go m path
+
+(* Transport failures read as 0, not as a raised error: a metric poll
+   can race the very fault it observes (e.g. the probing connection
+   itself shed under a full admission cap before the held slots
+   deregister), and under [eventually] "couldn't ask yet" must mean
+   "condition not observed yet", so the poll retries. *)
+let metric_int d path =
+  match metrics d with
+  | m -> (
+      match Option.bind (metric_path m path) Jsonin.to_int_opt with
+      | Some n -> n
+      | None -> 0)
+  | exception Failure _ -> 0
+
+let ping_ok d =
+  with_client d (fun c ->
+      match Client.rpc c Protocol.Ping with
+      | Ok r -> Client.is_ok r && Jsonin.member "pong" r = Some (J.Bool true)
+      | Error _ -> false)
+
+(* The probing client itself is one registered connection, so a fully
+   drained daemon reports exactly 1 while being asked. *)
+let drained d = eventually (fun () -> metric_int d [ "connections_open" ] = 1)
+
+let stop d =
+  (match with_client d (fun c -> Client.rpc c Protocol.Shutdown) with
+  | Ok _ | Error _ -> ());
+  Thread.join d.thread
+
+(* ---------- raw byte-level connections ---------- *)
+
+type raw = { fd : Unix.file_descr; mutable rest : string (* read, not yet consumed *) }
+
+let raw_connect d =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Unix.ADDR_UNIX d.path) with
+  | () -> ()
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e);
+  { fd; rest = "" }
+
+let raw_close r = try Unix.close r.fd with Unix.Unix_error _ -> ()
+
+let rec raw_send r s =
+  if String.length s > 0 then begin
+    let n = Unix.write_substring r.fd s 0 (String.length s) in
+    raw_send r (String.sub s n (String.length s - n))
+  end
+
+(* One response line (newline stripped), [None] on EOF.  Bounded by
+   [timeout_s] so a buggy daemon fails the test instead of hanging it. *)
+let raw_read_line ?(timeout_s = 10.0) r =
+  let chunk = Bytes.create 4096 in
+  let started = Clock.counter () in
+  let rec go () =
+    match String.index_opt r.rest '\n' with
+    | Some i ->
+        let line = String.sub r.rest 0 i in
+        r.rest <- String.sub r.rest (i + 1) (String.length r.rest - i - 1);
+        Some line
+    | None -> (
+        let remaining = timeout_s -. Clock.elapsed_s started in
+        if remaining <= 0.0 then failwith "raw_read_line: no response within deadline"
+        else
+          match Unix.select [ r.fd ] [] [] remaining with
+          | [], _, _ -> failwith "raw_read_line: no response within deadline"
+          | _, _, _ -> (
+              match Unix.read r.fd chunk 0 (Bytes.length chunk) with
+              | 0 -> None
+              | n ->
+                  r.rest <- r.rest ^ Bytes.sub_string chunk 0 n;
+                  go ()
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+              | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> None))
+  in
+  go ()
+
+let raw_expect_eof ?(timeout_s = 10.0) r =
+  match raw_read_line ~timeout_s r with
+  | None -> true
+  | Some line -> failwith (Printf.sprintf "expected EOF, got line %S" line)
+
+let raw_response ?(timeout_s = 10.0) r =
+  match raw_read_line ~timeout_s r with
+  | None -> failwith "expected a response line, got EOF"
+  | Some line -> (
+      match Jsonin.parse line with
+      | Ok doc -> doc
+      | Error e ->
+          failwith (Printf.sprintf "malformed response %S: %s" line (Jsonin.error_to_string e)))
+
+let response_error_code doc =
+  Option.value ~default:"?"
+    (Option.bind
+       (Option.bind (Jsonin.member "error" doc) (Jsonin.member "code"))
+       Jsonin.to_string_opt)

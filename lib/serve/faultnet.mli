@@ -1,0 +1,93 @@
+(** Deterministic fault-injection harness for the daemon.
+
+    Drives an {e in-process} server over a temporary unix socket through
+    scripted adversarial scenarios — torn frames, slow-loris drips,
+    oversized lines, nesting bombs, garbage bytes, mid-request
+    disconnects, connection churn, raising worker jobs — and gives the
+    test suite the probes to assert, after each one, that the daemon
+    still answers [ping]/[metrics], its connection table drained, no
+    file descriptor leaked, and the fault landed as a structured
+    metric outcome rather than a dead thread.
+
+    Determinism policy: no [Random.self_init] anywhere (all payloads are
+    fixed, client jitter is seeded); no sleeps-as-synchronization —
+    every wait is either a bounded blocking read on a socket (the
+    daemon's answer {e is} the synchronization) or {!eventually}, which
+    polls an observable condition under a monotonic deadline and only
+    ever passes on the observed condition, never on elapsed time. *)
+
+module J = Imageeye_util.Jsonout
+
+(** {1 Observation} *)
+
+val eventually : ?timeout_s:float -> (unit -> bool) -> bool
+(** Re-check [cond] (yielding between polls) until it holds or
+    [timeout_s] (default 10 s) of monotonic time passes.  [true] only
+    when the condition was actually observed. *)
+
+val fd_count : unit -> int
+(** Open descriptors of this process ([/proc/self/fd]) — the daemon
+    runs in-process, so a leaked connection fd is visible here. *)
+
+(** {1 Daemon fixture} *)
+
+type daemon
+
+val start : ?config:Server.config -> ?path:string -> unit -> daemon
+(** Run a quiet server on a fresh temp socket (or [path]) in a
+    background thread and block until it accepts a connection.
+    [config]'s endpoint is overridden; pass limits ([max_line_bytes],
+    [read_timeout_s], [max_connections]) through it. *)
+
+val stop : daemon -> unit
+(** Graceful [shutdown] rpc, then join the server thread. *)
+
+val endpoint : daemon -> Client.endpoint
+
+val with_client : daemon -> (Client.t -> 'a) -> 'a
+(** Fresh connection, always closed. *)
+
+val metrics : daemon -> J.t
+(** The ["metrics"] object of a fresh [metrics] request. *)
+
+val metric_path : J.t -> string list -> J.t option
+
+val metric_int : daemon -> string list -> int
+(** Integer at a snapshot path; 0 when absent {e or} when the probe
+    itself failed in transport (a poll can race the fault it observes —
+    under {!eventually} that must read as "not observed yet"). *)
+
+val ping_ok : daemon -> bool
+(** The daemon answers [ping] on a fresh connection. *)
+
+val drained : daemon -> bool
+(** Eventually the connection table holds exactly the probing client
+    itself ([connections_open] = 1). *)
+
+(** {1 Raw byte-level connections}
+
+    The adversary's side of the wire: exact bytes, torn writes, silent
+    disconnects — below the {!Client} abstraction. *)
+
+type raw
+
+val raw_connect : daemon -> raw
+val raw_close : raw -> unit
+
+val raw_send : raw -> string -> unit
+(** Write exactly these bytes (no framing added); call repeatedly to
+    tear one frame across several writes. *)
+
+val raw_read_line : ?timeout_s:float -> raw -> string option
+(** One response line without its newline; [None] on EOF/reset.  Raises
+    [Failure] if nothing arrives within [timeout_s] (default 10 s). *)
+
+val raw_expect_eof : ?timeout_s:float -> raw -> bool
+(** [true] when the server closed this connection; raises [Failure] on
+    an unexpected line. *)
+
+val raw_response : ?timeout_s:float -> raw -> J.t
+(** One response line, parsed; raises [Failure] on EOF or non-JSON. *)
+
+val response_error_code : J.t -> string
+(** [error.code] of a response, ["?"] when absent. *)

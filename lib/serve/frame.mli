@@ -1,0 +1,47 @@
+(** Framed, bounded reading of newline-delimited requests.
+
+    The daemon's reader loop used to be a bare [input_line], which gave
+    one hostile client three process-lifetime levers: an endless
+    newline-free line (unbounded allocation), a one-byte-per-tick drip
+    that parks the reader thread forever (slow-loris), and exceptions
+    raised past the loop's cleanup.  This module replaces it with an
+    explicit framing layer over the raw descriptor: frames are
+    newline-terminated byte strings, buffering is capped at
+    [max_line_bytes], and a per-frame read deadline runs on the
+    monotonic {!Imageeye_util.Clock} from the frame's {e first byte} —
+    a connection idling quietly {e between} frames is never timed out,
+    one dripping bytes {e inside} a frame is.
+
+    Over-limit conditions are error values the caller turns into
+    structured protocol responses.  After [Line_too_long] or
+    [Read_timeout] the stream position is unknown (the offending frame
+    was abandoned mid-flight), so the caller should answer and close
+    the connection rather than keep reading. *)
+
+type limits = {
+  max_line_bytes : int;  (** longest accepted frame, newline excluded *)
+  read_timeout_s : float option;
+      (** mid-frame deadline from a frame's first byte; [None] disables *)
+}
+
+val default_limits : limits
+(** 16 MiB lines (a synthesize payload with many scenes is large), 30 s
+    mid-frame deadline. *)
+
+type error =
+  | Eof  (** orderly close; any trailing partial frame is dropped *)
+  | Line_too_long of int  (** bytes buffered when the limit tripped *)
+  | Read_timeout
+  | Io_error of string  (** connection-level failure, e.g. [ECONNRESET] *)
+
+type t
+
+val create : ?limits:limits -> Unix.file_descr -> t
+(** One framer per connection; it owns read-side buffering for the
+    descriptor (do not also read from the fd directly). *)
+
+val read_line : t -> (string, error) result
+(** Blocks until one whole frame, EOF, or a limit trips.  Returned
+    frames never contain the terminating newline. *)
+
+val error_to_string : error -> string

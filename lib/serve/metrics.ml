@@ -11,6 +11,7 @@ type t = {
   started : Clock.counter;
   requests : (string * string, int) Hashtbl.t;  (* (op, outcome) -> count *)
   counters : (string, int) Hashtbl.t;  (* prune_counts labels, summed *)
+  faults : (string, int) Hashtbl.t;  (* induced-fault outcome -> count *)
   latencies : float array;
   mutable latency_count : int;  (* total ever recorded *)
   mutable latency_max : float;
@@ -24,6 +25,7 @@ let create () =
     started = Clock.counter ();
     requests = Hashtbl.create 16;
     counters = Hashtbl.create 32;
+    faults = Hashtbl.create 8;
     latencies = Array.make capacity 0.0;
     latency_count = 0;
     latency_max = 0.0;
@@ -54,6 +56,11 @@ let observe_queue_depth t depth =
 
 let record_dropped t = locked t (fun () -> t.dropped <- t.dropped + 1)
 
+let record_fault t outcome =
+  locked t (fun () ->
+      Hashtbl.replace t.faults outcome
+        (1 + Option.value (Hashtbl.find_opt t.faults outcome) ~default:0))
+
 (* Nearest-rank quantile over the reservoir's stored samples. *)
 let quantile sorted q =
   let n = Array.length sorted in
@@ -62,7 +69,7 @@ let quantile sorted q =
     let rank = int_of_float (Float.round (q *. float_of_int (n - 1))) in
     sorted.(max 0 (min (n - 1) rank))
 
-let snapshot t ~queue_depth ~sessions_open =
+let snapshot t ~queue_depth ~sessions_open ~connections_open =
   locked t (fun () ->
       let stored = min t.latency_count capacity in
       let sorted = Array.sub t.latencies 0 stored in
@@ -82,6 +89,9 @@ let snapshot t ~queue_depth ~sessions_open =
       let counters_json =
         List.sort compare (Hashtbl.fold (fun l n acc -> (l, J.Int n) :: acc) t.counters [])
       in
+      let faults_json =
+        List.sort compare (Hashtbl.fold (fun l n acc -> (l, J.Int n) :: acc) t.faults [])
+      in
       let bank label =
         Option.value (Hashtbl.find_opt t.counters (Printf.sprintf "value-bank(%s)" label))
           ~default:0
@@ -93,9 +103,11 @@ let snapshot t ~queue_depth ~sessions_open =
           ("requests_total", J.Int total);
           ("requests", J.Obj requests_json);
           ("dropped_responses", J.Int t.dropped);
+          ("faults", J.Obj faults_json);
           ("queue_depth", J.Int queue_depth);
           ("max_queue_depth", J.Int t.max_queue_depth);
           ("sessions_open", J.Int sessions_open);
+          ("connections_open", J.Int connections_open);
           ( "latency",
             J.Obj
               [

@@ -3,11 +3,21 @@
     One mutex-guarded accumulator shared by every connection and worker:
     per-(op, outcome) request counts, a bounded latency reservoir from
     which p50/p95 are computed at snapshot time, queue-depth highwater,
-    dropped-response count (client went away mid-response), and the
-    synthesis counters (notably the [value-bank(...)] and
-    [eval-cache(...)] labels of [stats.prune_counts]) summed over every
-    stats-bearing response — how warm the shared banks run is a
-    first-class serving metric.
+    dropped-response count (client went away mid-response), induced-fault
+    counts ({!record_fault}), and the synthesis counters (notably the
+    [value-bank(...)] and [eval-cache(...)] labels of
+    [stats.prune_counts]) summed over every stats-bearing response — how
+    warm the shared banks run is a first-class serving metric.
+
+    {b Reservoir semantics.} The latency reservoir is a fixed-capacity
+    ring (4096 samples) overwritten in arrival order: quantiles are
+    computed over the {e most recent} 4096 recorded latencies — a
+    recent window, not the whole uptime — which is what an operator
+    watching a long-lived daemon wants.  [latency.count] in the
+    snapshot is the total ever recorded; [p50_s]/[p95_s] describe only
+    the window; [max_s] alone is over the whole uptime.  All recorders
+    share one mutex, so counts are exact under concurrency and a
+    snapshot never observes a torn update.
 
     A snapshot is served for [metrics] requests and dumped to stderr on
     graceful shutdown. *)
@@ -34,6 +44,18 @@ val observe_queue_depth : t -> int -> unit
 val record_dropped : t -> unit
 (** A response could not be written (EPIPE etc. — client disconnected). *)
 
+val record_fault : t -> string -> unit
+(** Count one induced/handled fault under a stable label —
+    [line-too-long], [read-timeout], [overloaded], [reader-exception] —
+    so hostile input shows up as a structured outcome in the snapshot's
+    ["faults"] object, never as a silently dropped thread. *)
+
 val snapshot :
-  t -> queue_depth:int -> sessions_open:int -> Imageeye_util.Jsonout.t
-(** Live gauges are passed in by the server. *)
+  t ->
+  queue_depth:int ->
+  sessions_open:int ->
+  connections_open:int ->
+  Imageeye_util.Jsonout.t
+(** Live gauges are passed in by the server.  [connections_open] is the
+    size of the server's connection table — the fault harness asserts it
+    returns to baseline after every adversarial scenario. *)

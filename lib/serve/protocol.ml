@@ -105,7 +105,13 @@ let decode_request doc op =
 let of_line line =
   match Jsonin.parse line with
   | Error e ->
-      Error { id = J.Null; code = "bad-json"; message = Jsonin.error_to_string e }
+      let code =
+        match e.Jsonin.kind with
+        | Jsonin.Syntax -> "bad-json"
+        | Jsonin.Depth_exceeded -> "depth-exceeded"
+        | Jsonin.Input_too_large -> "input-too-large"
+      in
+      Error { id = J.Null; code; message = Jsonin.error_to_string e }
   | Ok doc -> (
       let id = Option.value (Jsonin.member "id" doc) ~default:J.Null in
       match doc with

@@ -43,9 +43,11 @@ type request =
 type t = { id : J.t;  (** echoed back; [Null] when the client sent none *) request : request }
 
 type error = { id : J.t; code : string; message : string }
-(** [code] is machine-readable: [bad-json], [bad-request],
-    [bad-payload], [unknown-op], [shutting-down], [no-session],
-    [internal]. *)
+(** [code] is machine-readable: [bad-json], [depth-exceeded],
+    [input-too-large], [bad-request], [bad-payload], [unknown-op],
+    [shutting-down], [no-session], [internal] — plus the transport-level
+    codes the server emits directly: [line-too-long], [read-timeout],
+    [overloaded]. *)
 
 val of_line : string -> (t, error) result
 

@@ -18,6 +18,9 @@ type config = {
   default_timeout_s : float;
   max_rounds : int;
   quiet : bool;
+  max_line_bytes : int;
+  read_timeout_s : float option;
+  max_connections : int;
 }
 
 let default_config =
@@ -27,6 +30,9 @@ let default_config =
     default_timeout_s = 120.0;
     max_rounds = 10;
     quiet = false;
+    max_line_bytes = Frame.default_limits.Frame.max_line_bytes;
+    read_timeout_s = Frame.default_limits.Frame.read_timeout_s;
+    max_connections = 64;
   }
 
 (* ---------- connections ---------- *)
@@ -54,7 +60,8 @@ type state = {
   stop : bool Atomic.t;
   conns_mutex : Mutex.t;
   mutable conns : conn list;
-  mutable readers : Thread.t list;
+  mutable reader_count : int;  (* live reader threads; guarded by conns_mutex *)
+  readers_done : Condition.t;
   sessions_mutex : Mutex.t;
   sessions : (int, session_entry) Hashtbl.t;
   mutable next_session : int;
@@ -92,9 +99,15 @@ let sessions_open state =
   Mutex.unlock state.sessions_mutex;
   n
 
+let connections_open state =
+  Mutex.lock state.conns_mutex;
+  let n = List.length state.conns in
+  Mutex.unlock state.conns_mutex;
+  n
+
 let metrics_snapshot state =
   Metrics.snapshot state.metrics ~queue_depth:(Domainpool.pending state.pool)
-    ~sessions_open:(sessions_open state)
+    ~sessions_open:(sessions_open state) ~connections_open:(connections_open state)
 
 (* ---------- heavy-request handlers (run on worker domains) ---------- *)
 
@@ -334,7 +347,9 @@ let handle_line state conn line =
   match Protocol.of_line line with
   | Error err ->
       send state conn (Protocol.error_response err);
-      Metrics.record state.metrics ~op:"invalid" ~outcome:"error"
+      (* The error code is the outcome, so a hostile-input category
+         ([depth-exceeded], [bad-json], ...) is countable per se. *)
+      Metrics.record state.metrics ~op:"invalid" ~outcome:err.Protocol.code
         ~latency_s:(Clock.elapsed_s received) ()
   | Ok { id; request } -> (
       match request with
@@ -357,30 +372,67 @@ let handle_line state conn line =
 let deregister_and_close state conn =
   Mutex.lock state.conns_mutex;
   state.conns <- List.filter (fun c -> c != conn) state.conns;
+  state.reader_count <- state.reader_count - 1;
+  if state.reader_count = 0 then Condition.broadcast state.readers_done;
   (try Unix.close conn.fd with Unix.Unix_error _ -> ());
   Mutex.unlock state.conns_mutex
 
+(* Answer a framing fault with a structured error, count it, and stop
+   reading: after an over-limit or timed-out frame the stream position
+   is unknown, so the connection must close. *)
+let frame_fault state conn ~code ~message =
+  send state conn (Protocol.error_response (Protocol.make_error ~id:J.Null ~code ~message));
+  Metrics.record_fault state.metrics code;
+  logf state "%s on %s" code conn.peer
+
 let reader state conn () =
-  let ic = Unix.in_channel_of_descr conn.fd in
-  let rec loop () =
-    match input_line ic with
-    | line ->
-        if String.trim line <> "" then handle_line state conn line;
-        loop ()
-    | exception (End_of_file | Sys_error _) -> ()
-    | exception Unix.Unix_error _ -> ()
+  let limits =
+    {
+      Frame.max_line_bytes = state.config.max_line_bytes;
+      read_timeout_s = state.config.read_timeout_s;
+    }
   in
-  loop ();
-  (* EOF: let this connection's in-flight responses finish before
-     closing the descriptor (closing early could hand the fd number to a
-     new connection while a worker still writes to it). *)
-  Mutex.lock conn.pending_mutex;
-  while conn.pending > 0 do
-    Condition.wait conn.pending_done conn.pending_mutex
-  done;
-  Mutex.unlock conn.pending_mutex;
-  deregister_and_close state conn;
-  logf state "disconnected %s" conn.peer
+  let frame = Frame.create ~limits conn.fd in
+  (* [Fun.protect]: the drain-then-close epilogue must run no matter how
+     the loop ends — including an exception escaping [handle_line],
+     which previously leaked the fd and left a dead conn in
+     [state.conns] forever. *)
+  Fun.protect
+    ~finally:(fun () ->
+      (* Let this connection's in-flight responses finish before
+         closing the descriptor (closing early could hand the fd number
+         to a new connection while a worker still writes to it). *)
+      Mutex.lock conn.pending_mutex;
+      while conn.pending > 0 do
+        Condition.wait conn.pending_done conn.pending_mutex
+      done;
+      Mutex.unlock conn.pending_mutex;
+      deregister_and_close state conn;
+      logf state "disconnected %s" conn.peer)
+    (fun () ->
+      let rec loop () =
+        match Frame.read_line frame with
+        | Ok line ->
+            if String.trim line <> "" then handle_line state conn line;
+            loop ()
+        | Error Frame.Eof | Error (Frame.Io_error _) -> ()
+        | Error (Frame.Line_too_long n) ->
+            frame_fault state conn ~code:"line-too-long"
+              ~message:
+                (Printf.sprintf
+                   "request line exceeds %d bytes (%d buffered); closing connection"
+                   state.config.max_line_bytes n)
+        | Error Frame.Read_timeout ->
+            frame_fault state conn ~code:"read-timeout"
+              ~message:"no complete request line within the read deadline; closing connection"
+      in
+      try loop ()
+      with e ->
+        (* Backstop for the same bug class: an unexpected raise is a
+           counted fault plus this connection's death, never a leaked
+           fd or a silently dropped thread. *)
+        Metrics.record_fault state.metrics "reader-exception";
+        logf state "reader error on %s: %s" conn.peer (Printexc.to_string e))
 
 (* ---------- lifecycle ---------- *)
 
@@ -390,9 +442,32 @@ let endpoint_name = function
 
 let bind_endpoint = function
   | Unix_socket path ->
-      (* The daemon owns the path: replace a stale socket left by a
-         previous run (bind would otherwise fail with EADDRINUSE). *)
-      if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ());
+      (* Replace only a genuinely stale socket left by a dead daemon.
+         Unlinking unconditionally would silently steal a live daemon's
+         endpoint: probe with a connect first and refuse if anything
+         answers. *)
+      (match Unix.lstat path with
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+      | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+          let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          let live =
+            match Unix.connect probe (Unix.ADDR_UNIX path) with
+            | () -> true
+            | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) -> false
+            | exception Unix.Unix_error _ ->
+                (* Unclear (permissions, ...): keep hands off; bind will
+                   fail loudly below. *)
+                true
+          in
+          (try Unix.close probe with Unix.Unix_error _ -> ());
+          if live then
+            failwith
+              (Printf.sprintf
+                 "refusing to bind %s: a daemon is already serving this socket" path)
+          else try Unix.unlink path with Unix.Unix_error _ -> ())
+      | _ ->
+          failwith
+            (Printf.sprintf "refusing to bind %s: the path exists and is not a socket" path));
       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       Unix.bind fd (Unix.ADDR_UNIX path);
       Unix.listen fd 64;
@@ -418,6 +493,23 @@ let peer_name addr =
   | Unix.ADDR_INET (host, port) ->
       Printf.sprintf "%s:%d" (Unix.string_of_inet_addr host) port
 
+(* A connection refused at admission gets one structured line before the
+   close — clients distinguish shed load from a crashed daemon. *)
+let shed_connection state fd peer =
+  let line =
+    J.to_line
+      (Protocol.error_response
+         (Protocol.make_error ~id:J.Null ~code:"overloaded"
+            ~message:
+              (Printf.sprintf "connection limit (%d) reached; retry with backoff"
+                 state.config.max_connections)))
+    ^ "\n"
+  in
+  (try write_all fd line 0 (String.length line) with Unix.Unix_error _ | Sys_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Metrics.record_fault state.metrics "overloaded";
+  logf state "shed %s (connection cap %d)" peer state.config.max_connections
+
 let run config =
   let state =
     {
@@ -427,7 +519,8 @@ let run config =
       stop = Atomic.make false;
       conns_mutex = Mutex.create ();
       conns = [];
-      readers = [];
+      reader_count = 0;
+      readers_done = Condition.create ();
       sessions_mutex = Mutex.create ();
       sessions = Hashtbl.create 8;
       next_session = 1;
@@ -445,22 +538,31 @@ let run config =
     | _ :: _, _, _ -> (
         match Unix.accept listen_fd with
         | fd, addr ->
-            let conn =
-              {
-                fd;
-                peer = peer_name addr;
-                write_mutex = Mutex.create ();
-                alive = true;
-                pending_mutex = Mutex.create ();
-                pending_done = Condition.create ();
-                pending = 0;
-              }
-            in
+            let peer = peer_name addr in
             Mutex.lock state.conns_mutex;
-            state.conns <- conn :: state.conns;
-            state.readers <- Thread.create (reader state conn) () :: state.readers;
-            Mutex.unlock state.conns_mutex;
-            logf state "accepted %s" conn.peer
+            let admitted = List.length state.conns < config.max_connections in
+            if admitted then begin
+              let conn =
+                {
+                  fd;
+                  peer;
+                  write_mutex = Mutex.create ();
+                  alive = true;
+                  pending_mutex = Mutex.create ();
+                  pending_done = Condition.create ();
+                  pending = 0;
+                }
+              in
+              state.conns <- conn :: state.conns;
+              state.reader_count <- state.reader_count + 1;
+              ignore (Thread.create (reader state conn) () : Thread.t);
+              Mutex.unlock state.conns_mutex;
+              logf state "accepted %s" peer
+            end
+            else begin
+              Mutex.unlock state.conns_mutex;
+              shed_connection state fd peer
+            end
         | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ())
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
@@ -474,12 +576,18 @@ let run config =
   Domainpool.shutdown state.pool;
   Mutex.lock state.conns_mutex;
   let open_conns = state.conns in
-  let readers = state.readers in
   Mutex.unlock state.conns_mutex;
   List.iter
     (fun c -> try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
     open_conns;
-  List.iter Thread.join readers;
+  (* Every reader decrements the count from its cleanup epilogue, so
+     this wait covers response flushing and fd closing — without the
+     old ever-growing list of joined-once [Thread.t] handles. *)
+  Mutex.lock state.conns_mutex;
+  while state.reader_count > 0 do
+    Condition.wait state.readers_done state.conns_mutex
+  done;
+  Mutex.unlock state.conns_mutex;
   (* The final snapshot goes to stderr unconditionally: it is the
      SIGTERM-triggered dump the operator greps after a deploy. *)
   Printf.eprintf "imageeye-serve: final metrics\n%s%!"

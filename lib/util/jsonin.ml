@@ -1,12 +1,14 @@
-type error = { pos : int; message : string }
+type kind = Syntax | Depth_exceeded | Input_too_large
+
+type error = { pos : int; kind : kind; message : string }
 
 let error_to_string e = Printf.sprintf "JSON error at byte %d: %s" e.pos e.message
 
 exception E of error
 
-let fail pos message = raise (E { pos; message })
+let fail ?(kind = Syntax) pos message = raise (E { pos; kind; message })
 
-type state = { input : string; mutable pos : int }
+type state = { input : string; mutable pos : int; max_depth : int }
 
 let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
 
@@ -165,7 +167,10 @@ let parse_number st =
     | Some i -> Jsonout.Int i
     | None -> Jsonout.Float (float_of_string text)
 
-let rec parse_value st =
+(* [depth] counts enclosing containers: capping it keeps recursion (and
+   with it the OCaml stack) bounded, so a [[[[...]]]] bomb is an error
+   value, never a [Stack_overflow] escaping [parse]. *)
+let rec parse_value st depth =
   skip_ws st;
   match peek st with
   | None -> fail st.pos "unexpected end of input"
@@ -175,6 +180,9 @@ let rec parse_value st =
   | Some '"' -> Jsonout.Str (parse_string st)
   | Some ('-' | '0' .. '9') -> parse_number st
   | Some '[' ->
+      if depth >= st.max_depth then
+        fail ~kind:Depth_exceeded st.pos
+          (Printf.sprintf "nesting deeper than %d levels" st.max_depth);
       advance st;
       skip_ws st;
       if peek st = Some ']' then begin
@@ -183,7 +191,7 @@ let rec parse_value st =
       end
       else
         let rec items acc =
-          let v = parse_value st in
+          let v = parse_value st (depth + 1) in
           skip_ws st;
           match peek st with
           | Some ',' ->
@@ -197,6 +205,9 @@ let rec parse_value st =
         in
         Jsonout.List (items [])
   | Some '{' ->
+      if depth >= st.max_depth then
+        fail ~kind:Depth_exceeded st.pos
+          (Printf.sprintf "nesting deeper than %d levels" st.max_depth);
       advance st;
       skip_ws st;
       if peek st = Some '}' then begin
@@ -209,7 +220,7 @@ let rec parse_value st =
           let k = parse_string st in
           skip_ws st;
           expect st ':';
-          let v = parse_value st in
+          let v = parse_value st (depth + 1) in
           (k, v)
         in
         let rec fields acc =
@@ -228,15 +239,27 @@ let rec parse_value st =
         Jsonout.Obj (fields [])
   | Some c -> fail st.pos (Printf.sprintf "unexpected character %C" c)
 
-let parse input =
-  let st = { input; pos = 0 } in
-  match parse_value st with
-  | v ->
-      skip_ws st;
-      if st.pos < String.length input then
-        Error { pos = st.pos; message = "trailing garbage after document" }
-      else Ok v
-  | exception E e -> Error e
+let default_max_depth = 256
+
+let parse ?(max_depth = default_max_depth) ?max_bytes input =
+  match max_bytes with
+  | Some limit when String.length input > limit ->
+      Error
+        {
+          pos = limit;
+          kind = Input_too_large;
+          message = Printf.sprintf "document exceeds %d bytes" limit;
+        }
+  | _ -> (
+      let st = { input; pos = 0; max_depth } in
+      match parse_value st 0 with
+      | v ->
+          skip_ws st;
+          if st.pos < String.length input then
+            Error
+              { pos = st.pos; kind = Syntax; message = "trailing garbage after document" }
+          else Ok v
+      | exception E e -> Error e)
 
 let member key = function
   | Jsonout.Obj fields -> List.assoc_opt key fields

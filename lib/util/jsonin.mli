@@ -9,19 +9,38 @@
     floats survive [%.6g] printing (property-tested in [test_serve]).
 
     Errors are values, not exceptions: a malformed document from the
-    network must become a structured protocol error, never a crash. *)
+    network must become a structured protocol error, never a crash.
+    That contract includes resource bombs — nesting and size are capped
+    ({!parse}'s [max_depth]/[max_bytes]), and an over-limit document is
+    an {!error} whose {!kind} names the limit, never a [Stack_overflow]
+    or an unbounded allocation. *)
 
-type error = { pos : int; message : string }
+type kind =
+  | Syntax  (** malformed JSON text *)
+  | Depth_exceeded  (** containers nested past [max_depth] *)
+  | Input_too_large  (** input longer than [max_bytes] *)
+
+type error = { pos : int; kind : kind; message : string }
 (** [pos] is a 0-based byte offset into the input. *)
 
 val error_to_string : error -> string
 
-val parse : string -> (Jsonout.t, error) result
+val default_max_depth : int
+(** 256 — far deeper than any protocol payload, far shallower than the
+    recursion a thread stack can absorb. *)
+
+val parse : ?max_depth:int -> ?max_bytes:int -> string -> (Jsonout.t, error) result
 (** Parses exactly one JSON document (surrounding whitespace allowed;
     trailing garbage is an error).  Number tokens without [.], [e] or
     [E] that fit in an OCaml [int] become [Int]; all others become
     [Float].  [\uXXXX] escapes decode to UTF-8 bytes (surrogate pairs
-    combined; lone surrogates rejected). *)
+    combined; lone surrogates rejected).
+
+    [max_depth] (default {!default_max_depth}) bounds container
+    nesting; deeper input is an [Error] with kind [Depth_exceeded].
+    [max_bytes] (default: unlimited — the serve path already bounds
+    line length at the framing layer) rejects longer input up front
+    with kind [Input_too_large], before any parsing work. *)
 
 (** {1 Accessors}
 

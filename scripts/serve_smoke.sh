@@ -9,6 +9,7 @@ set -euo pipefail
 BIN=${BIN:-./_build/default/bin/imageeye.exe}
 SOCK=$(mktemp -u "${TMPDIR:-/tmp}/imageeye-smoke-XXXXXX.sock")
 LOG=$(mktemp "${TMPDIR:-/tmp}/imageeye-smoke-XXXXXX.log")
+RAWOUT=$(mktemp "${TMPDIR:-/tmp}/imageeye-smoke-raw-XXXXXX.json")
 SERVER_PID=
 
 cleanup() {
@@ -16,11 +17,13 @@ cleanup() {
     kill -TERM "$SERVER_PID" 2>/dev/null || true
     wait "$SERVER_PID" 2>/dev/null || true
   fi
-  rm -f "$SOCK" "$LOG"
+  rm -f "$SOCK" "$LOG" "$RAWOUT"
 }
 trap cleanup EXIT
 
-"$BIN" serve --socket "$SOCK" --jobs 1 >"$LOG" 2>&1 &
+# --max-line-bytes is deliberately small so the adversarial probe below
+# can trip it without shipping megabytes through the smoke test.
+"$BIN" serve --socket "$SOCK" --jobs 1 --max-line-bytes 65536 >"$LOG" 2>&1 &
 SERVER_PID=$!
 
 for _ in $(seq 1 100); do
@@ -56,6 +59,31 @@ echo "== interactive session over the wire"
 
 echo "== metrics"
 "$BIN" client metrics --socket "$SOCK" | grep -q '"requests_total"'
+
+echo "== adversarial probe: nesting bomb gets a structured depth-exceeded"
+# 2000 levels is far past the parser's depth cap; the connection
+# survives, so the structured error comes back on the same socket.
+{ printf '[%.0s' {1..2000}; printf ']%.0s' {1..2000}; } \
+  | "$BIN" client raw --socket "$SOCK" >"$RAWOUT" 2>&1 || true
+grep -q 'depth-exceeded' "$RAWOUT" || {
+  echo "expected a depth-exceeded error from the nesting bomb" >&2
+  cat "$RAWOUT" >&2
+  exit 1
+}
+
+echo "== adversarial probe: oversized line is shed with line-too-long"
+# One 70000-byte line against the 65536 cap.  The server answers once
+# and closes; the client may race the close, so the authoritative
+# assertion is the counted fault in the metrics.
+head -c 70000 /dev/zero | tr '\0' 'a' \
+  | "$BIN" client raw --socket "$SOCK" >"$RAWOUT" 2>&1 || true
+"$BIN" client metrics --socket "$SOCK" | grep -q '"line-too-long"' || {
+  echo "expected a line-too-long fault counted in the metrics" >&2
+  exit 1
+}
+
+echo "== server keeps serving after the adversarial probes"
+"$BIN" client ping --socket "$SOCK" >/dev/null
 
 echo "== graceful shutdown on SIGTERM"
 kill -TERM "$SERVER_PID"

@@ -1,0 +1,336 @@
+(* Deterministic fault injection against the in-process daemon (see
+   Faultnet): every scenario throws one class of hostile input or fault
+   at a live server over a temp unix socket, then asserts the same
+   postconditions — the daemon still answers ping/metrics, its
+   connection table drained, the process fd count returned to the
+   scenario's baseline, and the fault landed as a structured
+   metric/outcome.  No Random.self_init, no sleeps-as-synchronization:
+   waits are blocking socket reads or Faultnet.eventually. *)
+
+module J = Imageeye_util.Jsonout
+module Jsonin = Imageeye_util.Jsonin
+module Server = Imageeye_serve.Server
+module Client = Imageeye_serve.Client
+module Protocol = Imageeye_serve.Protocol
+module Faultnet = Imageeye_serve.Faultnet
+
+(* Baseline fds are measured once the daemon is idle: connection table
+   down to the probe alone and the count stable across consecutive
+   observations (a just-closed probe's server-side teardown is
+   asynchronous). *)
+let settled_fd_baseline d =
+  if not (Faultnet.drained d) then Alcotest.fail "daemon never drained after start";
+  let last = ref (Faultnet.fd_count ()) in
+  let same = ref 0 in
+  ignore
+    (Faultnet.eventually (fun () ->
+         let now = Faultnet.fd_count () in
+         if now = !last then incr same
+         else begin
+           same := 0;
+           last := now
+         end;
+         !same >= 10));
+  !last
+
+let check_health d ~baseline =
+  (* Polled, not one-shot: right after a scenario the daemon may still
+     be deregistering that scenario's connections (e.g. a probe racing
+     a full admission cap gets shed). *)
+  Alcotest.(check bool) "daemon answers ping" true
+    (Faultnet.eventually (fun () -> Faultnet.ping_ok d));
+  Alcotest.(check bool) "metrics served" true
+    (Faultnet.eventually (fun () -> Faultnet.metric_int d [ "requests_total" ] > 0));
+  Alcotest.(check bool) "connection table drained" true (Faultnet.drained d);
+  Alcotest.(check bool) "no leaked fd" true
+    (Faultnet.eventually (fun () -> Faultnet.fd_count () <= baseline))
+
+(* Start a daemon, take the fd baseline, run the scenario, then assert
+   the common postconditions and stop. *)
+let scenario ?config run () =
+  let d = Faultnet.start ?config () in
+  Fun.protect
+    ~finally:(fun () -> Faultnet.stop d)
+    (fun () ->
+      let baseline = settled_fd_baseline d in
+      run d;
+      check_health d ~baseline)
+
+let with_raw d f =
+  let r = Faultnet.raw_connect d in
+  Fun.protect ~finally:(fun () -> Faultnet.raw_close r) (fun () -> f r)
+
+(* ---------- 1: torn frames ---------- *)
+
+let torn_frames d =
+  with_raw d (fun r ->
+      List.iter (Faultnet.raw_send r) [ "{\"op"; "\":\"pi"; "ng\",\"i"; "d\":7}\n" ];
+      let resp = Faultnet.raw_response r in
+      Alcotest.(check bool) "torn ping ok" true
+        (Jsonin.member "ok" resp = Some (J.Bool true));
+      Alcotest.(check bool) "id echoed" true (Jsonin.member "id" resp = Some (J.Int 7)))
+
+(* ---------- 2: pipelined burst in one write ---------- *)
+
+let pipelined_burst d =
+  let n = 20 in
+  with_raw d (fun r ->
+      let burst =
+        String.concat ""
+          (List.init n (fun i -> Printf.sprintf "{\"op\":\"ping\",\"id\":%d}\n" (i + 1)))
+      in
+      Faultnet.raw_send r burst;
+      (* Light ops are answered inline by the one reader: in order. *)
+      for i = 1 to n do
+        let resp = Faultnet.raw_response r in
+        Alcotest.(check bool)
+          (Printf.sprintf "burst response %d" i)
+          true
+          (Jsonin.member "id" resp = Some (J.Int i))
+      done)
+
+(* ---------- 3: oversized line ---------- *)
+
+let small_lines_config = { Server.default_config with Server.max_line_bytes = 4096 }
+
+let oversized_line d =
+  with_raw d (fun r ->
+      (* max_line_bytes + 1 and beyond, never a newline: the framed
+         reader must cap buffering and answer, not accumulate along. *)
+      Faultnet.raw_send r (String.make 6000 'a');
+      let resp = Faultnet.raw_response r in
+      Alcotest.(check string) "line-too-long code" "line-too-long"
+        (Faultnet.response_error_code resp);
+      Alcotest.(check bool) "connection closed after over-limit" true
+        (Faultnet.raw_expect_eof r));
+  Alcotest.(check bool) "fault counted" true
+    (Faultnet.eventually (fun () ->
+         Faultnet.metric_int d [ "faults"; "line-too-long" ] >= 1))
+
+(* ---------- 4: deeply nested JSON ---------- *)
+
+let deep_json d =
+  with_raw d (fun r ->
+      (* 300 levels: over the parser's cap, nowhere near the stack's.
+         Before the depth bound a megabyte-scale nesting bomb killed the
+         reader thread with Stack_overflow past its cleanup, leaking the
+         fd and a dead connection-table entry. *)
+      Faultnet.raw_send r (String.make 300 '[' ^ String.make 300 ']' ^ "\n");
+      let resp = Faultnet.raw_response r in
+      Alcotest.(check string) "depth-exceeded code" "depth-exceeded"
+        (Faultnet.response_error_code resp);
+      (* Parse-level errors keep the connection: same socket still serves. *)
+      Faultnet.raw_send r "{\"op\":\"ping\",\"id\":1}\n";
+      let resp = Faultnet.raw_response r in
+      Alcotest.(check bool) "same connection still serves" true
+        (Jsonin.member "pong" resp = Some (J.Bool true)));
+  Alcotest.(check bool) "depth-exceeded counted" true
+    (Faultnet.eventually (fun () ->
+         Faultnet.metric_int d [ "requests"; "invalid"; "depth-exceeded" ] >= 1))
+
+(* ---------- 5: garbage binary ---------- *)
+
+let garbage_binary d =
+  with_raw d (fun r ->
+      (* Fixed byte pattern (deterministic), including NULs and high
+         bytes; interior newlines remapped so it arrives as one frame. *)
+      let garbage = String.init 512 (fun i -> Char.chr (i * 7 mod 256)) in
+      let garbage = String.map (fun c -> if c = '\n' then '\000' else c) garbage in
+      Faultnet.raw_send r (garbage ^ "\n");
+      let resp = Faultnet.raw_response r in
+      Alcotest.(check string) "bad-json code" "bad-json" (Faultnet.response_error_code resp);
+      Faultnet.raw_send r "{\"op\":\"ping\",\"id\":2}\n";
+      let resp = Faultnet.raw_response r in
+      Alcotest.(check bool) "survives garbage" true
+        (Jsonin.member "pong" resp = Some (J.Bool true)))
+
+(* ---------- 6: slow-loris ---------- *)
+
+let loris_config = { Server.default_config with Server.read_timeout_s = Some 0.3 }
+
+let slow_loris d =
+  with_raw d (fun r ->
+      (* One byte opens a frame; never finishing it must trip the
+         mid-frame deadline, not park the reader thread forever. *)
+      Faultnet.raw_send r "x";
+      let resp = Faultnet.raw_response r in
+      Alcotest.(check string) "read-timeout code" "read-timeout"
+        (Faultnet.response_error_code resp);
+      Alcotest.(check bool) "connection closed after timeout" true
+        (Faultnet.raw_expect_eof r));
+  Alcotest.(check bool) "read-timeout counted" true
+    (Faultnet.eventually (fun () -> Faultnet.metric_int d [ "faults"; "read-timeout" ] >= 1))
+
+(* An idle connection with no open frame must NOT be timed out: only
+   mid-frame silence is hostile. *)
+let idle_not_killed d =
+  with_raw d (fun r ->
+      (* Outlast the 0.3 s mid-frame deadline while idle, then speak.
+         The wait is a slow-loris on a second connection running to its
+         own timeout — observed, not slept for. *)
+      with_raw d (fun probe ->
+          Faultnet.raw_send probe "x";
+          ignore (Faultnet.raw_response probe);
+          ignore (Faultnet.raw_expect_eof probe));
+      Faultnet.raw_send r "{\"op\":\"ping\",\"id\":3}\n";
+      let resp = Faultnet.raw_response r in
+      Alcotest.(check bool) "idle connection survives" true
+        (Jsonin.member "pong" resp = Some (J.Bool true)))
+
+(* ---------- 7: mid-request disconnect ---------- *)
+
+let mid_request_disconnect d =
+  let r = Faultnet.raw_connect d in
+  (* A heavy request admitted to the worker queue, then the client
+     vanishes before the answer: the job must still run to a recorded
+     outcome and the connection must drain, not wedge on the write. *)
+  Faultnet.raw_send r "{\"op\":\"session-round\",\"session\":4242,\"id\":1}\n";
+  Faultnet.raw_close r;
+  Alcotest.(check bool) "abandoned request still recorded" true
+    (Faultnet.eventually (fun () ->
+         Faultnet.metric_int d [ "requests"; "session-round"; "error" ] >= 1))
+
+(* ---------- 8: worker job that raises ---------- *)
+
+let worker_raises d =
+  Faultnet.with_client d (fun c ->
+      (* images = -1 blows up dataset generation inside the worker
+         domain; the pool must answer [internal], not die or poison the
+         eventual drain. *)
+      match
+        Client.rpc c (Protocol.Session_open { task_id = 1; images = Some (-1); seed = 1 })
+      with
+      | Error msg -> Alcotest.failf "transport error: %s" msg
+      | Ok resp ->
+          Alcotest.(check bool) "not ok" false (Client.is_ok resp);
+          Alcotest.(check string) "internal code" "internal"
+            (Faultnet.response_error_code resp));
+  Alcotest.(check bool) "raise recorded as error outcome" true
+    (Faultnet.eventually (fun () ->
+         Faultnet.metric_int d [ "requests"; "session-open"; "error" ] >= 1))
+
+(* ---------- 9: connect/disconnect churn ---------- *)
+
+let churn d =
+  for i = 1 to 30 do
+    with_raw d (fun r ->
+        match i mod 3 with
+        | 0 ->
+            (* a full request, answered *)
+            Faultnet.raw_send r (Printf.sprintf "{\"op\":\"ping\",\"id\":%d}\n" i);
+            ignore (Faultnet.raw_response r)
+        | 1 ->
+            (* a torn-off partial frame, abandoned *)
+            Faultnet.raw_send r "{\"op\":"
+        | _ -> (* connect and vanish *) ())
+  done
+
+(* ---------- 10: admission cap sheds with a structured response ---------- *)
+
+let capped_config = { Server.default_config with Server.max_connections = 2 }
+
+let overload_shed d =
+  with_raw d (fun a ->
+      with_raw d (fun b ->
+          (* Hold both slots open as real registered connections. *)
+          Faultnet.raw_send a "{\"op\":\"ping\",\"id\":1}\n";
+          ignore (Faultnet.raw_response a);
+          Faultnet.raw_send b "{\"op\":\"ping\",\"id\":1}\n";
+          ignore (Faultnet.raw_response b);
+          (* The next connection must get one structured [overloaded]
+             line and a close, never an unbounded accept. *)
+          with_raw d (fun c ->
+              let resp = Faultnet.raw_response c in
+              Alcotest.(check string) "overloaded code" "overloaded"
+                (Faultnet.response_error_code resp);
+              Alcotest.(check bool) "shed connection closed" true
+                (Faultnet.raw_expect_eof c));
+          (* The admitted connections still work while shedding. *)
+          Faultnet.raw_send a "{\"op\":\"ping\",\"id\":2}\n";
+          ignore (Faultnet.raw_response a)));
+  Alcotest.(check bool) "shed counted" true
+    (Faultnet.eventually (fun () -> Faultnet.metric_int d [ "faults"; "overloaded" ] >= 1))
+
+(* ---------- 11/12/13: endpoint ownership ---------- *)
+
+let live_socket_not_stolen () =
+  let d = Faultnet.start () in
+  Fun.protect
+    ~finally:(fun () -> Faultnet.stop d)
+    (fun () ->
+      let path =
+        match Faultnet.endpoint d with
+        | Client.Unix_socket p -> p
+        | Client.Tcp _ -> Alcotest.fail "expected a unix socket"
+      in
+      (match Server.bind_endpoint (Server.Unix_socket path) with
+      | _fd -> Alcotest.fail "second daemon stole a live endpoint"
+      | exception Failure _ -> ());
+      Alcotest.(check bool) "first daemon unaffected" true (Faultnet.ping_ok d))
+
+let stale_socket_replaced () =
+  (* Manufacture a stale socket: bind a listener, close it without
+     unlinking — the path remains but nothing answers. *)
+  let path = Filename.temp_file "imageeye-stale" ".sock" in
+  Sys.remove path;
+  let dead = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind dead (Unix.ADDR_UNIX path);
+  Unix.close dead;
+  Alcotest.(check bool) "stale path exists" true (Sys.file_exists path);
+  let d = Faultnet.start ~path () in
+  Fun.protect
+    ~finally:(fun () -> Faultnet.stop d)
+    (fun () ->
+      Alcotest.(check bool) "stale socket replaced, daemon serves" true (Faultnet.ping_ok d))
+
+let non_socket_path_refused () =
+  let path = Filename.temp_file "imageeye-notsock" ".sock" in
+  (* temp_file created a regular file: binding over it must refuse, and
+     the file must survive. *)
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (match Server.bind_endpoint (Server.Unix_socket path) with
+      | _fd -> Alcotest.fail "bound over a regular file"
+      | exception Failure _ -> ());
+      Alcotest.(check bool) "file not unlinked" true (Sys.file_exists path))
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "torn frames reassemble" `Quick (scenario torn_frames);
+          Alcotest.test_case "pipelined burst answers in order" `Quick
+            (scenario pipelined_burst);
+          Alcotest.test_case "oversized line: structured error, bounded buffering" `Quick
+            (scenario ~config:small_lines_config oversized_line);
+          Alcotest.test_case "deep nesting: depth-exceeded, connection survives" `Quick
+            (scenario deep_json);
+          Alcotest.test_case "garbage binary: bad-json, connection survives" `Quick
+            (scenario garbage_binary);
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "slow-loris trips the mid-frame deadline" `Quick
+            (scenario ~config:loris_config slow_loris);
+          Alcotest.test_case "idle-but-quiet connection is not killed" `Quick
+            (scenario ~config:loris_config idle_not_killed);
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "mid-request disconnect drains cleanly" `Quick
+            (scenario mid_request_disconnect);
+          Alcotest.test_case "raising worker job becomes an internal error" `Quick
+            (scenario worker_raises);
+          Alcotest.test_case "connect/disconnect churn leaks nothing" `Quick (scenario churn);
+          Alcotest.test_case "admission cap sheds with overloaded" `Quick
+            (scenario ~config:capped_config overload_shed);
+        ] );
+      ( "endpoint",
+        [
+          Alcotest.test_case "live socket is not stolen" `Quick live_socket_not_stolen;
+          Alcotest.test_case "stale socket is replaced" `Quick stale_socket_replaced;
+          Alcotest.test_case "non-socket path is refused" `Quick non_socket_path_refused;
+        ] );
+    ]

@@ -79,6 +79,68 @@ let parse_never_raises =
     (fun s ->
       match Jsonin.parse s with Ok _ | Error _ -> true)
 
+(* Resource bombs: nesting well past the depth cap (where the old
+   recursive parser died with [Stack_overflow]) and degenerate long
+   tokens.  The contract is errors-as-values — no exception may escape
+   [parse] for any input. *)
+let bomb_gen =
+  let open QCheck2.Gen in
+  oneof
+    [
+      (* nesting past (and far past) the cap, opener mix included *)
+      ( int_range 1 4000 >>= fun depth ->
+        oneofl [ "["; "{\"k\":" ] >>= fun opener ->
+        bool >|= fun close ->
+        let open_part = String.concat "" (List.init depth (fun _ -> opener)) in
+        if close && opener = "[" then open_part ^ String.make depth ']' else open_part );
+      (* long degenerate tokens: digits, minus signs, quote runs *)
+      ( int_range 1 20000 >>= fun n ->
+        oneofl [ '1'; '-'; '"'; '\\'; 'e'; '.' ] >|= fun c -> String.make n c );
+      (* a long valid-ish string token with trailing garbage *)
+      (int_range 1 20000 >|= fun n -> "\"" ^ String.make n 'x');
+    ]
+
+let parse_never_raises_bombs =
+  QCheck2.Test.make ~name:"parse never raises on resource bombs" ~count:200
+    ~print:(fun s -> Printf.sprintf "%d bytes: %S..." (String.length s)
+                       (String.sub s 0 (min 40 (String.length s))))
+    bomb_gen
+    (fun s ->
+      match Jsonin.parse s with Ok _ | Error _ -> true)
+
+let test_depth_cap () =
+  let nested n = String.make n '[' ^ String.make n ']' in
+  (* at the cap: fine *)
+  Alcotest.(check bool) "at cap parses" true
+    (Result.is_ok (Jsonin.parse (nested Jsonin.default_max_depth)));
+  (* past the cap: a structured error, not an exception *)
+  (match Jsonin.parse (nested (Jsonin.default_max_depth + 1)) with
+  | Error { Jsonin.kind = Jsonin.Depth_exceeded; _ } -> ()
+  | Error e -> Alcotest.failf "wrong kind: %s" (Jsonin.error_to_string e)
+  | Ok _ -> Alcotest.fail "parsed past the cap");
+  (* a megabyte of openers: returns quickly as an error value (this
+     input killed the pre-cap parser with Stack_overflow) *)
+  (match Jsonin.parse (String.make 1_000_000 '[') with
+  | Error { Jsonin.kind = Jsonin.Depth_exceeded; _ } -> ()
+  | Error e -> Alcotest.failf "wrong kind for bomb: %s" (Jsonin.error_to_string e)
+  | Ok _ -> Alcotest.fail "parsed the bomb");
+  (* the cap is configurable *)
+  (match Jsonin.parse ~max_depth:2 "[[[1]]]" with
+  | Error { Jsonin.kind = Jsonin.Depth_exceeded; _ } -> ()
+  | _ -> Alcotest.fail "custom cap not honored");
+  Alcotest.(check bool) "objects count too" true
+    (match Jsonin.parse ~max_depth:2 {|{"a":{"b":{"c":1}}}|} with
+    | Error { Jsonin.kind = Jsonin.Depth_exceeded; _ } -> true
+    | _ -> false)
+
+let test_max_bytes () =
+  (match Jsonin.parse ~max_bytes:8 "[1,2,3,4,5]" with
+  | Error { Jsonin.kind = Jsonin.Input_too_large; _ } -> ()
+  | Error e -> Alcotest.failf "wrong kind: %s" (Jsonin.error_to_string e)
+  | Ok _ -> Alcotest.fail "parsed oversize input");
+  Alcotest.(check bool) "under the limit parses" true
+    (Jsonin.parse ~max_bytes:8 "[1,2]" = Ok (J.List [ J.Int 1; J.Int 2 ]))
+
 (* ---------- Jsonout: non-finite floats ---------- *)
 
 let test_nonfinite_floats () =
@@ -227,7 +289,7 @@ let test_metrics_quantiles () =
   Metrics.observe_queue_depth m 3;
   Metrics.observe_queue_depth m 7;
   Metrics.observe_queue_depth m 2;
-  let s = Metrics.snapshot m ~queue_depth:1 ~sessions_open:0 in
+  let s = Metrics.snapshot m ~queue_depth:1 ~sessions_open:0 ~connections_open:0 in
   Alcotest.(check int) "total" 100 (snap_int s [ "requests_total" ]);
   Alcotest.(check int) "per-op" 100 (snap_int s [ "requests"; "synthesize"; "ok" ]);
   Alcotest.(check int) "count" 100 (snap_int s [ "latency"; "count" ]);
@@ -246,13 +308,60 @@ let test_metrics_value_bank () =
   Metrics.record m ~op:"synthesize" ~outcome:"ok" ~latency_s:0.01
     ~counts:[ ("value-bank(hit)", 1) ] ();
   Metrics.record_dropped m;
-  let s = Metrics.snapshot m ~queue_depth:0 ~sessions_open:2 in
+  let s = Metrics.snapshot m ~queue_depth:0 ~sessions_open:2 ~connections_open:3 in
   Alcotest.(check int) "hits" 4 (snap_int s [ "value_bank"; "hits" ]);
   Alcotest.(check int) "misses" 1 (snap_int s [ "value_bank"; "misses" ]);
   Alcotest.(check (float 1e-6)) "hit rate" 0.8 (snap_float s [ "value_bank"; "hit_rate" ]);
   Alcotest.(check int) "counter summed" 5 (snap_int s [ "counters"; "equiv-dedup" ]);
   Alcotest.(check int) "dropped" 1 (snap_int s [ "dropped_responses" ]);
-  Alcotest.(check int) "sessions gauge" 2 (snap_int s [ "sessions_open" ])
+  Alcotest.(check int) "sessions gauge" 2 (snap_int s [ "sessions_open" ]);
+  Alcotest.(check int) "connections gauge" 3 (snap_int s [ "connections_open" ])
+
+let test_metrics_faults () =
+  let m = Metrics.create () in
+  Metrics.record_fault m "line-too-long";
+  Metrics.record_fault m "line-too-long";
+  Metrics.record_fault m "read-timeout";
+  let s = Metrics.snapshot m ~queue_depth:0 ~sessions_open:0 ~connections_open:0 in
+  Alcotest.(check int) "line-too-long" 2 (snap_int s [ "faults"; "line-too-long" ]);
+  Alcotest.(check int) "read-timeout" 1 (snap_int s [ "faults"; "read-timeout" ]);
+  Alcotest.(check bool) "absent fault absent" true
+    (snap_path s [ "faults"; "overloaded" ] = None)
+
+(* Four threads hammering every recorder concurrently: the counts must
+   come out exact (one mutex, no lost updates) and the snapshot must
+   never raise mid-churn. *)
+let test_metrics_concurrent () =
+  let m = Metrics.create () in
+  let threads = 4 and per_thread = 1000 in
+  let workers =
+    List.init threads (fun t ->
+        Thread.create
+          (fun () ->
+            for i = 1 to per_thread do
+              Metrics.record m ~op:"synthesize"
+                ~outcome:(if i mod 2 = 0 then "ok" else "timeout")
+                ~latency_s:(float_of_int ((i + t) mod 100) /. 1000.0)
+                ~counts:[ ("equiv-dedup", 1) ] ();
+              Metrics.record_fault m "read-timeout";
+              if i mod 100 = 0 then
+                ignore (Metrics.snapshot m ~queue_depth:0 ~sessions_open:0 ~connections_open:0)
+            done)
+          ())
+  in
+  List.iter Thread.join workers;
+  let s = Metrics.snapshot m ~queue_depth:0 ~sessions_open:0 ~connections_open:0 in
+  let total = threads * per_thread in
+  Alcotest.(check int) "total exact" total (snap_int s [ "requests_total" ]);
+  Alcotest.(check int) "ok exact" (total / 2) (snap_int s [ "requests"; "synthesize"; "ok" ]);
+  Alcotest.(check int) "timeout exact" (total / 2)
+    (snap_int s [ "requests"; "synthesize"; "timeout" ]);
+  Alcotest.(check int) "latency count exact" total (snap_int s [ "latency"; "count" ]);
+  Alcotest.(check int) "counter exact" total (snap_int s [ "counters"; "equiv-dedup" ]);
+  Alcotest.(check int) "faults exact" total (snap_int s [ "faults"; "read-timeout" ]);
+  (* quantiles are over the recent 4096-sample window, values in range *)
+  let p95 = snap_float s [ "latency"; "p95_s" ] in
+  Alcotest.(check bool) "p95 in range" true (p95 >= 0.0 && p95 <= 0.1)
 
 (* ---------- end-to-end over a temporary unix socket ---------- *)
 
@@ -291,16 +400,8 @@ let temp_socket () =
   Sys.remove path;
   path
 
-let connect_with_retry path =
-  let deadline = Clock.counter () in
-  let rec go () =
-    match Client.connect (Client.Unix_socket path) with
-    | c -> c
-    | exception Unix.Unix_error _ when Clock.elapsed_s deadline < 10.0 ->
-        Thread.delay 0.02;
-        go ()
-  in
-  go ()
+(* Readiness via the client's own bounded exponential backoff. *)
+let connect_with_retry path = Client.connect_retry ~attempts:12 (Client.Unix_socket path)
 
 let rpc_ok c request =
   match Client.rpc c request with
@@ -460,6 +561,9 @@ let () =
           QCheck_alcotest.to_alcotest roundtrip_pretty;
           QCheck_alcotest.to_alcotest roundtrip_line;
           QCheck_alcotest.to_alcotest parse_never_raises;
+          QCheck_alcotest.to_alcotest parse_never_raises_bombs;
+          Alcotest.test_case "depth cap is an error value" `Quick test_depth_cap;
+          Alcotest.test_case "max_bytes is an error value" `Quick test_max_bytes;
           Alcotest.test_case "scalars" `Quick test_parse_scalars;
           Alcotest.test_case "escapes" `Quick test_parse_escapes;
           Alcotest.test_case "malformed input is an error value" `Quick test_parse_malformed;
@@ -477,6 +581,8 @@ let () =
         [
           Alcotest.test_case "latency quantiles" `Quick test_metrics_quantiles;
           Alcotest.test_case "value-bank counters" `Quick test_metrics_value_bank;
+          Alcotest.test_case "fault counters" `Quick test_metrics_faults;
+          Alcotest.test_case "concurrent recorders are exact" `Quick test_metrics_concurrent;
         ] );
       ("e2e", [ Alcotest.test_case "daemon lifecycle" `Slow test_e2e ]);
     ]
