@@ -21,12 +21,19 @@
                                 differently under core contention)
      IMAGEEYE_VALUE_BANK=0      disable the extractor value bank in every
                                 non-ablation config (before/after runs)
+     IMAGEEYE_FWD_BWD=0         disable bidirectional abstract
+                                interpretation in every non-ablation
+                                config (the BENCH_PR6.json baseline)
      IMAGEEYE_JSON_BASELINE=<p> embed the JSON document at <p> (a previous
                                 --json output) verbatim as a "baseline"
                                 field of the emitted trajectory
      IMAGEEYE_JSON_CI_MIN_SOLVED=<n>
                                 emit <n> as "ci_min_solved" (the solved
-                                floor CI enforces on quick-mode sweeps) *)
+                                floor CI enforces on quick-mode sweeps)
+     IMAGEEYE_JSON_CI_MAX_NODES=<n>
+                                emit <n> as "ci_max_nodes" (the
+                                total-nodes ceiling CI enforces on
+                                quick-mode sweeps) *)
 
 module Lang = Imageeye_core.Lang
 module Synthesizer = Imageeye_core.Synthesizer
@@ -63,17 +70,29 @@ let env_float name default =
           Printf.eprintf "error: %s must be a number, got %S\n%!" name v;
           exit 2)
 
+let env_bool name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some v -> (
+      match String.trim v with
+      | "0" -> false
+      | "1" -> true
+      | _ ->
+          Printf.eprintf "error: %s must be 0 or 1, got %S\n%!" name v;
+          exit 2)
+
 let quick = Sys.getenv_opt "IMAGEEYE_QUICK" = Some "1"
 let seed = env_int "IMAGEEYE_SEED" 42
 let jobs = env_int "IMAGEEYE_JOBS" 1
 let timeout = env_float "IMAGEEYE_TIMEOUT" (if quick then 20.0 else 120.0)
 let eus_timeout = env_float "IMAGEEYE_EUS_TIMEOUT" (if quick then 10.0 else 30.0)
 let abl_timeout = env_float "IMAGEEYE_ABL_TIMEOUT" (if quick then 5.0 else 10.0)
-let value_bank = Sys.getenv_opt "IMAGEEYE_VALUE_BANK" <> Some "0"
+let value_bank = env_bool "IMAGEEYE_VALUE_BANK" true
+let fwd_bwd = env_bool "IMAGEEYE_FWD_BWD" true
 
 (* Every non-ablation section starts from this, so a single env knob gives
-   the before/after pair for the committed BENCH_PR3.json. *)
-let base_config = { Synthesizer.default_config with value_bank }
+   the before/after pair for the committed BENCH_PR3.json / BENCH_PR6.json. *)
+let base_config = { Synthesizer.default_config with value_bank; fwd_bwd }
 
 let dataset_size domain =
   if quick then
@@ -197,8 +216,6 @@ let prune_attribution results =
   Hashtbl.fold (fun label cell rows -> (label, !cell) :: rows) acc []
   |> List.sort compare
 
-let is_cache_label label = String.length label >= 11 && String.sub label 0 11 = "eval-cache("
-
 (* The eval-cache counters live in [prune_counts] alongside the per-pass
    attribution but are a different kind of number (work saved, not
    candidates rejected), so they get their own summary line. *)
@@ -219,16 +236,47 @@ let cache_summary counts =
       (100.0 *. float_of_int (memo + vhit) /. float_of_int visited)
   end
 
+(* Same for the value-bank counters and the complete candidates decided
+   directly from their folded constant: outcomes, not rejections. *)
+let bank_summary counts =
+  let get label = Option.value ~default:0 (List.assoc_opt label counts) in
+  let hit = get "value-bank(hit)" in
+  let miss = get "value-bank(miss)" in
+  let built = get "value-bank(built)" in
+  let const = get "partial-eval(const-solved)" in
+  if hit + miss + built + const > 0 then begin
+    say "";
+    say "value bank: %d hole closures, %d exact-window misses, %d values built;"
+      hit miss built;
+    say "  %d complete candidates decided from their folded constant" const
+  end
+
+(* The forward-backward analysis likewise reports its volume of work
+   (rounds run, hole goals tightened) next to its kill count. *)
+let absint_summary counts =
+  let get label = Option.value ~default:0 (List.assoc_opt label counts) in
+  let iterations = get "fwd-bwd(iterations)" in
+  if iterations > 0 then begin
+    say "";
+    say "fwd-bwd analysis: %d rounds, %d hole goals tightened, %d candidates killed"
+      iterations
+      (get "fwd-bwd(tightened)")
+      (get "fwd-bwd")
+  end
+
 let prune_table results =
   match prune_attribution results with
   | [] -> ()
   | all_counts ->
-      let cache_counts, counts = List.partition (fun (l, _) -> is_cache_label l) all_counts in
-      cache_summary cache_counts;
+      let info_counts, counts =
+        List.partition (fun (l, _) -> Imageeye_core.Prune.is_info_label l) all_counts
+      in
+      cache_summary info_counts;
+      bank_summary info_counts;
+      absint_summary (info_counts @ counts);
       let total = List.fold_left (fun a (_, n) -> a + n) 0 counts in
       say "";
-      say "prune attribution (per-pass counters; the partial-eval row counts";
-      say "candidates decided directly from their folded constant, not rejections):";
+      say "prune attribution (candidates rejected per pass):";
       say "%s"
         (Tablefmt.render
            ~header:[ "pass"; "pruned"; "share (%)" ]
@@ -338,23 +386,16 @@ let fig15 () =
 (* Figure 16: ablation study (cactus plot)                             *)
 (* ------------------------------------------------------------------ *)
 
-let ablations =
-  [
-    ("full", fun c -> c);
-    ("no-goal-inference", fun c -> { c with Synthesizer.goal_inference = false });
-    ("no-partial-eval", fun c -> { c with Synthesizer.partial_eval = false });
-    ("no-equiv-reduction", fun c -> { c with Synthesizer.equiv_reduction = false });
-    (* Not a paper ablation: isolates the memoized incremental evaluator.
-       Must solve the same tasks (it is semantics-preserving) while the
-       nodes-evaluated line above shows the work it saves. *)
-    ("no-eval-cache", fun c -> { c with Synthesizer.eval_cache = false });
-    (* Also not a paper ablation: disables the bottom-up extractor value
-       bank, so hole closure falls back to pure grammar expansion.  Exact
-       lookups are solution-preserving, so the solved set must match
-       [full]; the separation shows up in nodes evaluated and in the
-       value-bank(...) counters of the prune table. *)
-    ("no-value-bank", fun c -> { c with Synthesizer.value_bank = false });
-  ]
+(* The rows come from the engine's shared named-ablation table
+   ([Synthesizer.ablations]), so a technique added there appears here, in
+   [imageeye sweep --ablation], and in the tests without further wiring.
+   Beyond the three paper ablations, the table carries: no-fwd-bwd
+   (bidirectional abstract interpretation; solution-preserving, so the
+   solved set must match [full] and the separation is in nodes),
+   no-eval-cache (the memoized incremental evaluator; semantics-
+   preserving) and no-value-bank (bottom-up extractor bank; exact
+   lookups are solution-preserving). *)
+let ablations = Synthesizer.ablations
 
 let fig16 () =
   heading "Figure 16: ablation study (cumulative synthesis time vs benchmarks solved)";
@@ -619,9 +660,13 @@ let json_meta () =
     ("jobs", Int jobs);
     ("timeout_s", Float timeout);
     ("value_bank", Bool value_bank);
+    ("fwd_bwd", Bool fwd_bwd);
   ]
   @ (match Sys.getenv_opt "IMAGEEYE_JSON_CI_MIN_SOLVED" with
     | Some v when String.trim v <> "" -> [ ("ci_min_solved", Int (int_of_string (String.trim v))) ]
+    | _ -> [])
+  @ (match Sys.getenv_opt "IMAGEEYE_JSON_CI_MAX_NODES" with
+    | Some v when String.trim v <> "" -> [ ("ci_max_nodes", Int (int_of_string (String.trim v))) ]
     | _ -> [])
   @
   match Sys.getenv_opt "IMAGEEYE_JSON_BASELINE" with
@@ -674,9 +719,10 @@ let () =
                 None)
           names
   in
-  say "ImageEye experiment harness (%s mode, seed %d, timeout %.0fs%s)"
+  say "ImageEye experiment harness (%s mode, seed %d, timeout %.0fs%s%s)"
     (if quick then "quick" else "full")
     seed timeout
-    (if value_bank then "" else ", value bank OFF");
+    (if value_bank then "" else ", value bank OFF")
+    (if fwd_bwd then "" else ", fwd-bwd OFF");
   List.iter (fun (_, f) -> f ()) chosen;
   Option.iter write_json json_path

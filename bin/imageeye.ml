@@ -180,7 +180,18 @@ let learn_cmd =
 
 (* ---------- sweep ---------- *)
 
-let sweep task_ids images seed timeout jobs value_bank json_path =
+let sweep task_ids images seed timeout jobs value_bank fwd_bwd ablation json_path =
+  let ablation_tweak =
+    match ablation with
+    | None -> Fun.id
+    | Some name -> (
+        match List.assoc_opt name Synthesizer.ablations with
+        | Some tweak -> tweak
+        | None ->
+            Printf.eprintf "error: unknown ablation %S (known: %s)\n%!" name
+              (String.concat ", " (List.map fst Synthesizer.ablations));
+            exit 2)
+  in
   let tasks =
     match task_ids with
     | [] -> Benchmarks.all
@@ -205,7 +216,10 @@ let sweep task_ids images seed timeout jobs value_bank json_path =
         (domain, (dataset, universe)))
       domains
   in
-  let config = { Synthesizer.default_config with timeout_s = timeout; value_bank } in
+  let config =
+    ablation_tweak
+      { Synthesizer.default_config with timeout_s = timeout; value_bank; fwd_bwd }
+  in
   let started = Imageeye_util.Clock.counter () in
   let results =
     Imageeye_tasks.Runner.run_tasks ~jobs
@@ -246,21 +260,25 @@ let sweep task_ids images seed timeout jobs value_bank json_path =
   let all_labels =
     List.sort compare (Hashtbl.fold (fun label n acc -> (label, n) :: acc) prune [])
   in
-  let is_cache_label label =
-    String.length label >= 11 && String.sub label 0 11 = "eval-cache("
+  let info_labels, labels =
+    List.partition (fun (l, _) -> Imageeye_core.Prune.is_info_label l) all_labels
   in
-  let cache_labels, labels = List.partition (fun (l, _) -> is_cache_label l) all_labels in
   if labels <> [] then (
     Printf.printf "prune attribution:\n";
     List.iter (fun (label, n) -> Printf.printf "  %-28s %d\n" label n) labels);
-  (let get l = Option.value ~default:0 (List.assoc_opt ("eval-cache(" ^ l ^ ")") cache_labels) in
-   let memo = get "memo-hit" and vhit = get "value-hit" and evaluated = get "evaluated" in
+  (let get l = Option.value ~default:0 (List.assoc_opt l info_labels) in
+   let cache l = get ("eval-cache(" ^ l ^ ")") in
+   let memo = cache "memo-hit" and vhit = cache "value-hit" and evaluated = cache "evaluated" in
    let visited = memo + vhit + evaluated in
    if visited > 0 then
      Printf.printf
        "evaluation cache: %d memo hits, %d value hits, %d evaluated (hit rate %.1f%%)\n" memo
        vhit evaluated
-       (100.0 *. float_of_int (memo + vhit) /. float_of_int visited));
+       (100.0 *. float_of_int (memo + vhit) /. float_of_int visited);
+   let rounds = get "fwd-bwd(iterations)" in
+   if rounds > 0 then
+     Printf.printf "fwd-bwd analysis: %d rounds, %d hole goals tightened\n" rounds
+       (get "fwd-bwd(tightened)"));
   Option.iter
     (fun path ->
       let open Imageeye_util.Jsonout in
@@ -272,6 +290,8 @@ let sweep task_ids images seed timeout jobs value_bank json_path =
             ("jobs", Int jobs);
             ("timeout_s", Float timeout);
             ("value_bank", Bool value_bank);
+            ("fwd_bwd", Bool fwd_bwd);
+            ("ablation", match ablation with Some a -> Str a | None -> Str "none");
           ]
         path (List.map snd results);
       Printf.printf "wrote sweep trajectory to %s\n" path)
@@ -301,6 +321,16 @@ let sweep_cmd =
       $ Arg.(value & flag & info [ "no-value-bank" ]
                ~doc:"Disable the bottom-up extractor value bank (pure top-down search)."))
   in
+  let fwd_bwd =
+    Term.(
+      const not
+      $ Arg.(value & flag & info [ "no-fwd-bwd" ]
+               ~doc:"Disable bidirectional abstract interpretation (iterated              forward-backward goal tightening)."))
+  in
+  let ablation =
+    Arg.(value & opt (some string) None & info [ "ablation" ] ~docv:"NAME"
+           ~doc:"Apply a named ablation row from the shared fig16 table (full,              no-goal-inference, no-partial-eval, no-equiv-reduction, no-fwd-bwd,              no-eval-cache, no-value-bank) on top of the other flags.")
+  in
   let json_path =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
            ~doc:"Write the per-task sweep trajectory (solved, time, nodes, prune              counters) as JSON to FILE.")
@@ -308,7 +338,7 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Run the demonstration loop over many benchmark tasks and summarize, optionally              on a parallel Domain pool.")
-    Term.(const sweep $ task_ids $ images $ seed_arg $ timeout $ jobs $ value_bank $ json_path)
+    Term.(const sweep $ task_ids $ images $ seed_arg $ timeout $ jobs $ value_bank $ fwd_bwd $ ablation $ json_path)
 
 (* ---------- apply ---------- *)
 

@@ -7,6 +7,7 @@ type config = {
   goal_inference : bool;
   partial_eval : bool;
   equiv_reduction : bool;
+  fwd_bwd : bool;
   eval_cache : bool;
   value_bank : bool;
   timeout_s : float;
@@ -21,6 +22,7 @@ let default_config =
     goal_inference = true;
     partial_eval = true;
     equiv_reduction = true;
+    fwd_bwd = true;
     eval_cache = true;
     value_bank = true;
     timeout_s = 120.0;
@@ -29,6 +31,29 @@ let default_config =
     max_operands = 3;
     age_thresholds = [ 18 ];
   }
+
+let spec_of_config config =
+  {
+    Prune.goal_inference = config.goal_inference;
+    partial_eval = config.partial_eval;
+    equiv_reduction = config.equiv_reduction;
+    fwd_bwd = config.fwd_bwd;
+  }
+
+(* The named ablation axes of the fig16 experiment: one row per disabled
+   technique.  Everything that builds ablation configs — the benchmark
+   driver, [imageeye sweep --ablation], tests — consumes this table, so a
+   new technique added here appears everywhere at once. *)
+let ablations : (string * (config -> config)) list =
+  [
+    ("full", Fun.id);
+    ("no-goal-inference", fun c -> { c with goal_inference = false });
+    ("no-partial-eval", fun c -> { c with partial_eval = false });
+    ("no-equiv-reduction", fun c -> { c with equiv_reduction = false });
+    ("no-fwd-bwd", fun c -> { c with fwd_bwd = false });
+    ("no-eval-cache", fun c -> { c with eval_cache = false });
+    ("no-value-bank", fun c -> { c with value_bank = false });
+  ]
 
 type stats = {
   popped : int;
@@ -196,10 +221,18 @@ let max_delta = 4 (* largest instantiation is Find with a parameterized predicat
    single-step, so they only exist up to [max_delta]; the scheduler visits
    larger increments when the bank is on (its terms go deeper). *)
 let expand u vocab facts config ctx passes ~close ~delta p =
+  (* The leftmost hole's goal may have been tightened by the
+     forward-backward analysis when this candidate was considered; the
+     tightening is cached on the candidate root (the only per-candidate
+     node that is never physically shared).  It overrides the hole's
+     inferred goal everywhere: bank closure, instantiation feasibility,
+     the new node's annotation, and its children's inferred goals. *)
+  let tight = Partial.tight p in
   let rec go (p : Partial.t) =
     match p.node with
     | Partial.Hole -> (
-        match close p.goal ~delta with
+        let goal = match tight with Some g -> g | None -> p.goal in
+        match close goal ~delta with
         | Some candidates -> Some candidates
         | None ->
             Some
@@ -207,7 +240,7 @@ let expand u vocab facts config ctx passes ~close ~delta p =
                else
                  List.filter
                    (fun inst -> Partial.size inst - 1 = delta)
-                   (instantiations u vocab facts config ctx passes p.goal)))
+                   (instantiations u vocab facts config ctx passes goal)))
     | Partial.All | Partial.Is _ -> None
     (* Spine nodes above the hole are rebuilt fresh (empty memo slot);
        unchanged sibling subtrees are shared physically, which is what
@@ -256,19 +289,33 @@ let stats_of_events ev ~nodes =
 
 let search ~config ~limit ?sink u i_out =
   let vocab = Bank_registry.vocab u ~age_thresholds:config.age_thresholds in
-  let passes =
-    Prune.pipeline
-      {
-        Prune.goal_inference = config.goal_inference;
-        partial_eval = config.partial_eval;
-        equiv_reduction = config.equiv_reduction;
-      }
-  in
+  let passes = Prune.pipeline (spec_of_config config) in
   (* The Find/Filter signature dedup evaluates parameterizations on the
      input image, so it belongs to the partial-evaluation-powered part of
      equivalence reduction and is disabled with either ablation. *)
   let facts =
     compute_facts ~dedup:(config.equiv_reduction && config.partial_eval) u vocab
+  in
+  let absint =
+    if Prune.wants_absint passes then begin
+      (* Reach tables for the analysis, shared with the instantiation-time
+         feasibility facts.  Parameterizations outside the (possibly
+         deduplicated) fact lists — e.g. inside bank-emitted terms — fall
+         back to the full universe, which is sound and uninformative. *)
+      let find_tbl = Hashtbl.create 64 and filter_tbl = Hashtbl.create 64 in
+      List.iter (fun (p, f, reach) -> Hashtbl.replace find_tbl (p, f) reach)
+        facts.find_insts;
+      List.iter (fun (p, reach) -> Hashtbl.replace filter_tbl p reach)
+        facts.filter_insts;
+      let full = Simage.full u in
+      Some
+        (Absint.make_env u
+           ~reach_find:(fun p f ->
+             Option.value (Hashtbl.find_opt find_tbl (p, f)) ~default:full)
+           ~reach_filter:(fun p ->
+             Option.value (Hashtbl.find_opt filter_tbl p) ~default:full))
+    end
+    else None
   in
   let ctx =
     {
@@ -276,6 +323,7 @@ let search ~config ~limit ?sink u i_out =
       eval_is = facts.extension;
       goal_checks = Prune.wants_goal_checks passes;
       collapse = Prune.wants_collapse passes;
+      absint;
     }
   in
   let checks = List.map (fun (p : Prune.pass) -> (p, p.Prune.fresh ())) passes in
@@ -407,6 +455,15 @@ let search ~config ~limit ?sink u i_out =
   | Some h ->
       let built = Bank_registry.stored h - bank_stored0 in
       if built > 0 then Events.record ev (Events.Counted ("value-bank(built)", built))
+  | None -> ());
+  (match absint with
+  | Some env ->
+      List.iter
+        (fun (label, n) ->
+          if n > 0 then Events.record ev (Events.Counted ("fwd-bwd(" ^ label ^ ")", n)))
+        [
+          ("iterations", env.Absint.iterations); ("tightened", env.Absint.tightened);
+        ]
   | None -> ());
   (List.rev !solutions, reason,
    stats_of_events ev ~nodes:(Eval.count_local_nodes () - nodes0))

@@ -18,6 +18,15 @@ type config = {
   goal_inference : bool;  (** Section 5.3 pruning *)
   partial_eval : bool;  (** collapse complete subtrees before rewriting *)
   equiv_reduction : bool;  (** Section 5.5 term rewriting *)
+  fwd_bwd : bool;
+      (** bidirectional abstract interpretation (on by default): iterate
+          forward and backward interval propagation ({!Absint}) to a
+          fixpoint on every incomplete candidate, killing candidates
+          whose forward interval is disjoint from their backward goal
+          and tightening the leftmost hole's goal for the next
+          expansion; only effective when [goal_inference] and
+          [partial_eval] are both on (it consumes their goal
+          annotations and collapsed constants) *)
   eval_cache : bool;
       (** memoized incremental partial evaluation (on by default): node
           memo slots plus a shared form-keyed value table; does not change
@@ -37,6 +46,16 @@ type config = {
 }
 
 val default_config : config
+
+val spec_of_config : config -> Prune.spec
+(** The pruning-pipeline axes of a config — the one place configs turn
+    into {!Prune.pipeline} construction. *)
+
+val ablations : (string * (config -> config)) list
+(** The named fig16 ablation rows (["full"], ["no-goal-inference"], ...,
+    ["no-fwd-bwd"], ...): each disables one technique.  The benchmark
+    driver, [imageeye sweep --ablation], and tests all consume this
+    table, so rows stay in sync across the tooling. *)
 
 type stats = {
   popped : int;  (** worklist entries dequeued *)
@@ -60,7 +79,12 @@ type stats = {
           the bank), ["value-bank(miss)"] (exact-window lookups that fell
           back to the grammar) and ["value-bank(built)"] (bank values
           stored during this search; 0 when a shared bank was already
-          warm) *)
+          warm); when the forward-backward analysis is on — ["fwd-bwd"]
+          (candidates it killed), ["fwd-bwd(iterations)"] (total
+          forward-backward rounds) and ["fwd-bwd(tightened)"] (analyses
+          that tightened a hole goal).  {!Prune.is_info_label}
+          distinguishes the informational parenthesized counters from
+          per-pass prune attributions *)
 }
 
 val stats_pruned_total : stats -> int

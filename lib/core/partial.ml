@@ -1,6 +1,11 @@
 type memo = { mform : Form.t; mvalue : Imageeye_symbolic.Simage.t }
 
-type t = { goal : Goal.t; node : node; mutable memo : memo option }
+type t = {
+  goal : Goal.t;
+  node : node;
+  mutable memo : memo option;
+  mutable tight : Goal.t option;
+}
 
 and node =
   | Hole
@@ -12,13 +17,19 @@ and node =
   | Find of t * Pred.t * Func.t
   | Filter of t * Pred.t
 
-let make goal node = { goal; node; memo = None }
+let make goal node = { goal; node; memo = None; tight = None }
 
 let hole goal = make goal Hole
 
 let memo t = t.memo
 
 let set_memo t ~form ~value = t.memo <- Some { mform = form; mvalue = value }
+
+let tight t = t.tight
+
+let set_tight t g = t.tight <- Some g
+
+let hole_goal t = match t.tight with Some g -> g | None -> t.goal
 
 let rec of_extractor goal (e : Lang.extractor) =
   let child = of_extractor goal in

@@ -11,11 +11,23 @@
     on the node, and because expansion shares unchanged sibling subtrees
     physically across candidates, a later evaluation of any candidate
     containing the node reuses the result instead of re-evaluating the
-    subtree ({!Peval} reads and writes the slot when given a cache). *)
+    subtree ({!Peval} reads and writes the slot when given a cache).
+
+    A second mutable slot, [tight], caches the result of bidirectional
+    abstract interpretation ({!Absint}): the tightened goal of the
+    candidate's leftmost hole.  It is written only on candidate {e root}
+    nodes — which are always freshly allocated per candidate, never
+    physically shared the way sibling subtrees are — so the slot cannot
+    race between candidates or Domains. *)
 
 type memo = { mform : Form.t; mvalue : Imageeye_symbolic.Simage.t }
 
-type t = { goal : Goal.t; node : node; mutable memo : memo option }
+type t = {
+  goal : Goal.t;
+  node : node;
+  mutable memo : memo option;
+  mutable tight : Goal.t option;
+}
 
 and node =
   | Hole
@@ -40,6 +52,18 @@ val memo : t -> memo option
 val set_memo : t -> form:Form.t -> value:Imageeye_symbolic.Simage.t -> unit
 (** Record the partial-evaluation result of a complete subtree.  Only
     {!Peval} should call this, and only after any goal check passed. *)
+
+val tight : t -> Goal.t option
+
+val set_tight : t -> Goal.t -> unit
+(** Record the tightened goal of this candidate's leftmost hole, as
+    computed by the forward-backward fixpoint.  Only {!Absint.analyze}
+    should call this, and only on candidate root nodes (see above). *)
+
+val hole_goal : t -> Goal.t
+(** The goal the next expansion of this candidate's leftmost hole should
+    use: the tightened one when an analysis recorded it, the inferred one
+    otherwise.  [t] is the candidate root, not the hole node itself. *)
 
 val of_extractor : Goal.t -> Lang.extractor -> t
 (** Embed a complete extractor, annotating every node with the same goal;

@@ -129,6 +129,8 @@ let run ?eval_is ?cache ~check_goals ~collapse u (p : Partial.t) =
   in
   match go p with form, _ -> Some form | exception Inconsistent -> None
 
+let value_of_form = function Form.Const v -> Some v | _ -> None
+
 let value_of_complete u p =
   match Partial.to_extractor p with
   | Some e -> Some (Eval.extractor u e)

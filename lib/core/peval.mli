@@ -54,6 +54,15 @@ val run :
     (see above); the flags must be the same across all runs sharing a
     cache, which holds because they are fixed per search. *)
 
+val value_of_form : Form.t -> Imageeye_symbolic.Simage.t option
+(** The exact forward value a (sub)form exposes: [Some v] for a collapsed
+    constant, [None] for anything still containing unknowns.  These
+    per-node constants — produced here once per complete subtree and
+    shared through the memo slots — are the forward half of the interval
+    analysis ({!Absint}): a known subtree contributes the exact interval
+    [⟨v, v⟩], an unknown one contributes its goal-bounded window instead
+    of making the analysis bail. *)
+
 val value_of_complete :
   Imageeye_symbolic.Universe.t -> Partial.t -> Imageeye_symbolic.Simage.t option
 (** Evaluate a complete partial program; [None] if it has holes. *)

@@ -5,6 +5,7 @@ type context = {
   eval_is : Pred.t -> Simage.t;
   goal_checks : bool;
   collapse : bool;
+  absint : Absint.env option;
 }
 
 type candidate = { partial : Partial.t; form : Peval.Form.t option }
@@ -13,7 +14,7 @@ type verdict = Admit | Reject
 
 type check = context -> candidate -> verdict
 
-type id = Goal_inference | Partial_eval | Equiv_rewrite | Equiv_dedup
+type id = Goal_inference | Partial_eval | Equiv_rewrite | Equiv_dedup | Fwd_bwd
 
 type pass = {
   id : id;
@@ -80,10 +81,27 @@ let equiv_dedup =
               end);
   }
 
+let fwd_bwd =
+  {
+    id = Fwd_bwd;
+    name = "fwd-bwd";
+    on_complete = false;
+    feasible = always_feasible;
+    fresh =
+      (fun () ctx cand ->
+        match (ctx.absint, cand.form) with
+        | Some env, Some form -> (
+            match Absint.analyze env cand.partial form with
+            | Absint.Feasible -> Admit
+            | Absint.Infeasible -> Reject)
+        | None, _ | _, None -> Admit);
+  }
+
 type spec = {
   goal_inference : bool;
   partial_eval : bool;
   equiv_reduction : bool;
+  fwd_bwd : bool;
 }
 
 let pipeline spec =
@@ -93,7 +111,16 @@ let pipeline spec =
       (if spec.partial_eval then [ partial_eval ] else []);
       (if spec.equiv_reduction then [ equiv_rewrite ] else []);
       (if spec.equiv_reduction && spec.partial_eval then [ equiv_dedup ] else []);
+      (* Last: the analysis reads goal annotations and collapsed
+         constants, so it needs both upstream techniques, and running it
+         after dedup keeps the seen-forms tables of on/off runs
+         identical while analyzing as few candidates as possible. *)
+      (if spec.fwd_bwd && spec.goal_inference && spec.partial_eval then [ fwd_bwd ]
+       else []);
     ]
 
 let wants_goal_checks passes = List.exists (fun p -> p.id = Goal_inference) passes
 let wants_collapse passes = List.exists (fun p -> p.id = Partial_eval) passes
+let wants_absint passes = List.exists (fun p -> p.id = Fwd_bwd) passes
+
+let is_info_label l = String.contains l '('

@@ -25,6 +25,9 @@ type context = {
       (** memoized predicate extension, shared with partial evaluation *)
   goal_checks : bool;  (** the pipeline contains {!goal_inference} *)
   collapse : bool;  (** the pipeline contains {!partial_eval} *)
+  absint : Absint.env option;
+      (** the bidirectional-analysis environment, present iff the
+          pipeline contains {!fwd_bwd} ({!wants_absint}) *)
 }
 
 type candidate = {
@@ -38,7 +41,7 @@ type verdict = Admit | Reject
 
 type check = context -> candidate -> verdict
 
-type id = Goal_inference | Partial_eval | Equiv_rewrite | Equiv_dedup
+type id = Goal_inference | Partial_eval | Equiv_rewrite | Equiv_dedup | Fwd_bwd
 
 type pass = {
   id : id;
@@ -75,19 +78,38 @@ val equiv_dedup : pass
     first (smallest, by worklist order) candidate of each partially
     evaluated form.  Stateful per search. *)
 
+val fwd_bwd : pass
+(** Bidirectional abstract interpretation ({!Absint}): reruns
+    forward-then-backward interval propagation to a fixpoint on each
+    incomplete candidate, rejecting it when some node's forward interval
+    is disjoint from its backward goal, and recording the tightened
+    leftmost-hole goal on the candidate for the next expansion. *)
+
 type spec = {
   goal_inference : bool;
   partial_eval : bool;
   equiv_reduction : bool;
+  fwd_bwd : bool;
 }
-(** Which techniques are enabled — the Section 7.4 ablation axes. *)
+(** Which techniques are enabled — the Section 7.4 ablation axes plus
+    the bidirectional-analysis extension. *)
 
 val pipeline : spec -> pass list
 (** Pipeline construction.  Order matters and mirrors the paper:
     goal inference, partial evaluation, rewriting, then form dedup.
     Form dedup needs collapsed constants to be sound across different
     syntax, so it is only included when {e both} equivalence reduction
-    and partial evaluation are on. *)
+    and partial evaluation are on; {!fwd_bwd} runs last and needs goal
+    annotations and collapsed constants, so it is only included when
+    goal inference and partial evaluation are both on. *)
 
 val wants_goal_checks : pass list -> bool
 val wants_collapse : pass list -> bool
+val wants_absint : pass list -> bool
+
+val is_info_label : string -> bool
+(** Distinguishes informational counters (["eval-cache(memo-hit)"],
+    ["value-bank(hit)"], ["fwd-bwd(iterations)"], ...) from per-pass
+    prune attributions (["goal-inference"], ["fwd-bwd"], ...) in
+    [stats.prune_counts]: informational labels carry a parenthesized
+    detail suffix, attribution labels are bare pass names. *)

@@ -8,6 +8,7 @@ type config = Engine_search.config = {
   goal_inference : bool;
   partial_eval : bool;
   equiv_reduction : bool;
+  fwd_bwd : bool;
   eval_cache : bool;
   value_bank : bool;
   timeout_s : float;
@@ -18,6 +19,7 @@ type config = Engine_search.config = {
 }
 
 let default_config = Engine_search.default_config
+let ablations = Engine_search.ablations
 
 type stats = Engine_search.stats = {
   popped : int;

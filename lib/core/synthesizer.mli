@@ -21,6 +21,12 @@ type config = Engine_search.config = {
   goal_inference : bool;  (** Section 5.3 pruning *)
   partial_eval : bool;  (** collapse complete subtrees before rewriting *)
   equiv_reduction : bool;  (** Section 5.5 term rewriting *)
+  fwd_bwd : bool;
+      (** bidirectional abstract interpretation (see
+          {!Engine_search.config}): iterated forward-backward interval
+          propagation on every incomplete candidate; solution-preserving
+          (it only discards candidates no completion of which can satisfy
+          the goal annotations), on by default *)
   eval_cache : bool;
       (** memoized incremental partial evaluation (see
           {!Engine_search.config}); semantics-preserving, on by default *)
@@ -39,6 +45,9 @@ type config = Engine_search.config = {
 
 val default_config : config
 (** All pruning on, 120 s timeout, arity 3, age threshold 18. *)
+
+val ablations : (string * (config -> config)) list
+(** {!Engine_search.ablations}: the shared named fig16 ablation table. *)
 
 type stats = Engine_search.stats = {
   popped : int;  (** worklist entries dequeued *)

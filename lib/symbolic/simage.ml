@@ -52,6 +52,7 @@ let inter_all u imgs =
        imgs)
 
 let subset a b = Bitset.subset (objs a) (objs b)
+let disjoint a b = Bitset.disjoint (objs a) (objs b)
 
 let equal a b =
   if a.universe == b.universe then a.cell.Universe.uid = b.cell.Universe.uid

@@ -41,6 +41,11 @@ val inter_all : Universe.t -> t list -> t
 (** [inter_all u \[\]] is [full u] (neutral element of intersection). *)
 
 val subset : t -> t -> bool
+
+val disjoint : t -> t -> bool
+(** [disjoint a b] iff [a] and [b] share no object — a word-level AND-test
+    over the underlying bitsets, with no intermediate allocation. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int

@@ -93,6 +93,12 @@ let subset a b =
   let rec go i = i >= n || (a.words.(i) land lnot b.words.(i) = 0 && go (i + 1)) in
   go 0
 
+let disjoint a b =
+  check_same a b;
+  let n = Array.length a.words in
+  let rec go i = i >= n || (a.words.(i) land b.words.(i) = 0 && go (i + 1)) in
+  go 0
+
 let equal a b =
   check_same a b;
   a.words = b.words

@@ -43,6 +43,10 @@ val complement : t -> t
 val subset : t -> t -> bool
 (** [subset a b] is [true] iff every element of [a] is in [b]. *)
 
+val disjoint : t -> t -> bool
+(** [disjoint a b] is [true] iff [a] and [b] share no element: a word-level
+    AND-test, equivalent to [is_empty (inter a b)] but allocation-free. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int

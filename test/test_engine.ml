@@ -196,8 +196,36 @@ let test_toggle_partial_eval () =
   Alcotest.(check bool) "const fast path absent" true
     (not (List.mem_assoc "partial-eval(const-solved)" s.Synthesizer.prune_counts))
 
+let test_toggle_fwd_bwd () =
+  (* On by default: the analysis runs and reports its round/tightening
+     counters.  Off: the pass and its counters vanish from attribution. *)
+  let s_on = stats_of (run_with Fun.id) in
+  Alcotest.(check bool) "analysis ran" true (count s_on "fwd-bwd(iterations)" > 0);
+  let s_off = stats_of (run_with (fun c -> { c with Synthesizer.fwd_bwd = false })) in
+  List.iter
+    (fun label ->
+      Alcotest.(check bool) (label ^ " absent") true
+        (not (List.mem_assoc label s_off.Synthesizer.prune_counts)))
+    [ "fwd-bwd"; "fwd-bwd(iterations)"; "fwd-bwd(tightened)" ];
+  (* The analysis consumes goal annotations and collapsed constants, so
+     it drops out of the pipeline with either prerequisite. *)
+  let s_no_goals =
+    stats_of (run_with (fun c -> { c with Synthesizer.goal_inference = false }))
+  in
+  Alcotest.(check bool) "inert without goal inference" true
+    (not (List.mem_assoc "fwd-bwd(iterations)" s_no_goals.Synthesizer.prune_counts))
+
+let test_info_label () =
+  let module Prune = Imageeye_core.Prune in
+  Alcotest.(check bool) "counter" true (Prune.is_info_label "fwd-bwd(iterations)");
+  Alcotest.(check bool) "cache counter" true (Prune.is_info_label "eval-cache(memo-hit)");
+  Alcotest.(check bool) "pass label" false (Prune.is_info_label "fwd-bwd");
+  Alcotest.(check bool) "pass label" false (Prune.is_info_label "goal-inference")
+
 let test_ablations_search_more () =
-  (* Every ablation must still solve the task, at strictly more pops. *)
+  (* Every ablation row must still solve the task, at no fewer pops.
+     The rows come from the shared fig16 table, so the benchmark driver,
+     the CLI and this test stay in sync. *)
   let full = stats_of (run_with Fun.id) in
   List.iter
     (fun (name, tweak) ->
@@ -207,11 +235,7 @@ let test_ablations_search_more () =
         (name ^ " explores at least as much")
         true
         ((stats_of r).Synthesizer.popped >= full.Synthesizer.popped))
-    [
-      ("no-goal-inference", fun c -> { c with Synthesizer.goal_inference = false });
-      ("no-partial-eval", fun c -> { c with Synthesizer.partial_eval = false });
-      ("no-equiv-reduction", fun c -> { c with Synthesizer.equiv_reduction = false });
-    ]
+    (List.filter (fun (name, _) -> name <> "full") Synthesizer.ablations)
 
 (* ---------- Domainpool ---------- *)
 
@@ -354,6 +378,8 @@ let () =
             test_toggle_equiv_reduction;
           Alcotest.test_case "toggle partial evaluation" `Quick
             test_toggle_partial_eval;
+          Alcotest.test_case "toggle fwd-bwd analysis" `Quick test_toggle_fwd_bwd;
+          Alcotest.test_case "info labels" `Quick test_info_label;
           Alcotest.test_case "ablations solve with more search" `Quick
             test_ablations_search_more;
         ] );

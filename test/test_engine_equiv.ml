@@ -200,6 +200,33 @@ let check_task ~pool ~nodes_acc task =
           Alcotest.failf "task %d: value bank lost a solution the grammar finds"
             task.Task.id
       | _ -> ());
+      (* The forward-backward fixpoint only discards candidates with no
+         solving completion and only tightens hole goals soundly, so it is
+         solution-preserving: with it off the search must return the
+         byte-identical program — while popping and evaluating at least
+         as much (the analysis itself never evaluates extractor nodes;
+         [stats.nodes] is per-search and cache-deterministic). *)
+      let no_fb =
+        Synthesizer.synthesize ~config:{ config with Synthesizer.fwd_bwd = false } spec
+      in
+      (match (wrapper, no_fb) with
+      | Synthesizer.Success (p, s_on), Synthesizer.Success (q, s_off) ->
+          Alcotest.(check string)
+            (Printf.sprintf "task %d: fwd-bwd on/off programs identical" task.Task.id)
+            (Lang.program_to_string p) (Lang.program_to_string q);
+          Alcotest.(check bool)
+            (Printf.sprintf "task %d: fwd-bwd never evaluates more nodes (%d vs %d)"
+               task.Task.id s_on.Synthesizer.nodes s_off.Synthesizer.nodes)
+            true
+            (s_on.Synthesizer.nodes <= s_off.Synthesizer.nodes);
+          Alcotest.(check bool)
+            (Printf.sprintf "task %d: fwd-bwd never pops more (%d vs %d)" task.Task.id
+               s_on.Synthesizer.popped s_off.Synthesizer.popped)
+            true
+            (s_on.Synthesizer.popped <= s_off.Synthesizer.popped)
+      | Synthesizer.Exhausted _, Synthesizer.Exhausted _ -> ()
+      | _ ->
+          Alcotest.failf "task %d: fwd-bwd changed solvability" task.Task.id);
       let bank_total, no_bank_total = !nodes_acc in
       nodes_acc := (bank_total + cached_nodes, no_bank_total + no_bank_nodes)
 

@@ -223,6 +223,79 @@ let never_prunes_truth_prop =
         (fun p -> Peval.run ~check_goals:true ~collapse:true u p <> None)
         (carve gt goal u))
 
+(* ---------- Bidirectional abstract interpretation ---------- *)
+
+module Absint = Imageeye_core.Absint
+
+(* The engine's reach tables come from vocabulary facts; the soundest
+   stand-in here is the exact maximal output: Find/Filter are monotone in
+   their input, so applying them to the full universe bounds every
+   application. *)
+let absint_env u =
+  Absint.make_env
+    ~reach_find:(fun p f -> Eval.extractor u (Lang.Find (Lang.All, p, f)))
+    ~reach_filter:(fun p -> Eval.extractor u (Lang.Filter (Lang.All, p)))
+    u
+
+(* The fixpoint never kills a partial program on the path to the ground
+   truth, and its work per candidate is bounded by the iteration cap. *)
+let absint_never_kills_truth_prop =
+  QCheck2.Test.make ~name:"fwd-bwd fixpoint never rejects the path to the ground truth"
+    ~count:200
+    QCheck2.Gen.(
+      let* u = universe_gen in
+      let* gt =
+        oneofl
+          (completion_pool
+          @ [
+              Lang.Find (Lang.Is (Pred.Object "cat"), Pred.Object "cat", Func.Get_right);
+              Lang.Union [ Lang.Is (Pred.Object "cat"); Lang.Is Pred.Smiling ];
+              Lang.Intersect [ Lang.Is Pred.Face_object; Lang.Complement (Lang.Is Pred.Smiling) ];
+            ])
+      in
+      return (u, gt))
+    (fun (u, gt) ->
+      let target = Eval.extractor u gt in
+      let goal = Goal.exact target in
+      List.for_all
+        (fun p ->
+          match Peval.run ~check_goals:true ~collapse:true u p with
+          | None -> true (* already rejected upstream of the analysis *)
+          | Some form ->
+              let env = absint_env u in
+              Absint.analyze env p form = Absint.Feasible
+              && env.Absint.iterations <= env.Absint.max_iterations)
+        (carve gt goal u))
+
+(* Theorem 5.8 extended to the fixpoint: a candidate it kills has no
+   completion that reaches the target — so pruning is sound even for
+   multi-solution searches. *)
+let absint_kill_soundness_prop =
+  QCheck2.Test.make
+    ~name:"fwd-bwd infeasibility implies no completion reaches the target" ~count:300
+    QCheck2.Gen.(
+      let* u = universe_gen in
+      let* target_src =
+        oneofl
+          (completion_pool
+          @ [
+              Lang.Find (Lang.All, Pred.Object "cat", Func.Get_left);
+              Lang.Intersect [ Lang.Is (Pred.Object "cat"); Lang.Is Pred.Smiling ];
+            ])
+      in
+      let* p = partial_gen u (Eval.extractor u target_src) in
+      return (u, Eval.extractor u target_src, p))
+    (fun (u, target, p) ->
+      match Peval.run ~check_goals:true ~collapse:true u p with
+      | None -> true (* rejected before the analysis: covered by theorem 5.8 *)
+      | Some form -> (
+          match Absint.analyze (absint_env u) p form with
+          | Absint.Feasible -> true
+          | Absint.Infeasible ->
+              List.for_all
+                (fun e -> not (Simage.equal (Eval.extractor u e) target))
+                (completions p)))
+
 let () =
   Alcotest.run "soundness"
     [
@@ -231,5 +304,7 @@ let () =
           QCheck_alcotest.to_alcotest theorem_5_8_prop;
           QCheck_alcotest.to_alcotest minimality_prop;
           QCheck_alcotest.to_alcotest never_prunes_truth_prop;
+          QCheck_alcotest.to_alcotest absint_never_kills_truth_prop;
+          QCheck_alcotest.to_alcotest absint_kill_soundness_prop;
         ] );
     ]

@@ -169,6 +169,33 @@ let test_simage_union_all_inter_all () =
   check_ids u [ 0; 1 ]
     (Simage.union_all u [ Simage.of_ids u [ 0 ]; Simage.of_ids u [ 1 ] ])
 
+let test_simage_disjoint () =
+  let u = three_cats_universe () in
+  let a = Simage.of_ids u [ 0; 2 ] and b = Simage.of_ids u [ 1 ] in
+  Alcotest.(check bool) "disjoint" true (Simage.disjoint a b);
+  Alcotest.(check bool) "overlapping" false (Simage.disjoint a (Simage.full u));
+  Alcotest.(check bool) "empty vs empty" true (Simage.disjoint (Simage.empty u) (Simage.empty u))
+
+(* qcheck: the allocation-free word-level test agrees with the naive
+   definition through intersection, on every pair of subsets. *)
+let simage_qcheck_props =
+  let n = 40 in
+  let u =
+    universe (List.init n (fun i -> (i mod 3, thing "cat", box (i * 7) (i * 3) 5 5)))
+  in
+  let gen_simage =
+    QCheck2.Gen.(
+      list_size (int_bound (n - 1)) (int_bound (n - 1)) >|= fun ids ->
+      Simage.of_ids u (List.sort_uniq compare ids))
+  in
+  let pair = QCheck2.Gen.pair gen_simage gen_simage in
+  [
+    QCheck2.Test.make ~name:"disjoint = empty inter" ~count:300 pair (fun (a, b) ->
+        Simage.disjoint a b = Simage.is_empty (Simage.inter a b));
+    QCheck2.Test.make ~name:"disjoint symmetric" ~count:300 pair (fun (a, b) ->
+        Simage.disjoint a b = Simage.disjoint b a);
+  ]
+
 let test_simage_restrict_to_image () =
   let u =
     universe
@@ -207,6 +234,8 @@ let () =
           Alcotest.test_case "set ops" `Quick test_simage_set_ops;
           Alcotest.test_case "fold variants" `Quick test_simage_fold_variants;
           Alcotest.test_case "union_all/inter_all" `Quick test_simage_union_all_inter_all;
+          Alcotest.test_case "disjoint" `Quick test_simage_disjoint;
           Alcotest.test_case "restrict to image" `Quick test_simage_restrict_to_image;
         ] );
+      ("simage-qcheck", List.map QCheck_alcotest.to_alcotest simage_qcheck_props);
     ]

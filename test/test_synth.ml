@@ -164,6 +164,164 @@ let test_peval_whole_program_value () =
   Alcotest.(check bool) "bad rejected" true
     (Peval.run ~check_goals:true ~collapse:true u bad = None)
 
+(* ---------- Absint ---------- *)
+
+module Absint = Imageeye_core.Absint
+module Form = Imageeye_core.Form
+
+(* The ISSUE's motivating example: once k-1 children of a Union are
+   resolved, the last hole's goal tightens from {under = ∅} to
+   {under = goal.under \ ⋃ siblings.over}. *)
+let test_absint_union_sibling_tightening () =
+  let u = three_cats_universe () in
+  let top = Goal.exact (Simage.of_ids u [ 0; 1 ]) in
+  let child = Goal.infer u Goal.For_union top in
+  let root =
+    Partial.make top
+      (Partial.Union
+         [ Partial.make child (Partial.Is (Pred.Object "cat")); Partial.hole child ])
+  in
+  let form = Form.Union [ Form.Const (Simage.of_ids u [ 0 ]); Form.Hole ] in
+  let env = Absint.make_env u in
+  (match Absint.analyze env root form with
+  | Absint.Feasible -> ()
+  | Absint.Infeasible -> Alcotest.fail "expected feasible");
+  match Partial.tight root with
+  | None -> Alcotest.fail "expected a tightened hole goal"
+  | Some g ->
+      check_ids u [ 1 ] g.Goal.under;
+      check_ids u [ 0; 1 ] g.Goal.over;
+      Alcotest.(check int) "tightened counter" 1 env.Absint.tightened
+
+(* A resolved child producing an object outside the goal's
+   over-approximation makes the whole candidate infeasible. *)
+let test_absint_infeasible_kill () =
+  let u = three_cats_universe () in
+  let top = Goal.exact (Simage.of_ids u [ 0 ]) in
+  let child = Goal.infer u Goal.For_union top in
+  let root =
+    Partial.make top
+      (Partial.Union
+         [ Partial.make child (Partial.Is (Pred.Object "cat")); Partial.hole child ])
+  in
+  let form = Form.Union [ Form.Const (Simage.of_ids u [ 2 ]); Form.Hole ] in
+  let env = Absint.make_env u in
+  Alcotest.(check bool) "infeasible" true (Absint.analyze env root form = Absint.Infeasible)
+
+(* Backward transfer through Complement: sibling information from an
+   enclosing Union reaches the hole under the complement, shrinking its
+   over-approximation from full to ¬{tightened under}. *)
+let test_absint_complement_transfer () =
+  let u = three_cats_universe () in
+  let top = Goal.exact (Simage.of_ids u [ 0; 1 ]) in
+  let child = Goal.infer u Goal.For_union top in
+  let hole_goal = Goal.infer u Goal.For_complement child in
+  let root =
+    Partial.make top
+      (Partial.Union
+         [
+           Partial.make child (Partial.Is (Pred.Object "cat"));
+           Partial.make child (Partial.Complement (Partial.hole hole_goal));
+         ])
+  in
+  let form =
+    Form.Union [ Form.Const (Simage.of_ids u [ 0 ]); Form.Complement Form.Hole ]
+  in
+  (* Goal inference alone gives the hole [{2}, {0,1,2}].  The fixpoint
+     learns the complement must produce 1 (the sibling cannot), so the
+     hole must exclude 1: [{2}, {0,2}]. *)
+  check_ids u [ 2 ] hole_goal.Goal.under;
+  check_ids u [ 0; 1; 2 ] hole_goal.Goal.over;
+  let env = Absint.make_env u in
+  (match Absint.analyze env root form with
+  | Absint.Feasible -> ()
+  | Absint.Infeasible -> Alcotest.fail "expected feasible");
+  match Partial.tight root with
+  | None -> Alcotest.fail "expected a tightened hole goal"
+  | Some g ->
+      check_ids u [ 2 ] g.Goal.under;
+      check_ids u [ 0; 2 ] g.Goal.over
+
+(* Backward transfer through Intersect: objects every resolved sibling
+   keeps but the node must drop can only be dropped by the hole. *)
+let test_absint_intersect_transfer () =
+  let u = three_cats_universe () in
+  let top = Goal.exact (Simage.of_ids u [ 0 ]) in
+  let child = Goal.infer u Goal.For_intersect top in
+  let root =
+    Partial.make top
+      (Partial.Intersect
+         [ Partial.make child (Partial.Is (Pred.Object "cat")); Partial.hole child ])
+  in
+  let form = Form.Intersect [ Form.Const (Simage.of_ids u [ 0; 1 ]); Form.Hole ] in
+  check_ids u [ 0; 1; 2 ] child.Goal.over;
+  let env = Absint.make_env u in
+  (match Absint.analyze env root form with
+  | Absint.Feasible -> ()
+  | Absint.Infeasible -> Alcotest.fail "expected feasible");
+  match Partial.tight root with
+  | None -> Alcotest.fail "expected a tightened hole goal"
+  | Some g ->
+      (* The sibling keeps 1 but the goal excludes it, so the hole must
+         drop it: over tightens from full to {0,2}. *)
+      check_ids u [ 0 ] g.Goal.under;
+      check_ids u [ 0; 2 ] g.Goal.over
+
+(* Find is bounded by the reach of its parameterization: when the goal
+   demands an object the reach cannot deliver, the candidate dies. *)
+let test_absint_find_reach_kill () =
+  let u = three_cats_universe () in
+  let top = Goal.exact (Simage.of_ids u [ 0 ]) in
+  let hole_goal = Goal.infer u Goal.For_find top in
+  let root =
+    Partial.make top
+      (Partial.Find (Partial.hole hole_goal, Pred.Object "cat", Func.Get_left))
+  in
+  let form = Form.Find (Form.Hole, Pred.Object "cat", Func.Get_left) in
+  let reach = Simage.of_ids u [ 1 ] in
+  let killed = Absint.make_env ~reach_find:(fun _ _ -> reach) u in
+  Alcotest.(check bool) "killed by reach" true
+    (Absint.analyze killed root form = Absint.Infeasible);
+  (* The default (full-universe) reach is sound but uninformative. *)
+  let admitted = Absint.make_env u in
+  Alcotest.(check bool) "admitted without reach" true
+    (Absint.analyze admitted root form = Absint.Feasible)
+
+(* The iteration cap only bounds work; stopping early is sound and the
+   counters record the rounds actually run. *)
+let test_absint_iteration_cap () =
+  let u = three_cats_universe () in
+  let top = Goal.exact (Simage.of_ids u [ 0; 1 ]) in
+  let child = Goal.infer u Goal.For_union top in
+  let hole_goal = Goal.infer u Goal.For_complement child in
+  let root =
+    Partial.make top
+      (Partial.Union
+         [
+           Partial.make child (Partial.Is (Pred.Object "cat"));
+           Partial.make child (Partial.Complement (Partial.hole hole_goal));
+         ])
+  in
+  let form =
+    Form.Union [ Form.Const (Simage.of_ids u [ 0 ]); Form.Complement Form.Hole ]
+  in
+  let env = Absint.make_env ~max_iterations:1 u in
+  Alcotest.(check bool) "still feasible" true
+    (Absint.analyze env root form = Absint.Feasible);
+  Alcotest.(check int) "one round" 1 env.Absint.iterations;
+  Alcotest.(check int) "one analysis" 1 env.Absint.analyses
+
+(* A form whose shape cannot be mirrored (collapse was off, so complete
+   leaves are not constants) is admitted unanalyzed, never guessed at. *)
+let test_absint_mismatch_admitted () =
+  let u = three_cats_universe () in
+  let g = Goal.trivial u in
+  let root = Partial.make g (Partial.Union [ Partial.make g Partial.All; Partial.hole g ]) in
+  let form = Form.Union [ Form.All; Form.Hole ] in
+  let env = Absint.make_env u in
+  Alcotest.(check bool) "admitted" true (Absint.analyze env root form = Absint.Feasible);
+  Alcotest.(check bool) "no tightening" true (Partial.tight root = None)
+
 (* ---------- Rewrite ---------- *)
 
 let const u ids = Peval.Form.Const (Simage.of_ids u ids)
@@ -476,6 +634,16 @@ let () =
           Alcotest.test_case "collapses complete subtrees" `Quick test_peval_collapses_complete_subtrees;
           Alcotest.test_case "syntactic mode" `Quick test_peval_syntactic_mode;
           Alcotest.test_case "whole-program value" `Quick test_peval_whole_program_value;
+        ] );
+      ( "absint",
+        [
+          Alcotest.test_case "union sibling tightening" `Quick test_absint_union_sibling_tightening;
+          Alcotest.test_case "infeasible kill" `Quick test_absint_infeasible_kill;
+          Alcotest.test_case "complement transfer" `Quick test_absint_complement_transfer;
+          Alcotest.test_case "intersect transfer" `Quick test_absint_intersect_transfer;
+          Alcotest.test_case "find reach kill" `Quick test_absint_find_reach_kill;
+          Alcotest.test_case "iteration cap" `Quick test_absint_iteration_cap;
+          Alcotest.test_case "mismatch admitted" `Quick test_absint_mismatch_admitted;
         ] );
       ( "rewrite",
         [

@@ -154,6 +154,19 @@ let test_bitset_complement_involution () =
   Alcotest.(check bool) "involution" true
     (Bitset.equal a (Bitset.complement (Bitset.complement a)))
 
+let test_bitset_disjoint () =
+  let a = Bitset.of_list 70 [ 1; 5; 64; 69 ] in
+  let b = Bitset.of_list 70 [ 5; 6; 64 ] in
+  let c = Bitset.of_list 70 [ 0; 6; 68 ] in
+  Alcotest.(check bool) "overlapping" false (Bitset.disjoint a b);
+  Alcotest.(check bool) "disjoint" true (Bitset.disjoint a c);
+  Alcotest.(check bool) "empty vs full" true (Bitset.disjoint (Bitset.create 70) (Bitset.full 70));
+  Alcotest.(check bool) "mismatched widths" true
+    (try
+       ignore (Bitset.disjoint a (Bitset.create 71));
+       false
+     with Invalid_argument _ -> true)
+
 let test_bitset_choose () =
   Alcotest.(check (option int)) "empty" None (Bitset.choose_opt (Bitset.create 5));
   Alcotest.(check (option int)) "smallest" (Some 2)
@@ -188,6 +201,8 @@ let qcheck_props =
         l = List.sort_uniq compare l && List.for_all (Bitset.mem a) l);
     QCheck2.Test.make ~name:"hash respects equality" ~count:200 pair (fun (a, b) ->
         (not (Bitset.equal a b)) || Bitset.hash a = Bitset.hash b);
+    QCheck2.Test.make ~name:"disjoint = empty inter" ~count:200 pair (fun (a, b) ->
+        Bitset.disjoint a b = Bitset.is_empty (Bitset.inter a b));
   ]
 
 (* ---------- Pqueue ---------- *)
@@ -311,6 +326,7 @@ let () =
           Alcotest.test_case "mismatched universes" `Quick test_bitset_mismatched_universe;
           Alcotest.test_case "set operations" `Quick test_bitset_set_ops;
           Alcotest.test_case "complement involution" `Quick test_bitset_complement_involution;
+          Alcotest.test_case "disjoint" `Quick test_bitset_disjoint;
           Alcotest.test_case "choose" `Quick test_bitset_choose;
         ]
         @ List.map QCheck_alcotest.to_alcotest qcheck_props );
