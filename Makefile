@@ -11,7 +11,7 @@ BENCH_JSON ?= BENCH_PR6.json
 CI_MIN_SOLVED ?= 45
 CI_MAX_NODES ?= 20000000
 
-.PHONY: all build test smoke serve-smoke fault-smoke check bench-json clean
+.PHONY: all build test smoke serve-smoke router-smoke fault-smoke check bench-json clean
 
 all: build
 
@@ -34,6 +34,14 @@ smoke: build
 # SIGTERM drain that must exit 0.
 serve-smoke: build
 	bash scripts/serve_smoke.sh
+
+# The sharded tier end to end: two daemons with persistent state dirs
+# behind a consistent-hash router, mixed-op loadgen with warm-bank and
+# percentile assertions, a worker SIGKILLed mid-run (degrade, don't
+# fail), a state-dir-locked duplicate-daemon probe, graceful drains,
+# and a warm restart from the drain snapshot.
+router-smoke: build
+	bash scripts/router_smoke.sh
 
 # Hostile-input hardening: the deterministic fault-injection harness
 # (torn frames, slow-loris, bombs, disconnects, overload shedding)

@@ -47,17 +47,11 @@ let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Dataset generation seed.")
 
 (* mkdir -p: an output path like results/run3/edited should just work. *)
-let rec ensure_dir dir =
-  if not (Sys.file_exists dir) then begin
-    let parent = Filename.dirname dir in
-    if parent <> dir then ensure_dir parent;
-    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-  end
+let ensure_dir = Imageeye_util.Fileio.ensure_dir
 
 let save_text path text =
   ensure_dir (Filename.dirname path);
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+  Imageeye_util.Fileio.write_atomic_string path text
 
 let read_file path =
   let ic = open_in_bin path in
@@ -563,8 +557,10 @@ let parse_cmd =
 (* ---------- serve / client / loadgen ---------- *)
 
 module Serve = Imageeye_serve.Server
+module Router = Imageeye_serve.Router
 module Client = Imageeye_serve.Client
 module Protocol = Imageeye_serve.Protocol
+module Metrics = Imageeye_serve.Metrics
 module Demo_io = Imageeye_interact.Demo_io
 module Edit = Imageeye_core.Edit
 module J = Imageeye_util.Jsonout
@@ -579,13 +575,15 @@ let port_arg =
   Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT"
          ~doc:"Listen/connect on TCP 127.0.0.1:PORT instead of a unix socket.")
 
-let serve socket port jobs timeout max_rounds quiet max_line_bytes read_timeout max_conns =
+let serve socket port jobs timeout max_rounds quiet max_line_bytes read_timeout max_conns
+    state_dir snapshot_interval =
   let endpoint =
     match port with Some p -> Serve.Tcp p | None -> Serve.Unix_socket socket
   in
   if max_line_bytes < 2 then failwith "need --max-line-bytes >= 2";
   if max_conns < 1 then failwith "need --max-conns >= 1";
   if read_timeout < 0.0 then failwith "need --read-timeout >= 0 (0 disables)";
+  if snapshot_interval <= 0.0 then failwith "need --snapshot-interval > 0";
   Serve.run
     {
       endpoint;
@@ -596,6 +594,8 @@ let serve socket port jobs timeout max_rounds quiet max_line_bytes read_timeout 
       max_line_bytes;
       read_timeout_s = (if read_timeout = 0.0 then None else Some read_timeout);
       max_connections = max_conns;
+      state_dir;
+      snapshot_interval_s = snapshot_interval;
     }
 
 let serve_cmd =
@@ -636,11 +636,101 @@ let serve_cmd =
              ~env:(Cmd.Env.info "IMAGEEYE_MAX_CONNS")
              ~doc:"Connection admission cap; excess connections are shed with one              overloaded error line.")
   in
+  let state_dir =
+    Arg.(value
+         & opt (some string) None
+         & info [ "state-dir" ] ~docv:"DIR"
+             ~env:(Cmd.Env.info "IMAGEEYE_STATE_DIR")
+             ~doc:"Durable warm state: restore value banks from DIR on boot (a corrupt              snapshot is loudly rejected and the daemon starts cold) and snapshot              them periodically and on SIGTERM.  The directory is exclusively locked;              a second daemon fails with state-dir-locked.")
+  in
+  let snapshot_interval =
+    Arg.(value
+         & opt float Serve.default_config.snapshot_interval_s
+         & info [ "snapshot-interval" ] ~docv:"SECONDS"
+             ~doc:"Periodic snapshot cadence under --state-dir.")
+  in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Run the persistent synthesis daemon: newline-delimited JSON requests over a              unix-domain or TCP socket, synthesis on a worker Domain pool with warm              cross-request value banks.  SIGTERM drains gracefully and dumps metrics.")
+       ~doc:"Run the persistent synthesis daemon: newline-delimited JSON requests over a              unix-domain or TCP socket, synthesis on a worker Domain pool with warm              cross-request value banks.  --state-dir makes the warmth survive restarts.              SIGTERM drains gracefully, snapshots state and dumps metrics.")
     Term.(const serve $ socket_arg $ port_arg $ jobs $ timeout $ max_rounds $ quiet
-          $ max_line_bytes $ read_timeout $ max_conns)
+          $ max_line_bytes $ read_timeout $ max_conns $ state_dir $ snapshot_interval)
+
+(* Worker/endpoint specs: "unix:PATH", "tcp:PORT" (loopback),
+   "tcp:HOST:PORT", or a bare unix-socket path. *)
+let parse_endpoint_spec s =
+  let port_of p =
+    match int_of_string_opt p with
+    | Some n when n > 0 && n < 65536 -> n
+    | _ -> failwith (Printf.sprintf "bad port in endpoint spec %S" s)
+  in
+  match String.split_on_char ':' s with
+  | [ "unix"; path ] -> Client.Unix_socket path
+  | [ "tcp"; port ] -> Client.Tcp ("127.0.0.1", port_of port)
+  | [ "tcp"; host; port ] -> Client.Tcp (host, port_of port)
+  | [ _ ] -> Client.Unix_socket s
+  | _ -> failwith (Printf.sprintf "bad endpoint spec %S (unix:PATH | tcp:[HOST:]PORT)" s)
+
+let router socket port workers quiet max_line_bytes read_timeout max_conns inflight retry_dead
+    =
+  let endpoint =
+    match port with Some p -> Serve.Tcp p | None -> Serve.Unix_socket socket
+  in
+  if workers = [] then failwith "router needs at least one --worker";
+  if inflight < 1 then failwith "need --worker-inflight >= 1";
+  if retry_dead <= 0.0 then failwith "need --retry-dead > 0";
+  if max_line_bytes < 2 then failwith "need --max-line-bytes >= 2";
+  if max_conns < 1 then failwith "need --max-conns >= 1";
+  if read_timeout < 0.0 then failwith "need --read-timeout >= 0 (0 disables)";
+  Router.run
+    {
+      endpoint;
+      workers = List.map parse_endpoint_spec workers;
+      quiet;
+      max_line_bytes;
+      read_timeout_s = (if read_timeout = 0.0 then None else Some read_timeout);
+      max_connections = max_conns;
+      worker_inflight = inflight;
+      retry_dead_s = retry_dead;
+    }
+
+let router_cmd =
+  let socket =
+    Arg.(value & opt string "imageeye-router.sock" & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket the router listens on (ignored with --port).")
+  in
+  let workers =
+    Arg.(value & opt_all string [] & info [ "w"; "worker" ] ~docv:"SPEC"
+           ~doc:"A worker daemon endpoint (repeatable): unix:PATH, tcp:PORT,              tcp:HOST:PORT, or a bare socket path.")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress per-connection logs.") in
+  let max_line_bytes =
+    Arg.(value & opt int Router.default_config.Router.max_line_bytes
+         & info [ "max-line-bytes" ] ~docv:"BYTES")
+  in
+  let read_timeout =
+    Arg.(value
+         & opt float (Option.value Router.default_config.Router.read_timeout_s ~default:0.0)
+         & info [ "read-timeout" ] ~docv:"SECONDS")
+  in
+  let max_conns =
+    Arg.(value & opt int Router.default_config.Router.max_connections
+         & info [ "max-conns" ] ~docv:"N")
+  in
+  let inflight =
+    Arg.(value & opt int Router.default_config.Router.worker_inflight
+         & info [ "worker-inflight" ] ~docv:"N"
+           ~doc:"In-flight request cap per worker; further requests wait (backpressure).")
+  in
+  let retry_dead =
+    Arg.(value & opt float Router.default_config.Router.retry_dead_s
+         & info [ "retry-dead" ] ~docv:"SECONDS"
+           ~doc:"How soon a lost worker is probed again.")
+  in
+  Cmd.v
+    (Cmd.info "router"
+       ~doc:"Shard requests across several imageeye daemons by consistent-hashing the              scene batch (the unit of value-bank warmth), with session-id rewriting,              aggregated metrics fan-in, and re-hash-to-survivors on worker loss.")
+    Term.(const router $ socket $ port_arg $ workers $ quiet $ max_line_bytes $ read_timeout
+          $ max_conns $ inflight $ retry_dead)
 
 let client_endpoint socket port =
   match port with
@@ -818,7 +908,7 @@ let loadgen_payload task_id images demo_images seed =
     in
     { Demo_io.image_id = s.Scene.image_id; edits }
   in
-  (chosen, List.map demo_of chosen)
+  (chosen, List.map demo_of chosen, task.Task.ground_truth)
 
 let response_outcome r =
   Option.value ~default:"?" (Option.bind (Jsonin.member "outcome" r) Jsonin.to_string_opt)
@@ -834,19 +924,42 @@ let response_prune_count r label =
 
 type loadgen_sample = {
   index : int;
+  op : string;
   latency_s : float;
   outcome : string;
   nodes : int option;
   bank_hits : int option;
 }
 
-let loadgen socket port concurrency requests task images demo_images seed timeout expect_warm =
+let loadgen socket port endpoints concurrency requests task images demo_images seed timeout
+    expect_warm ops_spec =
   if requests < 1 then failwith "need --requests >= 1";
   if concurrency < 1 then failwith "need --concurrency >= 1";
   if demo_images < 1 then failwith "need --demo-images >= 1";
-  let endpoint = client_endpoint socket port in
-  let scenes, demos = loadgen_payload task images demo_images seed in
-  let request = Protocol.Synthesize { scenes; demos; timeout_s = timeout } in
+  let endpoints =
+    match endpoints with
+    | [] -> [| client_endpoint socket port |]
+    | specs -> Array.of_list (List.map parse_endpoint_spec specs)
+  in
+  let ops =
+    match String.split_on_char ',' ops_spec |> List.map String.trim with
+    | [] -> failwith "need --ops"
+    | ops ->
+        List.iter
+          (fun o ->
+            if o <> "synthesize" && o <> "apply" then
+              failwith (Printf.sprintf "unknown op %S in --ops (synthesize | apply)" o))
+          ops;
+        Array.of_list ops
+  in
+  let scenes, demos, ground_truth = loadgen_payload task images demo_images seed in
+  (* Deterministic op mix: request i carries ops[i mod |ops|], so runs
+     are reproducible and every op sees both cold and warm requests. *)
+  let request_of_op = function
+    | "apply" -> Protocol.Apply { program = ground_truth; scenes }
+    | _ -> Protocol.Synthesize { scenes; demos; timeout_s = timeout }
+  in
+  let op_of_index i = ops.(i mod Array.length ops) in
   let samples = Array.make requests None in
   let errors = ref [] in
   let next = ref 0 in
@@ -858,7 +971,7 @@ let loadgen socket port concurrency requests task images demo_images seed timeou
     Mutex.unlock lock;
     if i < requests then Some i else None
   in
-  let worker () =
+  let worker endpoint () =
     (* Connect with bounded backoff, and on a mid-run transport failure
        (daemon restarted, EPIPE, connection shed) reconnect and retry
        the request a bounded number of times before counting it lost. *)
@@ -870,7 +983,7 @@ let loadgen socket port concurrency requests task images demo_images seed timeou
     Fun.protect
       ~finally:(fun () -> Client.close !c)
       (fun () ->
-        let rec rpc_with_retry tries =
+        let rec rpc_with_retry request tries =
           match Client.rpc !c request with
           | Ok r -> Ok r
           | Error msg ->
@@ -880,26 +993,30 @@ let loadgen socket port concurrency requests task images demo_images seed timeou
                 | () -> ()
                 | exception Unix.Unix_error (e, _, _) ->
                     failwith (Printf.sprintf "reconnect failed: %s" (Unix.error_message e)));
-                rpc_with_retry (tries + 1))
+                rpc_with_retry request (tries + 1))
         in
         let rec loop () =
           match take () with
           | None -> ()
           | Some i ->
+              let op = op_of_index i in
               let t0 = Clock.counter () in
-              (match rpc_with_retry 1 with
+              (match rpc_with_retry (request_of_op op) 1 with
               | Error msg ->
                   Mutex.lock lock;
                   errors := Printf.sprintf "request %d: %s" i msg :: !errors;
                   Mutex.unlock lock
               | Ok r ->
                   let outcome =
-                    if Client.is_ok r then response_outcome r else "error:" ^ J.to_line r
+                    if not (Client.is_ok r) then "error:" ^ J.to_line r
+                    else if op = "apply" then "success"  (* apply has no outcome field *)
+                    else response_outcome r
                   in
                   samples.(i) <-
                     Some
                       {
                         index = i;
+                        op;
                         latency_s = Clock.elapsed_s t0;
                         outcome;
                         nodes = response_stat r "nodes";
@@ -910,7 +1027,10 @@ let loadgen socket port concurrency requests task images demo_images seed timeou
         loop ())
   in
   let started = Clock.counter () in
-  let threads = List.init (min concurrency requests) (fun _ -> Thread.create worker ()) in
+  let threads =
+    List.init (min concurrency requests) (fun t ->
+        Thread.create (worker endpoints.(t mod Array.length endpoints)) ())
+  in
   List.iter Thread.join threads;
   let wall = Clock.elapsed_s started in
   let done_ = List.filter_map Fun.id (Array.to_list samples) in
@@ -918,26 +1038,39 @@ let loadgen socket port concurrency requests task images demo_images seed timeou
   let failures =
     List.filter (fun s -> s.outcome <> "success" && s.outcome <> "timeout") done_
   in
-  let latencies = List.sort compare (List.map (fun s -> s.latency_s) done_) in
-  let quantile q =
-    match latencies with
-    | [] -> 0.0
-    | l ->
-        let arr = Array.of_list l in
-        arr.(min (Array.length arr - 1)
-               (int_of_float (Float.round (q *. float_of_int (Array.length arr - 1)))))
+  (* Nearest-rank percentiles with exactly the serving tier's semantics
+     (Metrics.quantile), overall and per op. *)
+  let sorted_latencies samples =
+    let arr = Array.of_list (List.map (fun s -> s.latency_s) samples) in
+    Array.sort compare arr;
+    arr
   in
+  let all_sorted = sorted_latencies done_ in
   Printf.printf
     "loadgen: %d request(s), concurrency %d: %d success, %d timeout, %d failed, %d transport error(s)\n"
     requests concurrency (by_outcome "success") (by_outcome "timeout") (List.length failures)
     (List.length !errors);
-  Printf.printf "  wall %.2fs  throughput %.1f req/s  p50 %.4fs  p95 %.4fs\n" wall
+  Printf.printf "  wall %.2fs  throughput %.1f req/s  p50 %.4fs  p95 %.4fs  p99 %.4fs\n" wall
     (float_of_int (List.length done_) /. wall)
-    (quantile 0.50) (quantile 0.95);
+    (Metrics.quantile all_sorted 0.50) (Metrics.quantile all_sorted 0.95)
+    (Metrics.quantile all_sorted 0.99);
+  Array.iter
+    (fun op ->
+      let of_op = List.filter (fun s -> s.op = op) done_ in
+      if of_op <> [] then begin
+        let sorted = sorted_latencies of_op in
+        Printf.printf "  %s: %d sample(s)  p50 %.4fs  p95 %.4fs  p99 %.4fs\n" op
+          (List.length of_op) (Metrics.quantile sorted 0.50) (Metrics.quantile sorted 0.95)
+          (Metrics.quantile sorted 0.99)
+      end)
+    ops;
   List.iter (fun m -> Printf.eprintf "  transport error: %s\n" m) !errors;
-  let ordered = List.sort (fun a b -> compare a.index b.index) done_ in
-  (match (ordered, List.rev ordered) with
-  | first :: _, last :: _ when requests > 1 ->
+  let synth_ordered =
+    List.sort (fun a b -> compare a.index b.index)
+      (List.filter (fun s -> s.op = "synthesize") done_)
+  in
+  (match (synth_ordered, List.rev synth_ordered) with
+  | first :: _, last :: _ when first.index <> last.index ->
       let show = function Some n -> string_of_int n | None -> "?" in
       Printf.printf
         "  cold request: %d nodes; warm request: %d nodes (value-bank hits %s)\n"
@@ -988,13 +1121,21 @@ let loadgen_cmd =
   in
   let expect_warm =
     Arg.(value & flag & info [ "expect-warm" ]
-           ~doc:"Fail unless the last request is cheaper than the first (fewer              stats.nodes) and reports warm value-bank hits.")
+           ~doc:"Fail unless the last synthesize request is cheaper than the first (fewer              stats.nodes) and reports warm value-bank hits.")
+  in
+  let endpoints =
+    Arg.(value & opt_all string [] & info [ "e"; "endpoint" ] ~docv:"SPEC"
+           ~doc:"Target endpoint (repeatable): unix:PATH, tcp:[HOST:]PORT, or a bare              socket path.  Client threads round-robin across the given endpoints              (drive several daemons, or a router, at once).  Overrides              --socket/--port.")
+  in
+  let ops =
+    Arg.(value & opt string "synthesize" & info [ "ops" ] ~docv:"LIST"
+           ~doc:"Comma-separated op mix (synthesize, apply); request i carries op              i mod |ops|.  Percentiles are reported per op.")
   in
   Cmd.v
     (Cmd.info "loadgen"
-       ~doc:"Closed-loop load generator: replay one task's synthesize request against a              running daemon and report throughput, latency quantiles and warm-bank              speedup.")
-    Term.(const loadgen $ socket_arg $ port_arg $ concurrency $ requests $ task $ images
-          $ demo_images $ seed_arg $ timeout $ expect_warm)
+       ~doc:"Closed-loop load generator: replay one task's requests against running              daemons (or a router) and report throughput, p50/p95/p99 latency per op              and warm-bank speedup.")
+    Term.(const loadgen $ socket_arg $ port_arg $ endpoints $ concurrency $ requests $ task
+          $ images $ demo_images $ seed_arg $ timeout $ expect_warm $ ops)
 
 let () =
   let info =
@@ -1007,5 +1148,5 @@ let () =
           [
             generate_cmd; objects_cmd; synthesize_cmd; explain_cmd; tasks_cmd; show_cmd;
             learn_cmd; sweep_cmd; apply_cmd; accuracy_cmd; report_cmd; parse_cmd;
-            serve_cmd; client_cmd; loadgen_cmd;
+            serve_cmd; router_cmd; client_cmd; loadgen_cmd;
           ]))

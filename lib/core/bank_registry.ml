@@ -171,6 +171,42 @@ let grow u vocab max_operands extension ebank ~size ~offer =
           (EBank.entries ebank sub))
     preds
 
+(* Create-or-find one (age_thresholds, max_operands) bank state of a
+   ucache; callers hold the registry lock.  [visits0] seeds the
+   recurrence gate for freshly created states (searches start at 1; the
+   snapshot-restore path passes the persisted count). *)
+let state_of c ~age_thresholds ~max_operands ~visits0 =
+  let key = (age_thresholds, max_operands) in
+  match List.assoc_opt key c.banks with
+  | Some state -> state
+  | None ->
+      let u = c.u in
+      let vocab = vocab_of c ~age_thresholds in
+      let ext_tbl = Hashtbl.create 64 in
+      let extension p =
+        match Hashtbl.find_opt ext_tbl p with
+        | Some v -> v
+        | None ->
+            let v = Simage.filter (fun e -> Pred.entails e p) (Simage.full u) in
+            Hashtbl.add ext_tbl p v;
+            v
+      in
+      let ebank =
+        EBank.create ~tier_cap ~offer_cap:(offer_cap_for u) ~max_tier
+          ~grow:(grow u vocab max_operands extension)
+          ()
+      in
+      let state =
+        {
+          ebank;
+          partials_collapse = VTbl.create 256;
+          partials_plain = VTbl.create 256;
+          visits = visits0;
+        }
+      in
+      c.banks <- (key, state) :: c.banks;
+      state
+
 let handle u ~age_thresholds ~max_operands =
   with_lock (fun () ->
       let c = ucache_of u in
@@ -180,30 +216,7 @@ let handle u ~age_thresholds ~max_operands =
           state.visits <- state.visits + 1;
           { hu = u; state }
       | None ->
-          let vocab = vocab_of c ~age_thresholds in
-          let ext_tbl = Hashtbl.create 64 in
-          let extension p =
-            match Hashtbl.find_opt ext_tbl p with
-            | Some v -> v
-            | None ->
-                let v = Simage.filter (fun e -> Pred.entails e p) (Simage.full u) in
-                Hashtbl.add ext_tbl p v;
-                v
-          in
-          let ebank =
-            EBank.create ~tier_cap ~offer_cap:(offer_cap_for u) ~max_tier
-              ~grow:(grow u vocab max_operands extension)
-              ()
-          in
-          let state =
-            {
-              ebank;
-              partials_collapse = VTbl.create 256;
-              partials_plain = VTbl.create 256;
-              visits = 1;
-            }
-          in
-          c.banks <- (key, state) :: c.banks;
+          let state = state_of c ~age_thresholds ~max_operands ~visits0:1 in
           { hu = u; state })
 
 let stored h = with_lock (fun () -> EBank.stored h.state.ebank)
@@ -259,6 +272,73 @@ let close_hole h ~collapse ~(goal : Goal.t) ~delta =
                  EBank.ensure h.state.ebank target;
                  decide ()
              | v -> v))
+
+(* ---------- snapshot export / import (serving-tier persistence) ----------
+
+   The dump is plain OCaml data — extractor terms plus value id lists —
+   so the wire/disk encoding (and its versioning and checksumming) can
+   live in the serve layer without this module learning about JSON.
+   Values are dumped as entity-id lists and re-interned on import, which
+   also revalidates them against the target universe (out-of-range ids
+   raise, and the importer's caller treats that as a rejected snapshot). *)
+
+type tier_dump = { tier_entries : (Lang.extractor * int list) list; tier_saturated : bool }
+
+type bank_dump = {
+  dump_age_thresholds : int list;
+  dump_max_operands : int;
+  dump_visits : int;
+  dump_tiers : tier_dump list;  (* sizes 1..built, in order *)
+}
+
+let export_universe u =
+  with_lock (fun () ->
+      match Hashtbl.find_opt registry (Universe.uid u) with
+      | None -> []
+      | Some c ->
+          List.rev_map
+            (fun ((age_thresholds, max_operands), state) ->
+              let built = EBank.built state.ebank in
+              let tiers =
+                List.init built (fun i ->
+                    let size = i + 1 in
+                    {
+                      tier_entries =
+                        Array.to_list (EBank.entries state.ebank size)
+                        |> List.map (fun (e, v) -> (e, Simage.to_ids v));
+                      tier_saturated = EBank.saturated state.ebank size;
+                    })
+              in
+              {
+                dump_age_thresholds = age_thresholds;
+                dump_max_operands = max_operands;
+                dump_visits = state.visits;
+                dump_tiers = tiers;
+              })
+            c.banks)
+
+let import_universe u dumps =
+  with_lock (fun () ->
+      let c = ucache_of u in
+      List.iter
+        (fun d ->
+          let state =
+            state_of c ~age_thresholds:d.dump_age_thresholds
+              ~max_operands:d.dump_max_operands ~visits0:d.dump_visits
+          in
+          (* Only a virgin bank is restorable: if a search already built
+             tiers (or a dump was imported twice) the existing contents
+             win — they are correct by construction, and appending dump
+             tiers on top would misnumber sizes. *)
+          if EBank.built state.ebank = 0 then begin
+            state.visits <- max state.visits d.dump_visits;
+            List.iter
+              (fun t ->
+                EBank.restore_tier state.ebank ~saturated:t.tier_saturated
+                  (List.map (fun (e, ids) -> (e, Simage.of_ids u ids)) t.tier_entries))
+              d.dump_tiers
+          end)
+        dumps)
 
 let find_in_window ?max_size h ~under ~over =
   with_lock (fun () ->

@@ -80,3 +80,32 @@ val stored : handle -> int
 
 val clear : unit -> unit
 (** Drop every registry entry (tests, memory release). *)
+
+(** {1 Snapshot export / import}
+
+    The serving tier persists warm banks across restarts.  The registry
+    exposes its per-universe state as plain data — extractor terms plus
+    entity-id lists — leaving encoding, versioning and checksumming to
+    the serve layer. *)
+
+type tier_dump = {
+  tier_entries : (Lang.extractor * int list) list;
+      (** offer order, already value-deduplicated; values as entity ids *)
+  tier_saturated : bool;
+}
+
+type bank_dump = {
+  dump_age_thresholds : int list;
+  dump_max_operands : int;
+  dump_visits : int;
+  dump_tiers : tier_dump list;  (** sizes [1..built], in order *)
+}
+
+val export_universe : Universe.t -> bank_dump list
+(** Every bank registered for the universe ([[]] when none). *)
+
+val import_universe : Universe.t -> bank_dump list -> unit
+(** Rebuild banks for the universe from a dump.  Values are re-interned
+    against [u], so an id outside the universe raises
+    [Invalid_argument] (callers treat that as a corrupt snapshot).
+    Banks that already have built tiers are left untouched. *)

@@ -88,6 +88,27 @@ module Make (V : VALUE) = struct
       t.built <- size
     done
 
+  (* Append one pre-built tier from a snapshot, bypassing [grow]: the
+     entries were dumped from a bank in offer order and already
+     deduplicated, so re-inserting them first-wins reproduces the
+     original index and tier arrays exactly. *)
+  let restore_tier t ~saturated entries =
+    if t.built >= t.max_tier then
+      invalid_arg "Bank.restore_tier: bank already at max_tier";
+    let size = t.built + 1 in
+    let acc = ref [] in
+    List.iter
+      (fun (term, value) ->
+        t.offered <- t.offered + 1;
+        if not (Tbl.mem t.index value) then begin
+          Tbl.add t.index value (term, size);
+          acc := (term, value) :: !acc;
+          t.stored <- t.stored + 1
+        end)
+      entries;
+    t.tiers.(size) <- Some { terms = Array.of_list (List.rev !acc); saturated };
+    t.built <- size
+
   let find_value t value = Tbl.find_opt t.index value
 
   let find_in_window ?max_size ~mem t =

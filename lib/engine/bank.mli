@@ -57,6 +57,13 @@ module Make (V : VALUE) : sig
   (** The terms of one materialized tier, in offer order.  Raises
       [Invalid_argument] when the tier is not built. *)
 
+  val restore_tier : 'term t -> saturated:bool -> ('term * V.t) list -> unit
+  (** Append one pre-built tier (becoming size [built + 1]) without
+      calling [grow] — the warm-start path: entries previously read back
+      via {!entries} (offer order, already value-deduplicated) rebuild
+      an identical tier and index.  Raises [Invalid_argument] once
+      [built = max_tier]. *)
+
   val find_value : 'term t -> V.t -> ('term * int) option
   (** The smallest banked term whose value equals the argument, with its
       size; [None] says nothing beyond "not in the built, unsaturated part

@@ -78,11 +78,9 @@ let load path =
     ~finally:(fun () -> close_in ic)
     (fun () -> parse (really_input_string ic (in_channel_length ic)))
 
-let save demos path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string demos))
+(* Atomic, like Scene_io.save: readers see the old or the new complete
+   file, never a torn one. *)
+let save demos path = Imageeye_util.Fileio.write_atomic_string path (to_string demos)
 
 let to_spec ?(shared = false) ~scenes demos =
   let find_scene img = List.find_opt (fun s -> s.Scene.image_id = img) scenes in

@@ -35,7 +35,10 @@ val to_string : demo list -> string
 (** Inverse of {!parse}. *)
 
 val load : string -> (demo list, error) result
+
 val save : demo list -> string -> unit
+(** Atomic (write-temp + fsync + rename): a crash mid-write leaves any
+    previous file intact. *)
 
 val to_spec :
   ?shared:bool ->

@@ -103,9 +103,9 @@ let of_string text =
       in
       Scene.make ~image_id ~width ~height items
 
-let save scene path =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string scene))
+(* Atomic (write-temp + fsync + rename): a crash or full disk mid-write
+   must never leave a truncated .scene file that later fails to load. *)
+let save scene path = Imageeye_util.Fileio.write_atomic_string path (to_string scene)
 
 let load path =
   let ic = open_in path in
@@ -114,6 +114,7 @@ let load path =
     (fun () -> of_string (really_input_string ic (in_channel_length ic)))
 
 let save_dataset (d : Dataset.t) ~dir =
+  Imageeye_util.Fileio.ensure_dir dir;
   List.iter
     (fun (s : Scene.t) ->
       save s (Filename.concat dir (Printf.sprintf "%04d.scene" s.image_id)))

@@ -19,10 +19,14 @@ val of_string : string -> Scene.t
 (** Raises [Failure] on malformed input. *)
 
 val save : Scene.t -> string -> unit
+(** Atomic: written to a temporary file, fsynced and renamed over the
+    target, so a crash mid-write leaves any previous file intact. *)
+
 val load : string -> Scene.t
 
 val save_dataset : Dataset.t -> dir:string -> unit
-(** Writes [NNN.scene] files (and nothing else) for each scene. *)
+(** Writes [NNN.scene] files (and nothing else) for each scene, creating
+    [dir] (and missing parents) first; each file saved atomically. *)
 
 val load_scenes : dir:string -> Scene.t list
 (** Loads every [*.scene] file in the directory, sorted by filename. *)

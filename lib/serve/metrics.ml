@@ -61,13 +61,22 @@ let record_fault t outcome =
       Hashtbl.replace t.faults outcome
         (1 + Option.value (Hashtbl.find_opt t.faults outcome) ~default:0))
 
-(* Nearest-rank quantile over the reservoir's stored samples. *)
+let incr_counter t label n =
+  locked t (fun () ->
+      Hashtbl.replace t.counters label
+        (n + Option.value (Hashtbl.find_opt t.counters label) ~default:0))
+
+(* Nearest-rank quantile: the q-quantile of n sorted samples is sample
+   ⌈q·n⌉ (1-indexed).  The previous [round (q·(n-1))] interpolation
+   disagreed with nearest-rank on small samples — p50 of [a; b]
+   returned b, the 75th percentile — which loadgen's tiny warm-up runs
+   made visible.  Pinned by exact unit tests at n ∈ {1, 2, 3, 20}. *)
 let quantile sorted q =
   let n = Array.length sorted in
   if n = 0 then 0.0
   else
-    let rank = int_of_float (Float.round (q *. float_of_int (n - 1))) in
-    sorted.(max 0 (min (n - 1) rank))
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
 
 let snapshot t ~queue_depth ~sessions_open ~connections_open =
   locked t (fun () ->
@@ -114,6 +123,7 @@ let snapshot t ~queue_depth ~sessions_open ~connections_open =
                 ("count", J.Int t.latency_count);
                 ("p50_s", J.Float (quantile sorted 0.50));
                 ("p95_s", J.Float (quantile sorted 0.95));
+                ("p99_s", J.Float (quantile sorted 0.99));
                 ("max_s", J.Float t.latency_max);
               ] );
           ( "value_bank",

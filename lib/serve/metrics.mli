@@ -46,9 +46,21 @@ val record_dropped : t -> unit
 
 val record_fault : t -> string -> unit
 (** Count one induced/handled fault under a stable label —
-    [line-too-long], [read-timeout], [overloaded], [reader-exception] —
-    so hostile input shows up as a structured outcome in the snapshot's
-    ["faults"] object, never as a silently dropped thread. *)
+    [line-too-long], [read-timeout], [overloaded], [reader-exception],
+    [worker-lost] — so hostile input shows up as a structured outcome in
+    the snapshot's ["faults"] object, never as a silently dropped
+    thread. *)
+
+val incr_counter : t -> string -> int -> unit
+(** Add to one named counter outside the request path — the server's
+    persistence layer counts restored state ([persist(...)] labels)
+    here so warm starts are visible in the snapshot. *)
+
+val quantile : float array -> float -> float
+(** Nearest-rank quantile of a {e sorted} sample array: element
+    [⌈q·n⌉] (1-indexed, clamped), [0.0] on an empty array.  Exposed so
+    loadgen reports percentiles with exactly the serving tier's
+    semantics — pinned by unit tests at n ∈ {1, 2, 3, 20}. *)
 
 val snapshot :
   t ->

@@ -1,0 +1,60 @@
+(** Durable warm state for the serving tier.
+
+    The daemon's cross-request warmth — interned demonstration universes
+    and their bottom-up extractor value banks — lives in process-wide
+    registries ({!Imageeye_vision.Batch} intern table,
+    [Imageeye_core.Bank_registry]) and dies with the process.  This
+    module snapshots that state to a file under a {e state directory}
+    and restores it on boot, so a restarted daemon serves previously
+    seen specifications with {e zero} cold bank builds
+    ([value-bank(built) = 0]).
+
+    {b Format.}  One header line
+
+    {v imageeye-state v<version> crc32=<8 hex digits> bytes=<payload bytes> v}
+
+    followed by exactly [bytes] bytes of compact JSON payload: the
+    interned scene lists (the durable universe keys — universes
+    themselves are their pure recomputation), each with its banks' tiers
+    as [(extractor term, entity-id list)] entries.  Snapshots are
+    written atomically (write-temp + fsync + rename), so readers see the
+    previous or the new complete snapshot, never a torn one.
+
+    {b Failure model.}  A snapshot that is unreadable, carries the wrong
+    magic/version, fails its checksum, or decodes to state inconsistent
+    with the recomputed universes is {e loudly rejected}: {!load}
+    returns [Error] with a reason, any partially imported state is
+    dropped, and the daemon proceeds with a cold start.  Corruption is
+    never silent and never a crash.
+
+    {b Concurrency.}  Two daemons snapshotting one state directory would
+    silently overwrite each other, so the directory is exclusively
+    locked ({!lock_state_dir}) — an [fcntl] file lock for cross-process
+    exclusion plus an in-process table (POSIX record locks do not
+    conflict within one process).  A second daemon gets a loud
+    ["state-dir-locked"] error. *)
+
+type lock
+
+val lock_state_dir : string -> (lock, string) result
+(** Create the directory if needed and take the exclusive lock, writing
+    this pid into [<dir>/lock].  [Error] messages start with
+    ["state-dir-locked"] when another daemon holds the directory. *)
+
+val unlock : lock -> unit
+(** Release (idempotent).  The lock also dies with the process. *)
+
+val snapshot_path : string -> string
+(** [<dir>/state.snapshot] — exposed so tests can corrupt it. *)
+
+type stats = { universes : int; banks : int; values : int }
+
+val save : state_dir:string -> stats
+(** Snapshot the current warm state atomically, replacing any previous
+    snapshot. *)
+
+val load : state_dir:string -> (stats option, string) result
+(** Restore warm state from the directory's snapshot.  [Ok None] when no
+    snapshot exists (fresh directory); [Ok (Some stats)] on a successful
+    warm start; [Error reason] on a rejected snapshot — in which case
+    the registries are left cold (any partial import is cleared). *)

@@ -1,0 +1,54 @@
+module Checksum = Imageeye_util.Checksum
+
+(* Hash points as unsigned crc32 values widened to int (OCaml ints are
+   63-bit, so the full 32-bit range is representable without sign
+   trouble).  Points are sorted by (hash, worker); breaking collisions
+   by name keeps the ring a pure function of the worker set. *)
+type t = { points : (int * string) array; names : string list }
+
+let hash s = Int32.to_int (Checksum.crc32 s) land 0xFFFFFFFF
+
+let create ?(vnodes = 64) workers =
+  let names = List.sort_uniq compare workers in
+  let points =
+    List.concat_map
+      (fun w -> List.init vnodes (fun i -> (hash (Printf.sprintf "%s#%d" w i), w)))
+      names
+  in
+  { points = Array.of_list (List.sort compare points); names }
+
+let workers t = t.names
+
+(* Index of the first point at or clockwise past [h] (wrapping). *)
+let first_at t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.points.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let lookup t key =
+  if Array.length t.points = 0 then None
+  else Some (snd t.points.(first_at t (hash key)))
+
+let successors t key =
+  let n = Array.length t.points in
+  if n = 0 then []
+  else begin
+    let start = first_at t (hash key) in
+    let seen = Hashtbl.create 8 in
+    let acc = ref [] in
+    let want = List.length t.names in
+    let i = ref 0 in
+    while List.length !acc < want && !i < n do
+      let w = snd t.points.((start + !i) mod n) in
+      if not (Hashtbl.mem seen w) then begin
+        Hashtbl.add seen w ();
+        acc := w :: !acc
+      end;
+      incr i
+    done;
+    List.rev !acc
+  end

@@ -1,0 +1,37 @@
+let rec ensure_dir dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then ensure_dir parent;
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Unique within the process: concurrent atomic writes to the same
+   target from different threads must not share a temp file. *)
+let tmp_counter = Atomic.make 0
+
+let write_atomic path writer =
+  let dir = Filename.dirname path in
+  let tmp =
+    Filename.concat dir
+      (Printf.sprintf ".%s.tmp.%d.%d" (Filename.basename path) (Unix.getpid ())
+         (Atomic.fetch_and_add tmp_counter 1))
+  in
+  let oc = open_out_bin tmp in
+  (match
+     writer oc;
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc)
+   with
+  | () -> close_out oc
+  | exception e ->
+      (try close_out_noerr oc with _ -> ());
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  match Sys.rename tmp path with
+  | () -> ()
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
+
+let write_atomic_string path content =
+  write_atomic path (fun oc -> output_string oc content)

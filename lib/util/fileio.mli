@@ -1,0 +1,25 @@
+(** Durable file writes.
+
+    Every saver in the repo that used to [open_out] the target path
+    directly could leave a truncated file behind a crash or a full disk
+    — which a later load would then fail on.  The shared discipline is
+    write-temp-then-rename: the content lands in a unique temporary
+    file in the {e same directory} (rename must not cross devices), is
+    flushed and fsynced, and only then atomically renamed over the
+    target.  Readers therefore observe either the old complete file or
+    the new complete file, never a torn one. *)
+
+val ensure_dir : string -> unit
+(** [mkdir -p]: create the directory and any missing parents.  Races
+    with concurrent creators are benign ([EEXIST] is ignored). *)
+
+val write_atomic : string -> (out_channel -> unit) -> unit
+(** [write_atomic path writer] runs [writer] against a temporary file
+    next to [path], fsyncs it, and renames it over [path].  If [writer]
+    raises (or the flush/fsync fails), the temporary file is removed,
+    the original [path] is left untouched, and the exception is
+    re-raised. *)
+
+val write_atomic_string : string -> string -> unit
+(** [write_atomic_string path content] is
+    [write_atomic path (fun oc -> output_string oc content)]. *)

@@ -114,8 +114,4 @@ let to_line v =
   emit_compact buf v;
   Buffer.contents buf
 
-let write_file path v =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string v))
+let write_file path v = Fileio.write_atomic_string path (to_string v)

@@ -32,4 +32,6 @@ val to_line : t -> string
     newline would break the framing; the serve layer never embeds one. *)
 
 val write_file : string -> t -> unit
-(** [write_file path v] truncates/creates [path] with {!to_string}. *)
+(** [write_file path v] replaces [path] with {!to_string} via an atomic
+    write-temp-then-rename ({!Fileio.write_atomic}): a crash mid-write
+    never leaves a truncated trajectory behind. *)
