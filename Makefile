@@ -2,16 +2,17 @@
 #   make check   build + full test suite + a fast end-to-end benchmark smoke
 
 JOBS ?= 2
-BENCH_JSON ?= BENCH_PR6.json
+BENCH_JSON ?= BENCH_PR8.json
 
 # CI gates stamped into $(BENCH_JSON): the quick-mode solved floor and
 # the quick-mode total-nodes ceiling (see .github/workflows/check.yml).
-# A quick sweep solves 47/50 at ~6M nodes locally; the two timeout-bound
-# tasks scale with machine speed, so the ceiling leaves ~3x headroom.
+# A quick sweep solves 47/50 at ~5M nodes locally with the product
+# domain on; the two timeout-bound tasks scale with machine speed, so
+# the ceiling leaves ~3x headroom.
 CI_MIN_SOLVED ?= 45
-CI_MAX_NODES ?= 20000000
+CI_MAX_NODES ?= 16000000
 
-.PHONY: all build test smoke serve-smoke router-smoke fault-smoke check bench-json clean
+.PHONY: all build test smoke ablation-smoke serve-smoke router-smoke fault-smoke check bench-json clean
 
 all: build
 
@@ -27,6 +28,16 @@ test:
 smoke: build
 	./_build/default/bin/imageeye.exe sweep --tasks 1,17,30 --images 8 \
 	  --timeout 30 --jobs $(JOBS)
+
+# The product-domain ablation rows end to end through the CLI: each
+# refinement disabled alone must still solve the smoke tasks, and an
+# unknown ablation name must list the table and exit non-zero.
+ablation-smoke: build
+	./_build/default/bin/imageeye.exe sweep --tasks 1,17,30 --images 8 \
+	  --timeout 30 --jobs $(JOBS) --ablation no-per-image
+	./_build/default/bin/imageeye.exe sweep --tasks 1,17,30 --images 8 \
+	  --timeout 30 --jobs $(JOBS) --ablation no-cardinality
+	! ./_build/default/bin/imageeye.exe sweep --tasks 1 --ablation bogus
 
 # Daemon lifecycle end to end: serve on a temp socket, loadgen with a
 # warm-bank assertion, a deadline probe, a wire-driven session,
@@ -50,16 +61,18 @@ fault-smoke: build
 	dune exec test/test_faults.exe
 	bash scripts/serve_smoke.sh
 
-check: build test smoke
+check: build test smoke ablation-smoke
 	@echo "check OK"
 
 # Benchmark trajectory for the committed before/after record: the full
-# table-2 sweep runs twice — forward-backward analysis off (the
-# baseline, embedded into the final document) then on — writing
-# $(BENCH_JSON) at the repo root, stamped with the quick-mode CI gates.
+# table-2 sweep runs twice — the PR 6 abstract domain first (per-image
+# planes and cardinality bounds off; the baseline, embedded into the
+# final document) then the full product domain — writing $(BENCH_JSON)
+# at the repo root, stamped with the quick-mode CI gates.
 # Set IMAGEEYE_QUICK=1 for the CI-sized variant.
 bench-json: build
-	IMAGEEYE_FWD_BWD=0 ./_build/default/bench/main.exe table2 \
+	IMAGEEYE_PER_IMAGE=0 IMAGEEYE_CARDINALITY=0 \
+	  ./_build/default/bench/main.exe table2 \
 	  --json $(BENCH_JSON).baseline
 	IMAGEEYE_JSON_BASELINE=$(BENCH_JSON).baseline \
 	IMAGEEYE_JSON_CI_MIN_SOLVED=$(CI_MIN_SOLVED) \

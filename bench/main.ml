@@ -2,12 +2,16 @@
    evaluation (Section 7) plus a Bechamel microbenchmark suite.
 
    Usage:  main.exe [table1] [table2] [fig15] [fig16] [rq5] [micro]
-                    [--json <path>]
+                    [--json <path>] [--append <path>]
    With no section arguments, all sections run in paper order.
    [--json <path>] additionally writes the table-2 sweep trajectory
    (per-task solved/time/nodes/prune-counts plus aggregates, schema of
    [Imageeye_interact.Sweep_json]) to <path>, running the sweep if no
    chosen section already did.
+   [--append <path>] appends one per-commit perf-history JSONL row
+   (commit, mode, solved, nodes, prune_counts) to <path> and exits
+   non-zero if total nodes regressed >5% vs the previous row of the
+   same mode.
 
    Environment knobs:
      IMAGEEYE_QUICK=1           smaller datasets and timeouts (for CI)
@@ -24,6 +28,15 @@
      IMAGEEYE_FWD_BWD=0         disable bidirectional abstract
                                 interpretation in every non-ablation
                                 config (the BENCH_PR6.json baseline)
+     IMAGEEYE_PER_IMAGE=0       disable per-image interval planes in the
+                                fwd-bwd analysis
+     IMAGEEYE_CARDINALITY=0     disable cardinality bounds in the
+                                fwd-bwd analysis (both knobs off is the
+                                BENCH_PR8.json baseline)
+     IMAGEEYE_ABLATION=<name>   restrict fig16 to one named ablation row
+                                (unknown names list the table, exit 2)
+     IMAGEEYE_ABSINT_ITERS=<n>  forward-backward fixpoint iteration cap
+                                (default 8)
      IMAGEEYE_JSON_BASELINE=<p> embed the JSON document at <p> (a previous
                                 --json output) verbatim as a "baseline"
                                 field of the emitted trajectory
@@ -89,10 +102,20 @@ let eus_timeout = env_float "IMAGEEYE_EUS_TIMEOUT" (if quick then 10.0 else 30.0
 let abl_timeout = env_float "IMAGEEYE_ABL_TIMEOUT" (if quick then 5.0 else 10.0)
 let value_bank = env_bool "IMAGEEYE_VALUE_BANK" true
 let fwd_bwd = env_bool "IMAGEEYE_FWD_BWD" true
+let per_image = env_bool "IMAGEEYE_PER_IMAGE" true
+let cardinality = env_bool "IMAGEEYE_CARDINALITY" true
 
 (* Every non-ablation section starts from this, so a single env knob gives
-   the before/after pair for the committed BENCH_PR3.json / BENCH_PR6.json. *)
-let base_config = { Synthesizer.default_config with value_bank; fwd_bwd }
+   the before/after pair for the committed BENCH_PR3.json / BENCH_PR6.json /
+   BENCH_PR8.json. *)
+let base_config =
+  {
+    Synthesizer.default_config with
+    value_bank;
+    fwd_bwd;
+    absint_per_image = per_image;
+    absint_cardinality = cardinality;
+  }
 
 let dataset_size domain =
   if quick then
@@ -393,9 +416,24 @@ let fig15 () =
    (bidirectional abstract interpretation; solution-preserving, so the
    solved set must match [full] and the separation is in nodes),
    no-eval-cache (the memoized incremental evaluator; semantics-
-   preserving) and no-value-bank (bottom-up extractor bank; exact
-   lookups are solution-preserving). *)
-let ablations = Synthesizer.ablations
+   preserving), no-value-bank (bottom-up extractor bank; exact lookups
+   are solution-preserving), and no-per-image / no-cardinality (the two
+   product-domain refinements of the fwd-bwd analysis; both
+   solution-preserving).
+
+   IMAGEEYE_ABLATION=<name> restricts fig16 to one named row (CI runs a
+   few rows without paying for the whole table); an unknown name lists
+   the table and exits non-zero instead of silently running nothing. *)
+let ablations =
+  match Sys.getenv_opt "IMAGEEYE_ABLATION" with
+  | None | Some "" -> Synthesizer.ablations
+  | Some name -> (
+      match List.assoc_opt name Synthesizer.ablations with
+      | Some tweak -> [ (name, tweak) ]
+      | None ->
+          Printf.eprintf "error: unknown ablation %S; available: %s\n%!" name
+            (String.concat ", " (List.map fst Synthesizer.ablations));
+          exit 2)
 
 let fig16 () =
   heading "Figure 16: ablation study (cumulative synthesis time vs benchmarks solved)";
@@ -661,6 +699,8 @@ let json_meta () =
     ("timeout_s", Float timeout);
     ("value_bank", Bool value_bank);
     ("fwd_bwd", Bool fwd_bwd);
+    ("per_image", Bool per_image);
+    ("cardinality", Bool cardinality);
   ]
   @ (match Sys.getenv_opt "IMAGEEYE_JSON_CI_MIN_SOLVED" with
     | Some v when String.trim v <> "" -> [ ("ci_min_solved", Int (int_of_string (String.trim v))) ]
@@ -681,19 +721,119 @@ let write_json path =
   Imageeye_interact.Sweep_json.write ~meta:(json_meta ()) path results;
   say "wrote sweep trajectory to %s" path
 
+(* --append <path>: per-commit perf history.  One JSONL row per run
+   (commit, mode, solved, nodes, per-pass prune counts), appended via an
+   atomic whole-file rewrite; exits non-zero when total nodes regress
+   more than 5% against the previous row of the same mode, so CI on main
+   turns the committed one-off BENCH_*.json files into a trajectory no
+   commit can silently bend. *)
+let git_commit () =
+  match Sys.getenv_opt "GITHUB_SHA" with
+  | Some sha when String.trim sha <> "" -> String.trim sha
+  | _ -> (
+      let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+      let line = try input_line ic with End_of_file -> "" in
+      match (Unix.close_process_in ic, String.trim line) with
+      | Unix.WEXITED 0, sha when sha <> "" -> sha
+      | _ -> "unknown")
+
+let append_history path =
+  let module J = Imageeye_util.Jsonout in
+  let results = Lazy.force imageeye_results in
+  let solved = List.length (List.filter (fun r -> r.Session.solved) results) in
+  let nodes =
+    List.fold_left
+      (fun acc r ->
+        List.fold_left
+          (fun acc (rd : Session.round) ->
+            match rd.synth_stats with
+            | Some (s : Synthesizer.stats) -> acc + s.nodes
+            | None -> acc)
+          acc r.Session.rounds)
+      0 results
+  in
+  let mode = if quick then "quick" else "full" in
+  let previous =
+    if not (Sys.file_exists path) then None
+    else
+      let ic = open_in_bin path in
+      let lines =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            let acc = ref [] in
+            (try
+               while true do
+                 let l = String.trim (input_line ic) in
+                 if l <> "" then acc := l :: !acc
+               done
+             with End_of_file -> ());
+            !acc)
+      in
+      (* Last row of the same mode: quick CI rows and full sweep rows have
+         incomparable node totals. *)
+      List.find_map
+        (fun line ->
+          match Imageeye_util.Jsonin.parse line with
+          | Ok row
+            when Imageeye_util.Jsonin.(
+                   Option.bind (member "mode" row) to_string_opt)
+                 = Some mode ->
+              Imageeye_util.Jsonin.(Option.bind (member "nodes" row) to_int_opt)
+          | _ -> None)
+        lines
+  in
+  let row =
+    J.Obj
+      [
+        ("ts", J.Float (Unix.gettimeofday ()));
+        ("commit", J.Str (git_commit ()));
+        ("mode", J.Str mode);
+        ("solved", J.Int solved);
+        ("total", J.Int (List.length results));
+        ("nodes", J.Int nodes);
+        ( "prune_counts",
+          J.Obj (List.map (fun (l, n) -> (l, J.Int n)) (prune_attribution results)) );
+      ]
+  in
+  let existing =
+    if Sys.file_exists path then (
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic)))
+    else ""
+  in
+  Imageeye_util.Fileio.write_atomic_string path (existing ^ J.to_line row ^ "\n");
+  say "appended perf-history row to %s (mode=%s solved=%d nodes=%d)" path mode
+    solved nodes;
+  match previous with
+  | Some prev when prev > 0 && float_of_int nodes > 1.05 *. float_of_int prev ->
+      Printf.eprintf
+        "error: nodes regressed >5%% vs previous %s row: %d -> %d (+%.1f%%)\n%!"
+        mode prev nodes
+        (100.0 *. (float_of_int (nodes - prev) /. float_of_int prev));
+      exit 1
+  | Some prev -> say "nodes vs previous %s row: %d -> %d (within 5%%)" mode prev nodes
+  | None -> say "no previous %s row; baseline recorded" mode
+
 let () =
-  let sections, json_path =
-    let rec split acc json = function
-      | [] -> (List.rev acc, json)
+  let sections, json_path, append_path =
+    let rec split acc json append = function
+      | [] -> (List.rev acc, json, append)
       | [ "--json" ] ->
           Printf.eprintf "error: --json needs a path argument\n%!";
           exit 2
-      | "--json" :: path :: rest -> split acc (Some path) rest
-      | s :: rest -> split (s :: acc) json rest
+      | [ "--append" ] ->
+          Printf.eprintf "error: --append needs a path argument\n%!";
+          exit 2
+      | "--json" :: path :: rest -> split acc (Some path) append rest
+      | "--append" :: path :: rest -> split acc json (Some path) rest
+      | s :: rest -> split (s :: acc) json append rest
     in
     match Array.to_list Sys.argv with
-    | [] -> ([], None)
-    | _ :: rest -> split [] None rest
+    | [] -> ([], None, None)
+    | _ :: rest -> split [] None None rest
   in
   let all =
     [
@@ -725,4 +865,5 @@ let () =
     (if value_bank then "" else ", value bank OFF")
     (if fwd_bwd then "" else ", fwd-bwd OFF");
   List.iter (fun (_, f) -> f ()) chosen;
-  Option.iter write_json json_path
+  Option.iter write_json json_path;
+  Option.iter append_history append_path

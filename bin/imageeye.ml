@@ -323,7 +323,7 @@ let sweep_cmd =
   in
   let ablation =
     Arg.(value & opt (some string) None & info [ "ablation" ] ~docv:"NAME"
-           ~doc:"Apply a named ablation row from the shared fig16 table (full,              no-goal-inference, no-partial-eval, no-equiv-reduction, no-fwd-bwd,              no-eval-cache, no-value-bank) on top of the other flags.")
+           ~doc:"Apply a named ablation row from the shared fig16 table (full,              no-goal-inference, no-partial-eval, no-equiv-reduction, no-fwd-bwd,              no-per-image, no-cardinality, no-eval-cache, no-value-bank) on top              of the other flags.  Unknown names list the table and exit 2.")
   in
   let json_path =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"

@@ -1,5 +1,5 @@
-(** Bidirectional abstract interpretation over the interval domain of
-    symbolic images.
+(** Bidirectional abstract interpretation over a product domain of
+    symbolic-image intervals.
 
     An interval [⟨Î⁻, Î⁺⟩] stands for every symbolic image Î with
     Î⁻ ⊆ Î ⊆ Î⁺.  {!Goal.t} is exactly this domain read {e backward}
@@ -20,16 +20,35 @@
       resolved, the last hole's goal tightens from [{under = ∅}] to
       [{under = goal.under \ ⋃ siblings.over}].
 
+    The domain is a product of three refinements over the plain global
+    interval of PR 6:
+
+    - {e per-image planes}: the demo images partition the universe and
+      every DSL operator is image-local (spatial relations and
+      containment never cross images), so each node carries one interval
+      per image, met independently.  A candidate dies as soon as it is
+      infeasible on {e any single} demo image, and [Find]/[Filter] are
+      bounded by per-image reach sets instead of their whole-universe
+      union.
+    - {e cardinality bounds}: each plane also tracks [⟨|e|min, |e|max⟩]
+      with its own transfer functions ([Find] yields at most one output
+      per input; a [Union] of k children supplies at most Σ|cᵢ|max
+      objects; [Complement] reflects the bounds within the image mask),
+      reduced against the bitset interval both ways — counting kills the
+      bitsets cannot express, e.g. a Union of singleton-bounded holes
+      chasing a larger goal.
+    - {e all-hole tightening}: on a feasible fixpoint, {e every} hole
+      whose final interval beats its annotation is recorded in the
+      candidate root's tight map ({!Partial.set_tight}), and holes seed
+      their backward intervals from the map inherited from the parent
+      candidate ({!Partial.inherit_tight}) — so tightening survives
+      expansion and applies to whichever hole is filled next.
+
     Both directions only ever shrink intervals (every update is a meet),
     so the iteration is monotone in a finite lattice and terminates; the
     [max_iterations] cap merely bounds the work per candidate and is
-    sound to stop at any round.
-
-    When the fixpoint is feasible, the tightened goal of the candidate's
-    leftmost hole is recorded on the candidate root ({!Partial.set_tight})
-    so the next expansion of that hole — grammar instantiation filtering,
-    child-goal inference, and {!Bank_registry.close_hole} — uses the
-    tighter window. *)
+    sound to stop at any round.  Cap saturations are counted so they are
+    visible in prune diagnostics. *)
 
 val meet : Goal.t -> Goal.t -> Goal.t
 (** Interval meet: [⟨a⁻ ∪ b⁻, a⁺ ∩ b⁺⟩]. *)
@@ -39,6 +58,15 @@ val feasible : Goal.t -> bool
 
 val default_max_iterations : int
 
+val max_iterations_from_env : unit -> int
+(** [default_max_iterations], overridable via the [IMAGEEYE_ABSINT_ITERS]
+    environment variable.  Exits loudly (status 2) on a malformed or
+    non-positive value rather than silently running with the default. *)
+
+val max_planes : int
+(** Above this many demo images the analysis falls back to a single
+    whole-universe plane (per-image bookkeeping would dominate). *)
+
 type env = {
   u : Imageeye_symbolic.Universe.t;
   reach_find : Pred.t -> Func.t -> Imageeye_symbolic.Simage.t;
@@ -46,9 +74,21 @@ type env = {
   reach_filter : Pred.t -> Imageeye_symbolic.Simage.t;
       (** largest possible output of [Filter(_, p)] *)
   max_iterations : int;
+  cardinality : bool;  (** track [⟨|e|min, |e|max⟩] per plane *)
+  masks : Imageeye_util.Bitset.t array;
+      (** one object mask per plane; a single full mask when per-image
+          refinement is off or the universe has too many images *)
+  msizes : int array;  (** cardinality of each mask *)
+  find_cache : (Pred.t * Func.t * int, Imageeye_util.Bitset.t) Hashtbl.t;
+  filter_cache : (Pred.t * int, Imageeye_util.Bitset.t) Hashtbl.t;
+      (** per-plane restrictions of the reach tables, filled lazily *)
   mutable analyses : int;  (** candidates analyzed *)
   mutable iterations : int;  (** total forward-backward rounds *)
-  mutable tightened : int;  (** analyses that tightened the leftmost hole *)
+  mutable tightened : int;  (** analyses that tightened at least one hole *)
+  mutable cap_hits : int;
+      (** analyses stopped by [max_iterations] before the fixpoint *)
+  mutable card_kills : int;
+      (** infeasibilities proved by the cardinality domain alone *)
 }
 (** Per-search analysis environment: reach tables shared with the
     engine's vocabulary facts, plus plain (single-Domain) counters the
@@ -56,11 +96,15 @@ type env = {
 
 val make_env :
   ?max_iterations:int ->
+  ?per_image:bool ->
+  ?cardinality:bool ->
   ?reach_find:(Pred.t -> Func.t -> Imageeye_symbolic.Simage.t) ->
   ?reach_filter:(Pred.t -> Imageeye_symbolic.Simage.t) ->
   Imageeye_symbolic.Universe.t ->
   env
-(** Reach functions default to the full universe (sound, uninformative). *)
+(** Reach functions default to the full universe (sound, uninformative);
+    [per_image] and [cardinality] default to on.  [per_image] only takes
+    effect when the universe holds between 2 and {!max_planes} images. *)
 
 type result = Feasible | Infeasible
 
@@ -70,6 +114,8 @@ val analyze : env -> Partial.t -> Form.t -> result
     values — the analysis never evaluates anything itself).  [Infeasible]
     means no completion of [root] can satisfy every goal annotation, so
     the candidate is sound to discard even in multi-solution searches.
-    On [Feasible], a strictly tightened leftmost-hole goal is recorded
-    via {!Partial.set_tight}.  A form whose shape cannot be mirrored
-    (e.g. collapse was off) is admitted unanalyzed. *)
+    On [Feasible], every strictly tightened hole goal is recorded via
+    {!Partial.set_tight}; hole backward intervals are seeded from the
+    tight map already present on [root] (inherited from the candidate it
+    was expanded from).  A form whose shape cannot be mirrored (e.g.
+    collapse was off) is admitted unanalyzed. *)

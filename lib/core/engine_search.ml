@@ -8,6 +8,8 @@ type config = {
   partial_eval : bool;
   equiv_reduction : bool;
   fwd_bwd : bool;
+  absint_per_image : bool;
+  absint_cardinality : bool;
   eval_cache : bool;
   value_bank : bool;
   timeout_s : float;
@@ -23,6 +25,8 @@ let default_config =
     partial_eval = true;
     equiv_reduction = true;
     fwd_bwd = true;
+    absint_per_image = true;
+    absint_cardinality = true;
     eval_cache = true;
     value_bank = true;
     timeout_s = 120.0;
@@ -51,6 +55,8 @@ let ablations : (string * (config -> config)) list =
     ("no-partial-eval", fun c -> { c with partial_eval = false });
     ("no-equiv-reduction", fun c -> { c with equiv_reduction = false });
     ("no-fwd-bwd", fun c -> { c with fwd_bwd = false });
+    ("no-per-image", fun c -> { c with absint_per_image = false });
+    ("no-cardinality", fun c -> { c with absint_cardinality = false });
     ("no-eval-cache", fun c -> { c with eval_cache = false });
     ("no-value-bank", fun c -> { c with value_bank = false });
   ]
@@ -220,18 +226,21 @@ let max_delta = 4 (* largest instantiation is Find with a parameterized predicat
    [None] to expand the grammar as usual.  Grammar instantiations are all
    single-step, so they only exist up to [max_delta]; the scheduler visits
    larger increments when the bank is on (its terms go deeper). *)
-let expand u vocab facts config ctx passes ~close ~delta p =
-  (* The leftmost hole's goal may have been tightened by the
-     forward-backward analysis when this candidate was considered; the
-     tightening is cached on the candidate root (the only per-candidate
-     node that is never physically shared).  It overrides the hole's
-     inferred goal everywhere: bank closure, instantiation feasibility,
-     the new node's annotation, and its children's inferred goals. *)
-  let tight = Partial.tight p in
+let expand u vocab facts config ctx passes ~close ~delta root =
+  (* A hole's goal may have been tightened by the forward-backward
+     analysis when this candidate (or an ancestor candidate sharing the
+     hole node) was considered; the per-hole map is cached on the
+     candidate root (the only per-candidate node that is never physically
+     shared).  It overrides the filled hole's inferred goal everywhere:
+     bank closure, instantiation feasibility, the new node's annotation,
+     and its children's inferred goals — and is inherited by the derived
+     candidates so the entries for their surviving holes keep applying. *)
   let rec go (p : Partial.t) =
     match p.node with
     | Partial.Hole -> (
-        let goal = match tight with Some g -> g | None -> p.goal in
+        let goal =
+          match Partial.tight_for root ~hole:p with Some g -> g | None -> p.goal
+        in
         match close goal ~delta with
         | Some candidates -> Some candidates
         | None ->
@@ -270,7 +279,18 @@ let expand u vocab facts config ctx passes ~close ~delta p =
         | Some qs' -> Some (List.map (fun q' -> q' :: rest) qs')
         | None -> Option.map (List.map (fun rest' -> q :: rest')) (go_list rest))
   in
-  go p
+  match root.Partial.node with
+  (* A root-level hole's candidates may be bank emissions, which are
+     physically shared across candidates and Domains — never write to
+     them.  The tight map could only concern the hole being filled, so
+     there is nothing to inherit anyway. *)
+  | Partial.Hole -> go root
+  | _ ->
+      Option.map
+        (List.map (fun c ->
+             Partial.inherit_tight ~from:root c;
+             c))
+        (go root)
 
 let const_solved_label = Prune.partial_eval.Prune.name ^ "(const-solved)"
 
@@ -310,6 +330,9 @@ let search ~config ~limit ?sink u i_out =
       let full = Simage.full u in
       Some
         (Absint.make_env u
+           ~max_iterations:(Absint.max_iterations_from_env ())
+           ~per_image:config.absint_per_image
+           ~cardinality:config.absint_cardinality
            ~reach_find:(fun p f ->
              Option.value (Hashtbl.find_opt find_tbl (p, f)) ~default:full)
            ~reach_filter:(fun p ->
@@ -462,7 +485,10 @@ let search ~config ~limit ?sink u i_out =
         (fun (label, n) ->
           if n > 0 then Events.record ev (Events.Counted ("fwd-bwd(" ^ label ^ ")", n)))
         [
-          ("iterations", env.Absint.iterations); ("tightened", env.Absint.tightened);
+          ("iterations", env.Absint.iterations);
+          ("tightened", env.Absint.tightened);
+          ("cap-hit", env.Absint.cap_hits);
+          ("card-kill", env.Absint.card_kills);
         ]
   | None -> ());
   (List.rev !solutions, reason,

@@ -23,10 +23,17 @@ type config = {
           forward and backward interval propagation ({!Absint}) to a
           fixpoint on every incomplete candidate, killing candidates
           whose forward interval is disjoint from their backward goal
-          and tightening the leftmost hole's goal for the next
-          expansion; only effective when [goal_inference] and
-          [partial_eval] are both on (it consumes their goal
-          annotations and collapsed constants) *)
+          and tightening every hole's goal for the next expansion; only
+          effective when [goal_inference] and [partial_eval] are both on
+          (it consumes their goal annotations and collapsed constants) *)
+  absint_per_image : bool;
+      (** refine the fwd-bwd analysis per demo image (one interval plane
+          per image, met independently); no effect when [fwd_bwd] is off
+          or the universe holds a single image *)
+  absint_cardinality : bool;
+      (** track per-plane cardinality bounds [⟨|e|min, |e|max⟩] in the
+          fwd-bwd analysis, killing candidates on counting arguments the
+          bitset domain cannot express; no effect when [fwd_bwd] is off *)
   eval_cache : bool;
       (** memoized incremental partial evaluation (on by default): node
           memo slots plus a shared form-keyed value table; does not change

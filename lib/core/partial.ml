@@ -4,7 +4,7 @@ type t = {
   goal : Goal.t;
   node : node;
   mutable memo : memo option;
-  mutable tight : Goal.t option;
+  mutable tight : (t * Goal.t) list;
 }
 
 and node =
@@ -17,7 +17,7 @@ and node =
   | Find of t * Pred.t * Func.t
   | Filter of t * Pred.t
 
-let make goal node = { goal; node; memo = None; tight = None }
+let make goal node = { goal; node; memo = None; tight = [] }
 
 let hole goal = make goal Hole
 
@@ -27,9 +27,23 @@ let set_memo t ~form ~value = t.memo <- Some { mform = form; mvalue = value }
 
 let tight t = t.tight
 
-let set_tight t g = t.tight <- Some g
+let set_tight t map = t.tight <- map
 
-let hole_goal t = match t.tight with Some g -> g | None -> t.goal
+let tight_for t ~hole = List.assq_opt hole t.tight
+
+let inherit_tight ~from t = if from.tight <> [] then t.tight <- from.tight
+
+let rec leftmost_hole t =
+  match t.node with
+  | Hole -> Some t
+  | All | Is _ -> None
+  | Complement t1 | Find (t1, _, _) | Filter (t1, _) -> leftmost_hole t1
+  | Union ts | Intersect ts -> List.find_map leftmost_hole ts
+
+let hole_goal t =
+  match leftmost_hole t with
+  | None -> t.goal
+  | Some h -> ( match tight_for t ~hole:h with Some g -> g | None -> h.goal)
 
 let rec of_extractor goal (e : Lang.extractor) =
   let child = of_extractor goal in

@@ -14,11 +14,17 @@
     subtree ({!Peval} reads and writes the slot when given a cache).
 
     A second mutable slot, [tight], caches the result of bidirectional
-    abstract interpretation ({!Absint}): the tightened goal of the
-    candidate's leftmost hole.  It is written only on candidate {e root}
-    nodes — which are always freshly allocated per candidate, never
-    physically shared the way sibling subtrees are — so the slot cannot
-    race between candidates or Domains. *)
+    abstract interpretation ({!Absint}): a map from each hole of the
+    candidate to its tightened goal, keyed by the hole node's physical
+    identity (hole nodes live in subtrees that are shared {e unchanged}
+    across candidates, so the pointer is a stable name for "this hole of
+    this candidate").  It is written only on candidate {e root} nodes —
+    which are always freshly allocated per candidate, never physically
+    shared the way sibling subtrees are — so the slot cannot race
+    between candidates or Domains.  Expansion copies the map onto the
+    candidates it derives ({!inherit_tight}): a constraint on a hole of
+    [C] constrains the same hole of every candidate refined from [C],
+    letting the next analysis seed its backward intervals from it. *)
 
 type memo = { mform : Form.t; mvalue : Imageeye_symbolic.Simage.t }
 
@@ -26,7 +32,7 @@ type t = {
   goal : Goal.t;
   node : node;
   mutable memo : memo option;
-  mutable tight : Goal.t option;
+  mutable tight : (t * Goal.t) list;
 }
 
 and node =
@@ -53,17 +59,35 @@ val set_memo : t -> form:Form.t -> value:Imageeye_symbolic.Simage.t -> unit
 (** Record the partial-evaluation result of a complete subtree.  Only
     {!Peval} should call this, and only after any goal check passed. *)
 
-val tight : t -> Goal.t option
+val tight : t -> (t * Goal.t) list
+(** The candidate's per-hole tightened-goal map ([[]] when no analysis
+    recorded one); keys are hole nodes compared physically. *)
 
-val set_tight : t -> Goal.t -> unit
-(** Record the tightened goal of this candidate's leftmost hole, as
-    computed by the forward-backward fixpoint.  Only {!Absint.analyze}
-    should call this, and only on candidate root nodes (see above). *)
+val set_tight : t -> (t * Goal.t) list -> unit
+(** Record the per-hole tightened goals computed by the forward-backward
+    fixpoint.  Only {!Absint.analyze} should call this, and only on
+    candidate root nodes (see above). *)
+
+val tight_for : t -> hole:t -> Goal.t option
+(** The tightened goal recorded on candidate root [t] for the given hole
+    node, if any. *)
+
+val inherit_tight : from:t -> t -> unit
+(** Copy [from]'s tight map onto [t].  Called by expansion on each
+    candidate it derives from [from]: the surviving holes are the same
+    physical nodes, and a goal valid for every solving completion of
+    [from] is valid for the refined candidate's completions too (they
+    are a subset).  Entries for the hole the expansion filled simply
+    never match again. *)
+
+val leftmost_hole : t -> t option
+(** The first hole in left-to-right order — the one expansion fills. *)
 
 val hole_goal : t -> Goal.t
 (** The goal the next expansion of this candidate's leftmost hole should
-    use: the tightened one when an analysis recorded it, the inferred one
-    otherwise.  [t] is the candidate root, not the hole node itself. *)
+    use: the tightened one when an analysis recorded one for it, the
+    inferred one otherwise.  [t] is the candidate root, not the hole
+    node itself. *)
 
 val of_extractor : Goal.t -> Lang.extractor -> t
 (** Embed a complete extractor, annotating every node with the same goal;

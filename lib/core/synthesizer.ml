@@ -9,6 +9,8 @@ type config = Engine_search.config = {
   partial_eval : bool;
   equiv_reduction : bool;
   fwd_bwd : bool;
+  absint_per_image : bool;
+  absint_cardinality : bool;
   eval_cache : bool;
   value_bank : bool;
   timeout_s : float;

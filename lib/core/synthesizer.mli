@@ -27,6 +27,12 @@ type config = Engine_search.config = {
           propagation on every incomplete candidate; solution-preserving
           (it only discards candidates no completion of which can satisfy
           the goal annotations), on by default *)
+  absint_per_image : bool;
+      (** per-demo-image interval planes in the fwd-bwd analysis (see
+          {!Engine_search.config}); solution-preserving, on by default *)
+  absint_cardinality : bool;
+      (** per-plane cardinality bounds in the fwd-bwd analysis (see
+          {!Engine_search.config}); solution-preserving, on by default *)
   eval_cache : bool;
       (** memoized incremental partial evaluation (see
           {!Engine_search.config}); semantics-preserving, on by default *)

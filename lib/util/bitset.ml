@@ -64,9 +64,24 @@ let singleton n x = of_list n [ x ]
 
 let is_empty t = Array.for_all (fun w -> w = 0) t.words
 
-let popcount w =
+(* 16-bit-chunk table: Kernighan's loop is O(set bits) per word, which
+   dense sets (the abstract interpreter's reach sets, full-image masks)
+   turn into a hotspot; four lookups are O(1) regardless of density. *)
+let popcount16 =
   let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
-  go w 0
+  let t = Bytes.create 65536 in
+  for i = 0 to 65535 do
+    Bytes.unsafe_set t i (Char.unsafe_chr (go i 0))
+  done;
+  t
+
+let popcount w =
+  (* [w lsr 48] of a 63-bit word is at most 0x7fff, so every index is in
+     range and the four chunks cover all 63 bits. *)
+  Char.code (Bytes.unsafe_get popcount16 (w land 0xffff))
+  + Char.code (Bytes.unsafe_get popcount16 ((w lsr 16) land 0xffff))
+  + Char.code (Bytes.unsafe_get popcount16 ((w lsr 32) land 0xffff))
+  + Char.code (Bytes.unsafe_get popcount16 (w lsr 48))
 
 let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
 

@@ -227,6 +227,34 @@ let check_task ~pool ~nodes_acc task =
       | Synthesizer.Exhausted _, Synthesizer.Exhausted _ -> ()
       | _ ->
           Alcotest.failf "task %d: fwd-bwd changed solvability" task.Task.id);
+      (* The per-image and cardinality refinements of the product domain
+         are each solution-preserving for the same reason: they only add
+         sound kills and sound hole tightenings on top of the global
+         interval fixpoint.  Each one off must reproduce the byte-identical
+         program without ever evaluating fewer nodes than the full domain. *)
+      List.iter
+        (fun (name, off_config) ->
+          let off = Synthesizer.synthesize ~config:off_config spec in
+          match (wrapper, off) with
+          | Synthesizer.Success (p, s_on), Synthesizer.Success (q, s_off) ->
+              Alcotest.(check string)
+                (Printf.sprintf "task %d: %s on/off programs identical" task.Task.id
+                   name)
+                (Lang.program_to_string p) (Lang.program_to_string q);
+              Alcotest.(check bool)
+                (Printf.sprintf "task %d: %s never evaluates more nodes (%d vs %d)"
+                   task.Task.id name s_on.Synthesizer.nodes s_off.Synthesizer.nodes)
+                true
+                (s_on.Synthesizer.nodes <= s_off.Synthesizer.nodes)
+          | Synthesizer.Exhausted _, Synthesizer.Exhausted _ -> ()
+          | _ ->
+              Alcotest.failf "task %d: %s changed solvability" task.Task.id name)
+        [
+          ( "per-image planes",
+            { config with Synthesizer.absint_per_image = false } );
+          ( "cardinality bounds",
+            { config with Synthesizer.absint_cardinality = false } );
+        ];
       let bank_total, no_bank_total = !nodes_acc in
       nodes_acc := (bank_total + cached_nodes, no_bank_total + no_bank_nodes)
 

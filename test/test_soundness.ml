@@ -227,23 +227,48 @@ let never_prunes_truth_prop =
 
 module Absint = Imageeye_core.Absint
 
+(* Universes whose entities are spread over several images, so the
+   per-image planes of the product domain are actually exercised (the
+   single-image [universe_gen] collapses them to one plane). *)
+let multi_image_universe_gen =
+  QCheck2.Gen.(
+    let entity =
+      let* kind =
+        oneofl
+          [ thing "cat"; thing "dog"; face ~face_id:1 ~smiling:true (); face ~face_id:2 () ]
+      in
+      let* img = int_bound 2 in
+      let* col = int_bound 3 and* row = int_bound 3 in
+      return (img, kind, box ((col * 40) + 5) ((row * 40) + 5) 30 30)
+    in
+    list_size (int_range 2 6) entity >|= universe)
+
 (* The engine's reach tables come from vocabulary facts; the soundest
    stand-in here is the exact maximal output: Find/Filter are monotone in
    their input, so applying them to the full universe bounds every
    application. *)
-let absint_env u =
-  Absint.make_env
+let absint_env ?per_image ?cardinality u =
+  Absint.make_env ?per_image ?cardinality
     ~reach_find:(fun p f -> Eval.extractor u (Lang.Find (Lang.All, p, f)))
     ~reach_filter:(fun p -> Eval.extractor u (Lang.Filter (Lang.All, p)))
     u
 
+(* Every point of the product domain must be sound on its own and in
+   combination; each property below is checked at all four corners. *)
+let absint_envs u =
+  List.map
+    (fun (per_image, cardinality) -> absint_env ~per_image ~cardinality u)
+    [ (true, true); (true, false); (false, true); (false, false) ]
+
 (* The fixpoint never kills a partial program on the path to the ground
-   truth, and its work per candidate is bounded by the iteration cap. *)
+   truth, and its work per candidate is bounded by the iteration cap —
+   at every corner of the product domain, on single- and multi-image
+   universes alike. *)
 let absint_never_kills_truth_prop =
   QCheck2.Test.make ~name:"fwd-bwd fixpoint never rejects the path to the ground truth"
     ~count:200
     QCheck2.Gen.(
-      let* u = universe_gen in
+      let* u = oneof [ universe_gen; multi_image_universe_gen ] in
       let* gt =
         oneofl
           (completion_pool
@@ -262,9 +287,11 @@ let absint_never_kills_truth_prop =
           match Peval.run ~check_goals:true ~collapse:true u p with
           | None -> true (* already rejected upstream of the analysis *)
           | Some form ->
-              let env = absint_env u in
-              Absint.analyze env p form = Absint.Feasible
-              && env.Absint.iterations <= env.Absint.max_iterations)
+              List.for_all
+                (fun env ->
+                  Absint.analyze env p form = Absint.Feasible
+                  && env.Absint.iterations <= env.Absint.max_iterations)
+                (absint_envs u))
         (carve gt goal u))
 
 (* Theorem 5.8 extended to the fixpoint: a candidate it kills has no
@@ -274,7 +301,7 @@ let absint_kill_soundness_prop =
   QCheck2.Test.make
     ~name:"fwd-bwd infeasibility implies no completion reaches the target" ~count:300
     QCheck2.Gen.(
-      let* u = universe_gen in
+      let* u = oneof [ universe_gen; multi_image_universe_gen ] in
       let* target_src =
         oneofl
           (completion_pool
@@ -288,13 +315,16 @@ let absint_kill_soundness_prop =
     (fun (u, target, p) ->
       match Peval.run ~check_goals:true ~collapse:true u p with
       | None -> true (* rejected before the analysis: covered by theorem 5.8 *)
-      | Some form -> (
-          match Absint.analyze (absint_env u) p form with
-          | Absint.Feasible -> true
-          | Absint.Infeasible ->
-              List.for_all
-                (fun e -> not (Simage.equal (Eval.extractor u e) target))
-                (completions p)))
+      | Some form ->
+          List.for_all
+            (fun env ->
+              match Absint.analyze env p form with
+              | Absint.Feasible -> true
+              | Absint.Infeasible ->
+                  List.for_all
+                    (fun e -> not (Simage.equal (Eval.extractor u e) target))
+                    (completions p))
+            (absint_envs u))
 
 let () =
   Alcotest.run "soundness"
