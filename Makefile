@@ -2,7 +2,7 @@
 #   make check   build + full test suite + a fast end-to-end benchmark smoke
 
 JOBS ?= 2
-BENCH_JSON ?= BENCH_PR8.json
+BENCH_JSON ?= BENCH_PR9.json
 
 # CI gates stamped into $(BENCH_JSON): the quick-mode solved floor and
 # the quick-mode total-nodes ceiling (see .github/workflows/check.yml).
@@ -12,7 +12,7 @@ BENCH_JSON ?= BENCH_PR8.json
 CI_MIN_SOLVED ?= 45
 CI_MAX_NODES ?= 16000000
 
-.PHONY: all build test smoke ablation-smoke serve-smoke router-smoke fault-smoke check bench-json clean
+.PHONY: all build test smoke ablation-smoke optimal-smoke serve-smoke router-smoke fault-smoke check bench-json trend clean
 
 all: build
 
@@ -39,6 +39,16 @@ ablation-smoke: build
 	  --timeout 30 --jobs $(JOBS) --ablation no-cardinality
 	! ./_build/default/bin/imageeye.exe sweep --tasks 1 --ablation bogus
 
+# Cost-directed optimal search end to end through the CLI: the three
+# smoke tasks must still all solve with --optimal, and the mean
+# synthesized program size must stay at the first-consistent optimum
+# (these tasks' minimal programs average 4.67 AST nodes; the ceiling
+# leaves a third of a node of slack so the gate trips on any real
+# quality regression, not on float formatting).
+optimal-smoke: build
+	./_build/default/bin/imageeye.exe sweep --tasks 1,17,30 --images 8 \
+	  --timeout 30 --jobs $(JOBS) --optimal --min-solved 3 --max-mean-size 5.0
+
 # Daemon lifecycle end to end: serve on a temp socket, loadgen with a
 # warm-bank assertion, a deadline probe, a wire-driven session,
 # adversarial probes (nesting bomb, oversized line), then a graceful
@@ -61,24 +71,30 @@ fault-smoke: build
 	dune exec test/test_faults.exe
 	bash scripts/serve_smoke.sh
 
-check: build test smoke ablation-smoke
+check: build test smoke ablation-smoke optimal-smoke
 	@echo "check OK"
 
 # Benchmark trajectory for the committed before/after record: the full
-# table-2 sweep runs twice — the PR 6 abstract domain first (per-image
-# planes and cardinality bounds off; the baseline, embedded into the
-# final document) then the full product domain — writing $(BENCH_JSON)
-# at the repo root, stamped with the quick-mode CI gates.
+# table-2 sweep runs twice — first-consistent synthesis first (optimal
+# mode off; the baseline, embedded into the final document) then the
+# cost-directed optimal search — writing $(BENCH_JSON) at the repo
+# root, stamped with the quick-mode CI gates.
 # Set IMAGEEYE_QUICK=1 for the CI-sized variant.
 bench-json: build
-	IMAGEEYE_PER_IMAGE=0 IMAGEEYE_CARDINALITY=0 \
+	IMAGEEYE_OPTIMAL=0 \
 	  ./_build/default/bench/main.exe table2 \
 	  --json $(BENCH_JSON).baseline
+	IMAGEEYE_OPTIMAL=1 \
 	IMAGEEYE_JSON_BASELINE=$(BENCH_JSON).baseline \
 	IMAGEEYE_JSON_CI_MIN_SOLVED=$(CI_MIN_SOLVED) \
 	IMAGEEYE_JSON_CI_MAX_NODES=$(CI_MAX_NODES) \
 	  ./_build/default/bench/main.exe table2 --json $(BENCH_JSON)
 	rm -f $(BENCH_JSON).baseline
+
+# Render the static perf-trend page from the committed history.
+trend: build
+	./_build/default/bin/imageeye.exe trend --history PERF_HISTORY.jsonl \
+	  -o trend.html
 
 clean:
 	dune clean

@@ -9,9 +9,12 @@
    [Imageeye_interact.Sweep_json]) to <path>, running the sweep if no
    chosen section already did.
    [--append <path>] appends one per-commit perf-history JSONL row
-   (commit, mode, solved, nodes, prune_counts) to <path> and exits
-   non-zero if total nodes regressed >5% vs the previous row of the
-   same mode.
+   (commit, mode, solved, nodes, prune_counts, per-task solved/nodes)
+   to <path> and exits non-zero on per-task node regressions (>5% plus
+   a small absolute slack) against the previous row of the same mode,
+   comparing only tasks solved in both rows (solved tasks have
+   deterministic node counts); rows predating the per-task format fall
+   back to the old global >5% total-nodes gate.
 
    Environment knobs:
      IMAGEEYE_QUICK=1           smaller datasets and timeouts (for CI)
@@ -33,6 +36,12 @@
      IMAGEEYE_CARDINALITY=0     disable cardinality bounds in the
                                 fwd-bwd analysis (both knobs off is the
                                 BENCH_PR8.json baseline)
+     IMAGEEYE_OPTIMAL=1         cost-directed optimal synthesis in every
+                                non-ablation config: return the
+                                minimal-cost consistent program instead
+                                of the first one found (the
+                                BENCH_PR9.json on-mode; off is its
+                                baseline)
      IMAGEEYE_ABLATION=<name>   restrict fig16 to one named ablation row
                                 (unknown names list the table, exit 2)
      IMAGEEYE_ABSINT_ITERS=<n>  forward-backward fixpoint iteration cap
@@ -49,6 +58,7 @@
                                 quick-mode sweeps) *)
 
 module Lang = Imageeye_core.Lang
+module Cost = Imageeye_core.Cost
 module Synthesizer = Imageeye_core.Synthesizer
 module Eusolver = Imageeye_baseline.Eusolver
 module Dataset = Imageeye_scene.Dataset
@@ -104,6 +114,7 @@ let value_bank = env_bool "IMAGEEYE_VALUE_BANK" true
 let fwd_bwd = env_bool "IMAGEEYE_FWD_BWD" true
 let per_image = env_bool "IMAGEEYE_PER_IMAGE" true
 let cardinality = env_bool "IMAGEEYE_CARDINALITY" true
+let optimal = env_bool "IMAGEEYE_OPTIMAL" false
 
 (* Every non-ablation section starts from this, so a single env knob gives
    the before/after pair for the committed BENCH_PR3.json / BENCH_PR6.json /
@@ -115,6 +126,7 @@ let base_config =
     fwd_bwd;
     absint_per_image = per_image;
     absint_cardinality = cardinality;
+    optimality = optimal;
   }
 
 let dataset_size domain =
@@ -542,7 +554,22 @@ let rq5 () =
                  (100.0 *. float_of_int total_c /. float_of_int (max 1 total_s));
              ];
            ]));
-  say "(paper: intended output on 87%% of sampled test images)"
+  say "(paper: intended output on 87%% of sampled test images)";
+  (* The overfitting signature optimal synthesis targets: programs that
+     pin an exact identity (Face n / Word s) fit the demonstrations but
+     break when the classifier confuses identities on unseen images. *)
+  let overfit =
+    List.length
+      (List.filter
+         (fun r ->
+           match r.Session.program with
+           | Some p -> (Cost.of_program p).Cost.generality > 0
+           | None -> false)
+         results)
+  in
+  say "overfit extractors: %d synthesized program(s) use exact-identity predicates%s"
+    overfit
+    (if optimal then " (optimal mode)" else "")
 
 (* ------------------------------------------------------------------ *)
 (* Stress: randomly generated tasks beyond the curated 50              *)
@@ -701,6 +728,7 @@ let json_meta () =
     ("fwd_bwd", Bool fwd_bwd);
     ("per_image", Bool per_image);
     ("cardinality", Bool cardinality);
+    ("optimal", Bool optimal);
   ]
   @ (match Sys.getenv_opt "IMAGEEYE_JSON_CI_MIN_SOLVED" with
     | Some v when String.trim v <> "" -> [ ("ci_min_solved", Int (int_of_string (String.trim v))) ]
@@ -737,21 +765,35 @@ let git_commit () =
       | Unix.WEXITED 0, sha when sha <> "" -> sha
       | _ -> "unknown")
 
+(* Per-task regression thresholds: a task solved in both rows has a
+   deterministic node count (the search that found its program is
+   budget-bounded, not wall-clock-bounded), so any growth is a real
+   change.  The gate allows 5% plus a small absolute slack — tiny tasks
+   jitter by a handful of nodes when shared-bank warm-up order shifts —
+   and fails loudly listing every offending task.  Unsolved tasks are
+   timeout-shaped and excluded; the old global >5% gate still covers
+   history rows predating the per-task format. *)
+let task_threshold = 1.05
+
+let task_slack = 500
+
 let append_history path =
   let module J = Imageeye_util.Jsonout in
   let results = Lazy.force imageeye_results in
   let solved = List.length (List.filter (fun r -> r.Session.solved) results) in
-  let nodes =
+  let task_nodes r =
     List.fold_left
-      (fun acc r ->
-        List.fold_left
-          (fun acc (rd : Session.round) ->
-            match rd.synth_stats with
-            | Some (s : Synthesizer.stats) -> acc + s.nodes
-            | None -> acc)
-          acc r.Session.rounds)
-      0 results
+      (fun acc (rd : Session.round) ->
+        match rd.synth_stats with
+        | Some (s : Synthesizer.stats) -> acc + s.nodes
+        | None -> acc)
+      0 r.Session.rounds
   in
+  let task_name r =
+    Printf.sprintf "%02d-%s" r.Session.task.Task.id
+      (Dataset.domain_name r.Session.task.Task.domain)
+  in
+  let nodes = List.fold_left (fun acc r -> acc + task_nodes r) 0 results in
   let mode = if quick then "quick" else "full" in
   let previous =
     if not (Sys.file_exists path) then None
@@ -779,7 +821,7 @@ let append_history path =
             when Imageeye_util.Jsonin.(
                    Option.bind (member "mode" row) to_string_opt)
                  = Some mode ->
-              Imageeye_util.Jsonin.(Option.bind (member "nodes" row) to_int_opt)
+              Some row
           | _ -> None)
         lines
   in
@@ -794,6 +836,17 @@ let append_history path =
         ("nodes", J.Int nodes);
         ( "prune_counts",
           J.Obj (List.map (fun (l, n) -> (l, J.Int n)) (prune_attribution results)) );
+        ( "tasks",
+          J.Obj
+            (List.map
+               (fun r ->
+                 ( task_name r,
+                   J.Obj
+                     [
+                       ("solved", J.Bool r.Session.solved);
+                       ("nodes", J.Int (task_nodes r));
+                     ] ))
+               results) );
       ]
   in
   let existing =
@@ -807,15 +860,65 @@ let append_history path =
   Imageeye_util.Fileio.write_atomic_string path (existing ^ J.to_line row ^ "\n");
   say "appended perf-history row to %s (mode=%s solved=%d nodes=%d)" path mode
     solved nodes;
+  let prev_int row key = Imageeye_util.Jsonin.(Option.bind (member key row) to_int_opt) in
   match previous with
-  | Some prev when prev > 0 && float_of_int nodes > 1.05 *. float_of_int prev ->
-      Printf.eprintf
-        "error: nodes regressed >5%% vs previous %s row: %d -> %d (+%.1f%%)\n%!"
-        mode prev nodes
-        (100.0 *. (float_of_int (nodes - prev) /. float_of_int prev));
-      exit 1
-  | Some prev -> say "nodes vs previous %s row: %d -> %d (within 5%%)" mode prev nodes
   | None -> say "no previous %s row; baseline recorded" mode
+  | Some prev_row -> (
+      match Imageeye_util.Jsonin.member "tasks" prev_row with
+      | Some (J.Obj prev_tasks) ->
+          let compared = ref 0 in
+          let regressions =
+            List.filter_map
+              (fun r ->
+                if not r.Session.solved then None
+                else
+                  match List.assoc_opt (task_name r) prev_tasks with
+                  | Some (J.Obj _ as prev_task)
+                    when Imageeye_util.Jsonin.(
+                           Option.bind (member "solved" prev_task) to_bool_opt)
+                         = Some true -> (
+                      match prev_int prev_task "nodes" with
+                      | Some prev_nodes ->
+                          incr compared;
+                          let cur = task_nodes r in
+                          if
+                            float_of_int cur
+                            > (task_threshold *. float_of_int prev_nodes)
+                              +. float_of_int task_slack
+                          then Some (task_name r, prev_nodes, cur)
+                          else None
+                      | None -> None)
+                  | _ -> None)
+              results
+          in
+          if regressions <> [] then begin
+            List.iter
+              (fun (name, prev_nodes, cur) ->
+                Printf.eprintf
+                  "error: task %s nodes regressed beyond %.0f%%+%d vs previous %s row: %d -> %d (+%.1f%%)\n%!"
+                  name
+                  (100.0 *. (task_threshold -. 1.0))
+                  task_slack mode prev_nodes cur
+                  (100.0
+                  *. (float_of_int (cur - prev_nodes) /. float_of_int (max 1 prev_nodes))))
+              regressions;
+            exit 1
+          end
+          else
+            say "per-task nodes within thresholds vs previous %s row (%d task(s) compared)"
+              mode !compared
+      | _ -> (
+          (* Row predates the per-task format: global total-nodes gate. *)
+          match prev_int prev_row "nodes" with
+          | Some prev when prev > 0 && float_of_int nodes > 1.05 *. float_of_int prev ->
+              Printf.eprintf
+                "error: nodes regressed >5%% vs previous %s row: %d -> %d (+%.1f%%)\n%!"
+                mode prev nodes
+                (100.0 *. (float_of_int (nodes - prev) /. float_of_int prev));
+              exit 1
+          | Some prev ->
+              say "nodes vs previous %s row: %d -> %d (within 5%%)" mode prev nodes
+          | None -> say "no previous %s row; baseline recorded" mode))
 
 let () =
   let sections, json_path, append_path =

@@ -12,6 +12,7 @@
      apply      apply a DSL program file to a dataset directory
      accuracy   measure a task's RQ5 accuracy under the imperfect detector
      report     learn a task and write an HTML before/after gallery
+     trend      render PERF_HISTORY.jsonl as a static HTML trend page
      parse      validate and pretty-print a DSL program file
      serve      run the persistent synthesis daemon (NDJSON over a socket)
      client     send one request to a running daemon
@@ -174,7 +175,8 @@ let learn_cmd =
 
 (* ---------- sweep ---------- *)
 
-let sweep task_ids images seed timeout jobs value_bank fwd_bwd ablation json_path =
+let sweep task_ids images seed timeout jobs value_bank fwd_bwd optimal frontier
+    ablation json_path min_solved max_mean_size =
   let ablation_tweak =
     match ablation with
     | None -> Fun.id
@@ -212,7 +214,16 @@ let sweep task_ids images seed timeout jobs value_bank fwd_bwd ablation json_pat
   in
   let config =
     ablation_tweak
-      { Synthesizer.default_config with timeout_s = timeout; value_bank; fwd_bwd }
+      {
+        Synthesizer.default_config with
+        timeout_s = timeout;
+        value_bank;
+        fwd_bwd;
+        optimality = optimal;
+        optimal_frontier =
+          Option.value frontier
+            ~default:Synthesizer.default_config.Synthesizer.optimal_frontier;
+      }
   in
   let started = Imageeye_util.Clock.counter () in
   let results =
@@ -272,7 +283,26 @@ let sweep task_ids images seed timeout jobs value_bank fwd_bwd ablation json_pat
    let rounds = get "fwd-bwd(iterations)" in
    if rounds > 0 then
      Printf.printf "fwd-bwd analysis: %d rounds, %d hole goals tightened\n" rounds
-       (get "fwd-bwd(tightened)"));
+       (get "fwd-bwd(tightened)");
+   let bound = get "cost-bound" in
+   if bound > 0 then Printf.printf "optimal search: %d candidates cost-bounded\n" bound);
+  let programs = List.filter_map (fun (_, r) -> r.Session.program) results in
+  let mean_size =
+    if programs = [] then 0.0
+    else
+      float_of_int (List.fold_left (fun acc p -> acc + Lang.program_size p) 0 programs)
+      /. float_of_int (List.length programs)
+  in
+  if programs <> [] then begin
+    let cost =
+      List.fold_left
+        (fun acc p -> Imageeye_core.Cost.add acc (Imageeye_core.Cost.of_program p))
+        Imageeye_core.Cost.zero programs
+    in
+    Printf.printf "quality: mean program size %.2f over %d program(s), cost total %d\n"
+      mean_size (List.length programs)
+      (Imageeye_core.Cost.total cost)
+  end;
   Option.iter
     (fun path ->
       let open Imageeye_util.Jsonout in
@@ -285,11 +315,28 @@ let sweep task_ids images seed timeout jobs value_bank fwd_bwd ablation json_pat
             ("timeout_s", Float timeout);
             ("value_bank", Bool value_bank);
             ("fwd_bwd", Bool fwd_bwd);
+            ("optimal", Bool config.Synthesizer.optimality);
             ("ablation", match ablation with Some a -> Str a | None -> Str "none");
           ]
         path (List.map snd results);
       Printf.printf "wrote sweep trajectory to %s\n" path)
     json_path;
+  (* Smoke gates for CI: fail loudly when the sweep solved too few tasks
+     or the solutions ballooned (the optimal-smoke mean-size ceiling). *)
+  if List.length solved < min_solved then begin
+    Printf.eprintf "error: solved %d task(s), below the --min-solved %d gate\n%!"
+      (List.length solved) min_solved;
+    exit 1
+  end;
+  Option.iter
+    (fun ceiling ->
+      if programs = [] || mean_size > ceiling then begin
+        Printf.eprintf
+          "error: mean program size %.2f exceeds the --max-mean-size %.2f gate\n%!"
+          mean_size ceiling;
+        exit 1
+      end)
+    max_mean_size;
   if solved = [] then exit 1
 
 let sweep_cmd =
@@ -321,18 +368,34 @@ let sweep_cmd =
       $ Arg.(value & flag & info [ "no-fwd-bwd" ]
                ~doc:"Disable bidirectional abstract interpretation (iterated              forward-backward goal tightening)."))
   in
+  let optimal =
+    Arg.(value & flag & info [ "optimal" ]
+           ~doc:"Cost-directed optimal synthesis: keep searching past the first              consistent program under an incumbent cost bound and return the              minimal consistent extractor (size, noise sensitivity, lattice              depth, generality).  Same solved set, smaller/more-general              programs, more nodes.")
+  in
+  let frontier =
+    Arg.(value & opt (some int) None & info [ "frontier" ] ~docv:"N"
+           ~doc:"Optimal-search improvement budget: candidates generated without              an incumbent improvement before the search settles (default              200000).  Only meaningful with $(b,--optimal).")
+  in
   let ablation =
     Arg.(value & opt (some string) None & info [ "ablation" ] ~docv:"NAME"
-           ~doc:"Apply a named ablation row from the shared fig16 table (full,              no-goal-inference, no-partial-eval, no-equiv-reduction, no-fwd-bwd,              no-per-image, no-cardinality, no-eval-cache, no-value-bank) on top              of the other flags.  Unknown names list the table and exit 2.")
+           ~doc:"Apply a named ablation row from the shared fig16 table (full,              no-goal-inference, no-partial-eval, no-equiv-reduction, no-fwd-bwd,              no-per-image, no-cardinality, no-eval-cache, no-value-bank,              optimal) on top of the other flags.  Unknown names list the table              and exit 2.")
   in
   let json_path =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
-           ~doc:"Write the per-task sweep trajectory (solved, time, nodes, prune              counters) as JSON to FILE.")
+           ~doc:"Write the per-task sweep trajectory (solved, time, nodes, prune              counters, program quality) as JSON to FILE.")
+  in
+  let min_solved =
+    Arg.(value & opt int 0 & info [ "min-solved" ] ~docv:"N"
+           ~doc:"Exit 1 unless at least N tasks were solved (CI smoke gate).")
+  in
+  let max_mean_size =
+    Arg.(value & opt (some float) None & info [ "max-mean-size" ] ~docv:"SIZE"
+           ~doc:"Exit 1 if the mean synthesized-program size exceeds SIZE (CI              smoke gate for optimal mode).")
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Run the demonstration loop over many benchmark tasks and summarize, optionally              on a parallel Domain pool.")
-    Term.(const sweep $ task_ids $ images $ seed_arg $ timeout $ jobs $ value_bank $ fwd_bwd $ ablation $ json_path)
+    Term.(const sweep $ task_ids $ images $ seed_arg $ timeout $ jobs $ value_bank $ fwd_bwd $ optimal $ frontier $ ablation $ json_path $ min_solved $ max_mean_size)
 
 (* ---------- apply ---------- *)
 
@@ -543,6 +606,29 @@ let report_cmd =
        ~doc:"Learn a benchmark task and write an HTML before/after gallery of the batch.")
     Term.(const report $ task_id_arg $ images $ seed_arg $ timeout $ out)
 
+(* ---------- trend ---------- *)
+
+let trend history out =
+  match Imageeye_report.Trend.write ~history ~out with
+  | Ok n -> Printf.printf "wrote %s (%d history row(s))\n" out n
+  | Error msg ->
+      Printf.eprintf "error: %s\n%!" msg;
+      exit 1
+
+let trend_cmd =
+  let history =
+    Arg.(value & opt string "PERF_HISTORY.jsonl" & info [ "history" ] ~docv:"FILE"
+           ~doc:"Perf-history JSONL file written by bench/main.exe --append.")
+  in
+  let out =
+    Arg.(value & opt string "trend.html" & info [ "o"; "out" ] ~docv:"FILE"
+           ~doc:"Output HTML file (self-contained; inline SVG, no scripts).")
+  in
+  Cmd.v
+    (Cmd.info "trend"
+       ~doc:"Render the per-commit perf history as a static HTML trend page (per-mode              node/solved charts and a per-commit table).")
+    Term.(const trend $ history $ out)
+
 (* ---------- parse ---------- *)
 
 let parse_impl path =
@@ -750,7 +836,8 @@ let run_client_request endpoint request =
           print_string (J.to_string response);
           if not (Client.is_ok response) then exit 1)
 
-let client socket port op program_file scenes_dir demos_file timeout task images seed =
+let client socket port op program_file scenes_dir demos_file timeout task images seed
+    optimal =
   let endpoint = client_endpoint socket port in
   let need what = function
     | Some v -> v
@@ -784,7 +871,8 @@ let client socket port op program_file scenes_dir demos_file timeout task images
         | Ok d -> d
         | Error e -> failwith (Demo_io.error_to_string e)
       in
-      run_client_request endpoint (Protocol.Synthesize { scenes; demos; timeout_s = timeout })
+      run_client_request endpoint
+        (Protocol.Synthesize { scenes; demos; timeout_s = timeout; optimal })
   | "apply" ->
       let program = load_program (need "--program" program_file) in
       let scenes = Scene_io.load_scenes ~dir:(need "--scenes" scenes_dir) in
@@ -863,11 +951,15 @@ let client_cmd =
   in
   let task = Arg.(value & opt (some int) None & info [ "task" ] ~docv:"TASK-ID") in
   let images = Arg.(value & opt (some int) None & info [ "n"; "images" ] ~docv:"N") in
+  let optimal =
+    Arg.(value & flag & info [ "optimal" ]
+           ~doc:"Ask the daemon for the minimal-cost consistent program (synthesize op).")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:"Send one request to a running imageeye daemon and print the JSON response.")
     Term.(const client $ socket_arg $ port_arg $ op $ program $ scenes $ demos $ timeout
-          $ task $ images $ seed_arg)
+          $ task $ images $ seed_arg $ optimal)
 
 (* Build the synthesize payload the load generator replays: the paper's
    demonstration for [task] — the ground-truth edit on the useful image
@@ -957,7 +1049,7 @@ let loadgen socket port endpoints concurrency requests task images demo_images s
      are reproducible and every op sees both cold and warm requests. *)
   let request_of_op = function
     | "apply" -> Protocol.Apply { program = ground_truth; scenes }
-    | _ -> Protocol.Synthesize { scenes; demos; timeout_s = timeout }
+    | _ -> Protocol.Synthesize { scenes; demos; timeout_s = timeout; optimal = false }
   in
   let op_of_index i = ops.(i mod Array.length ops) in
   let samples = Array.make requests None in
@@ -1147,6 +1239,6 @@ let () =
        (Cmd.group info
           [
             generate_cmd; objects_cmd; synthesize_cmd; explain_cmd; tasks_cmd; show_cmd;
-            learn_cmd; sweep_cmd; apply_cmd; accuracy_cmd; report_cmd; parse_cmd;
+            learn_cmd; sweep_cmd; apply_cmd; accuracy_cmd; report_cmd; trend_cmd; parse_cmd;
             serve_cmd; router_cmd; client_cmd; loadgen_cmd;
           ]))

@@ -1,0 +1,117 @@
+(* The cost order for optimal-extractor synthesis (see Optimal).
+
+   Four observable axes are folded over the predicates and structure of
+   an extractor; the scalar [total] weighs them so that AST size
+   dominates and the remaining axes break ties between same-size
+   programs.  Keeping size dominant also keeps the incumbent search
+   cheap: once a consistent program of size s is known, no candidate
+   beyond roughly size s + 2 can beat it, so the cost bound confines the
+   post-incumbent frontier to a thin band of tiers. *)
+
+type t = { size : int; lattice : int; noise : int; generality : int }
+
+let zero = { size = 0; lattice = 0; noise = 0; generality = 0 }
+
+(* Depth of a predicate in the specialization lattice rooted at the
+   object-kind tests: kind tests (depth 1) generalize attribute and
+   class tests (depth 2), which generalize exact-identity matchers
+   (depth 3) — a [Word] names one string, a [Face] one individual. *)
+let lattice_depth = function
+  | Pred.Face_object | Pred.Text_object -> 1
+  | Pred.Smiling | Pred.Eyes_open | Pred.Mouth_open | Pred.Below_age _
+  | Pred.Above_age _ | Pred.Phone_number | Pred.Price | Pred.Object _ ->
+      2
+  | Pred.Face _ | Pred.Word _ -> 3
+
+(* How exposed a predicate is to the RQ5 noise channels (Noise.profile):
+   kind tests are read straight off the detector and never flip;
+   attribute tests ride the attr-flip channel and face identities the
+   face-id-confusion channel (weight 2, the channels with the highest
+   default rates weighted by blast radius); object classes and OCR-backed
+   text tests sit on the lower-rate confusion/error channels (weight 1). *)
+let noise_weight = function
+  | Pred.Face_object | Pred.Text_object -> 0
+  | Pred.Object _ | Pred.Word _ | Pred.Phone_number | Pred.Price -> 1
+  | Pred.Smiling | Pred.Eyes_open | Pred.Mouth_open | Pred.Below_age _
+  | Pred.Above_age _ | Pred.Face _ ->
+      2
+
+(* Exact-identity matchers name one specific entity or string, the
+   signature of an extractor overfit to the demonstration images. *)
+let exact_identity = function Pred.Face _ | Pred.Word _ -> true | _ -> false
+
+let add_pred acc p =
+  {
+    acc with
+    lattice = acc.lattice + lattice_depth p;
+    noise = acc.noise + noise_weight p;
+    generality = (acc.generality + if exact_identity p then 1 else 0);
+  }
+
+let rec fold acc (e : Lang.extractor) =
+  match e with
+  | Lang.All -> acc
+  | Lang.Is p -> add_pred acc p
+  | Lang.Complement e1 -> fold acc e1
+  | Lang.Union es | Lang.Intersect es -> List.fold_left fold acc es
+  | Lang.Find (e1, p, _) | Lang.Filter (e1, p) -> fold (add_pred acc p) e1
+
+let of_extractor e = { (fold zero e) with size = Lang.size e }
+
+let add a b =
+  {
+    size = a.size + b.size;
+    lattice = a.lattice + b.lattice;
+    noise = a.noise + b.noise;
+    generality = a.generality + b.generality;
+  }
+
+let of_program prog =
+  List.fold_left (fun acc (e, _action) -> add acc (of_extractor e)) zero prog
+
+let total c = (16 * c.size) + (4 * c.noise) + (2 * c.lattice) + c.generality
+
+(* The documented total order: scalar total first, then the axes in
+   fixed precedence (size, noise, lattice, generality).  Distinct costs
+   never compare equal, so any two programs either differ in cost or are
+   separated by the final syntactic tie-break in [compare_extractors]. *)
+let compare a b =
+  let c = Int.compare (total a) (total b) in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.size b.size in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.noise b.noise in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.lattice b.lattice in
+        if c <> 0 then c else Int.compare a.generality b.generality
+
+let compare_extractors a b =
+  let c = compare (of_extractor a) (of_extractor b) in
+  if c <> 0 then c else Lang.compare_extractor a b
+
+(* Admissible lower bound over a partial program: concrete nodes
+   contribute exactly what they will contribute in any completion, and a
+   hole contributes its minimal possible footprint — size 1 (the
+   smallest completion, [All], has size 1) and zero on the other axes
+   ([All] names no predicate).  Every axis only grows as holes are
+   filled and every weight in [total] is positive, so for any completion
+   e of p: [compare (lower_bound p) (of_extractor e) <= 0]. *)
+let rec fold_partial acc (p : Partial.t) =
+  match p.Partial.node with
+  | Partial.Hole | Partial.All -> acc
+  | Partial.Is pr -> add_pred acc pr
+  | Partial.Complement q -> fold_partial acc q
+  | Partial.Union qs | Partial.Intersect qs -> List.fold_left fold_partial acc qs
+  | Partial.Find (q, pr, _) | Partial.Filter (q, pr) ->
+      fold_partial (add_pred acc pr) q
+
+let lower_bound p = { (fold_partial zero p) with size = Partial.size p }
+
+let pp fmt c =
+  Format.fprintf fmt "{total=%d; size=%d; lattice=%d; noise=%d; generality=%d}"
+    (total c) c.size c.lattice c.noise c.generality
+
+let to_string c = Format.asprintf "%a" pp c

@@ -1,0 +1,66 @@
+(** The composable cost order over extractors that drives optimal
+    synthesis ({!Optimal}), in the spirit of lattice-based predicate
+    selection (He et al., "Synthesizing Optimal Object Selection
+    Predicates for Image Editing using Lattices").
+
+    A cost folds four axes over an extractor:
+
+    - [size]: AST size ({!Lang.size} — parameterized predicates count 2);
+    - [lattice]: summed depth of its predicates in the specialization
+      lattice (kind tests 1 → attribute/class tests 2 → exact-identity
+      matchers 3);
+    - [noise]: summed sensitivity to the RQ5 noisy-classifier channels
+      (kind tests 0, OCR/class tests 1, attribute and face-identity
+      tests 2);
+    - [generality]: the count of exact-identity matchers ([Face n],
+      [Word s]) — the predicates that pin a program to the individuals
+      of the demonstration images.
+
+    The scalar {!total} weighs them [16·size + 4·noise + 2·lattice +
+    generality]: size dominates (a program one node smaller always wins,
+    which keeps the optimal search's frontier within a thin band of size
+    tiers above the incumbent), and the remaining axes order same-size
+    programs by how robustly they generalize. *)
+
+type t = { size : int; lattice : int; noise : int; generality : int }
+
+val zero : t
+
+val of_extractor : Lang.extractor -> t
+
+val of_program : Lang.program -> t
+(** Componentwise sum over the program's extractors. *)
+
+val add : t -> t -> t
+
+val total : t -> int
+(** [16*size + 4*noise + 2*lattice + generality]. *)
+
+val compare : t -> t -> int
+(** Total order on costs: {!total} first, then the axes in fixed
+    precedence — size, noise, lattice, generality. *)
+
+val compare_extractors : Lang.extractor -> Lang.extractor -> int
+(** The fully total, deterministic order used to state optimality:
+    {!compare} on the costs, ties broken syntactically by
+    {!Lang.compare_extractor}.  Two extractors compare equal only when
+    they are the same term. *)
+
+val lattice_depth : Pred.t -> int
+val noise_weight : Pred.t -> int
+
+val exact_identity : Pred.t -> bool
+(** Predicates that name one specific entity or string ([Face n],
+    [Word s]) — the overfitting signature the RQ5 experiment counts. *)
+
+val lower_bound : Partial.t -> t
+(** Admissible lower bound on the cost of every completion of a partial
+    program: holes contribute their minimal footprint (size 1, zero on
+    the other axes — the [All] completion realizes it), concrete nodes
+    their exact contribution.  For any completion [e] of [p],
+    [compare (lower_bound p) (of_extractor e) <= 0], which is what makes
+    incumbent pruning in {!Optimal} solution-preserving: a candidate is
+    skipped only when no completion can beat the incumbent. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

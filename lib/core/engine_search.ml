@@ -12,6 +12,8 @@ type config = {
   absint_cardinality : bool;
   eval_cache : bool;
   value_bank : bool;
+  optimality : bool;
+  optimal_frontier : int;
   timeout_s : float;
   max_expansions : int;
   max_size : int;
@@ -29,6 +31,8 @@ let default_config =
     absint_cardinality = true;
     eval_cache = true;
     value_bank = true;
+    optimality = false;
+    optimal_frontier = 200_000;
     timeout_s = 120.0;
     max_expansions = 2_000_000;
     max_size = 24;
@@ -59,6 +63,10 @@ let ablations : (string * (config -> config)) list =
     ("no-cardinality", fun c -> { c with absint_cardinality = false });
     ("no-eval-cache", fun c -> { c with eval_cache = false });
     ("no-value-bank", fun c -> { c with value_bank = false });
+    (* The one row that *adds* a technique instead of removing one:
+       cost-directed optimal search (Optimal) on top of the full
+       configuration, for quality-vs-nodes comparisons. *)
+    ("optimal", fun c -> { c with optimality = true });
   ]
 
 type stats = {
@@ -294,6 +302,22 @@ let expand u vocab facts config ctx passes ~close ~delta root =
 
 let const_solved_label = Prune.partial_eval.Prune.name ^ "(const-solved)"
 
+(* Caller-supplied search hooks, the mechanism behind cost-directed
+   optimal search (Optimal).  [admit] vets every freshly generated
+   candidate before any evaluation work (a rejection is attributed to
+   [cost_bound_label] in the prune counts); [on_solution] observes each
+   consistent complete program as it is found and decides whether the
+   search continues past it (with hooks installed, [limit] no longer
+   terminates the search — the hook does); [should_stop] is polled with
+   the budget checks and ends the search with [`Found_enough]. *)
+type hooks = {
+  admit : Partial.t -> bool;
+  on_solution : Lang.extractor -> [ `Continue | `Stop ];
+  should_stop : unit -> bool;
+}
+
+let cost_bound_label = "cost-bound"
+
 let stats_of_events ev ~nodes =
   {
     popped = Events.popped ev;
@@ -307,7 +331,7 @@ let stats_of_events ev ~nodes =
     prune_counts = Events.counts ev;
   }
 
-let search ~config ~limit ?sink u i_out =
+let search ~config ~limit ?hooks ?sink u i_out =
   let vocab = Bank_registry.vocab u ~age_thresholds:config.age_thresholds in
   let passes = Prune.pipeline (spec_of_config config) in
   (* The Find/Filter signature dedup evaluates parameterizations on the
@@ -386,8 +410,18 @@ let search ~config ~limit ?sink u i_out =
      recognize complete solutions on the spot (partial evaluation has
      already computed every complete candidate's value, so deferring the
      check to a later pop would only re-evaluate it), or enqueue it. *)
+  (* The hook gate runs before any evaluation work: a candidate the
+     caller can already rule out (e.g. its cost lower bound cannot beat
+     the optimal search's incumbent) costs nothing but the bound. *)
+  let admitted p' =
+    match hooks with
+    | Some h when not (h.admit p') ->
+        Events.record ev (Events.Pruned cost_bound_label);
+        false
+    | _ -> true
+  in
   let consider ~push p' =
-    if Partial.size p' <= config.max_size then begin
+    if Partial.size p' <= config.max_size && admitted p' then begin
       let form =
         Peval.run ~eval_is:ctx.Prune.eval_is ?cache ~check_goals:ctx.Prune.goal_checks
           ~collapse:ctx.Prune.collapse u p'
@@ -420,7 +454,12 @@ let search ~config ~limit ?sink u i_out =
               if Simage.equal value i_out then begin
                 Events.record ev Events.Success;
                 solutions := e :: !solutions;
-                if List.length !solutions >= limit then raise Done
+                match hooks with
+                | Some h -> (
+                    match h.on_solution e with
+                    | `Stop -> raise Done
+                    | `Continue -> ())
+                | None -> if List.length !solutions >= limit then raise Done
               end
           | None ->
               Events.record ev Events.Enqueued;
@@ -444,9 +483,12 @@ let search ~config ~limit ?sink u i_out =
     }
   in
   let stop () : [ `Found_enough | `Timeout | `Exhausted ] option =
-    if Events.elapsed_s ev > config.timeout_s then Some `Timeout
-    else if Events.popped ev >= config.max_expansions then Some `Exhausted
-    else None
+    match hooks with
+    | Some h when h.should_stop () -> Some `Found_enough
+    | _ ->
+        if Events.elapsed_s ev > config.timeout_s then Some `Timeout
+        else if Events.popped ev >= config.max_expansions then Some `Exhausted
+        else None
   in
   let root = Partial.hole (Goal.exact i_out) in
   let reason =

@@ -45,6 +45,18 @@ type config = {
           value-indexed extractor bank ({!Bank_registry}) instead of
           being expanded through the grammar; semantics-preserving for
           single-solution searches (multi-solution searches ignore it) *)
+  optimality : bool;
+      (** cost-directed optimal synthesis (off by default): instead of
+          returning the first consistent program, keep searching past it
+          under an incumbent cost bound and return the minimal
+          consistent extractor under the {!Cost} order.  The engine
+          itself ignores this flag — {!Synthesizer.synthesize_extractor}
+          dispatches to {!Optimal.search}, which drives {!search}
+          through {!hooks} *)
+  optimal_frontier : int;
+      (** {!Optimal.search}'s default improvement budget: candidates
+          generated without an incumbent improvement before the search
+          settles.  The engine itself ignores it *)
   timeout_s : float;  (** monotonic-clock budget per extractor search *)
   max_expansions : int;  (** hard cap on worklist pops *)
   max_size : int;  (** partial programs above this size are not enqueued *)
@@ -60,9 +72,11 @@ val spec_of_config : config -> Prune.spec
 
 val ablations : (string * (config -> config)) list
 (** The named fig16 ablation rows (["full"], ["no-goal-inference"], ...,
-    ["no-fwd-bwd"], ...): each disables one technique.  The benchmark
-    driver, [imageeye sweep --ablation], and tests all consume this
-    table, so rows stay in sync across the tooling. *)
+    ["no-fwd-bwd"], ...): each disables one technique — except
+    ["optimal"], which instead {e adds} cost-directed optimal search on
+    top of the full configuration.  The benchmark driver,
+    [imageeye sweep --ablation], and tests all consume this table, so
+    rows stay in sync across the tooling. *)
 
 type stats = {
   popped : int;  (** worklist entries dequeued *)
@@ -101,9 +115,30 @@ val empty_stats : stats
 val add_stats : stats -> stats -> stats
 (** Field-wise sum; [prune_counts] are merged by label. *)
 
+type hooks = {
+  admit : Partial.t -> bool;
+      (** vets every freshly generated candidate before any evaluation
+          or pruning work; a rejection is counted under the
+          ["cost-bound"] label in [prune_counts].  {!Optimal} rejects
+          candidates whose admissible cost lower bound cannot beat the
+          incumbent *)
+  on_solution : Lang.extractor -> [ `Continue | `Stop ];
+      (** observes each consistent complete program as it is found and
+          decides whether the search continues past it.  With hooks
+          installed, [limit] no longer terminates the search — this
+          hook does (all solutions are still collected and returned) *)
+  should_stop : unit -> bool;
+      (** polled alongside the timeout/expansion budget checks; [true]
+          ends the search with [`Found_enough].  {!Optimal} uses it to
+          cap the post-incumbent frontier *)
+}
+(** Caller-supplied search hooks — the mechanism behind cost-directed
+    optimal search ({!Optimal}). *)
+
 val search :
   config:config ->
   limit:int ->
+  ?hooks:hooks ->
   ?sink:(Imageeye_engine.Events.event -> unit) ->
   Imageeye_symbolic.Universe.t ->
   Imageeye_symbolic.Simage.t ->
@@ -111,4 +146,6 @@ val search :
 (** Core worklist search.  Collects up to [limit] distinct complete
     solutions, in size-then-depth order — the search simply continues
     past the first success, which is what powers program disambiguation
-    and active learning.  [sink] observes the raw event stream. *)
+    and active learning.  [sink] observes the raw event stream.  With
+    [hooks], solution-count termination is delegated to the hooks (the
+    value bank still keys its participation on [limit]). *)

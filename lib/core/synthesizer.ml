@@ -13,6 +13,8 @@ type config = Engine_search.config = {
   absint_cardinality : bool;
   eval_cache : bool;
   value_bank : bool;
+  optimality : bool;
+  optimal_frontier : int;
   timeout_s : float;
   max_expansions : int;
   max_size : int;
@@ -40,11 +42,25 @@ type 'a outcome = Success of 'a * stats | Timeout of stats | Exhausted of stats
 
 let search = Engine_search.search
 
+(* With [optimality] on, the search continues past the first consistent
+   program under an incumbent cost bound (Optimal); a timeout with an
+   incumbent in hand still succeeds with it, so the optimal mode never
+   solves fewer tasks than first-consistent mode under the same budget. *)
 let synthesize_extractor ?(config = default_config) u i_out =
-  match search ~config ~limit:1 u i_out with
-  | e :: _, _, st -> Success (e, st)
-  | [], `Timeout, st -> Timeout st
-  | [], (`Exhausted | `Found_enough), st -> Exhausted st
+  if config.optimality then begin
+    let r = Optimal.search ~config u i_out in
+    match r.Optimal.best with
+    | Some (e, _cost) -> Success (e, r.Optimal.stats)
+    | None -> (
+        match r.Optimal.reason with
+        | `Timeout -> Timeout r.Optimal.stats
+        | `Exhausted | `Found_enough -> Exhausted r.Optimal.stats)
+  end
+  else
+    match search ~config ~limit:1 u i_out with
+    | e :: _, _, st -> Success (e, st)
+    | [], `Timeout, st -> Timeout st
+    | [], (`Exhausted | `Found_enough), st -> Exhausted st
 
 (* Up to [count] observationally distinct-by-syntax solutions, in the
    worklist's size-then-depth order (the first is the one
@@ -53,6 +69,45 @@ let synthesize_extractor ?(config = default_config) u i_out =
 let synthesize_extractors ?(config = default_config) ~count u i_out =
   let solutions, _, st = search ~config ~limit:(max 1 count) u i_out in
   (solutions, st)
+
+(* Cost-ranked spec-consistent candidates, one list per demonstrated
+   action.  In optimality mode this is the optimal search's whole
+   enumerated solution set — every consistent program it admitted, not
+   just the final incumbent — deduplicated and sorted by the total cost
+   order; otherwise the single first-consistent extractor.  Callers
+   whose real consistency check is stronger than the spec (the
+   interaction loop validates against the full dataset) walk each list
+   cheapest-first and keep the first program that survives. *)
+let synthesize_ranked ?(config = default_config) (spec : Edit.Spec.t) =
+  let u = spec.universe in
+  let solve action =
+    let i_out = Edit.Spec.output_for_action spec action in
+    if config.optimality then begin
+      let r = Optimal.search ~config u i_out in
+      match r.Optimal.best with
+      | Some _ ->
+          Success
+            (List.sort_uniq Cost.compare_extractors r.Optimal.enumerated, r.Optimal.stats)
+      | None -> (
+          match r.Optimal.reason with
+          | `Timeout -> Timeout r.Optimal.stats
+          | `Exhausted | `Found_enough -> Exhausted r.Optimal.stats)
+    end
+    else
+      match search ~config ~limit:1 u i_out with
+      | e :: _, _, st -> Success ([ e ], st)
+      | [], `Timeout, st -> Timeout st
+      | [], (`Exhausted | `Found_enough), st -> Exhausted st
+  in
+  let rec go acc stats_acc = function
+    | [] -> Success (List.rev acc, stats_acc)
+    | action :: rest -> (
+        match solve action with
+        | Success (ranked, st) -> go ((action, ranked) :: acc) (add_stats stats_acc st) rest
+        | Timeout st -> Timeout (add_stats stats_acc st)
+        | Exhausted st -> Exhausted (add_stats stats_acc st))
+  in
+  go [] empty_stats (Edit.Spec.demonstrated_actions spec)
 
 (* Top-level Synthesize (Fig. 8): one extractor per demonstrated action.
 

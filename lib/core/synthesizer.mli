@@ -40,6 +40,19 @@ type config = Engine_search.config = {
       (** hybrid bottom-up/top-down search (see {!Engine_search.config});
           semantics-preserving for single-solution searches, on by
           default; {!synthesize_extractors} with [count > 1] ignores it *)
+  optimality : bool;
+      (** cost-directed optimal synthesis (off by default):
+          {!synthesize_extractor} dispatches to {!Optimal.search} and
+          returns the minimal consistent extractor under the {!Cost}
+          order instead of the first one found — same solved set under
+          the same budget (a timeout with an incumbent still succeeds
+          with it), smaller/more-general programs.
+          {!synthesize_extractors} ignores it (its callers want the
+          enumeration order, not one optimum) *)
+  optimal_frontier : int;
+      (** candidates generated without an incumbent improvement before
+          the optimal search settles (default 200k); higher explores
+          deeper for cheaper programs at proportional search cost *)
   timeout_s : float;  (** monotonic-clock budget per extractor search *)
   max_expansions : int;  (** hard cap on worklist pops *)
   max_size : int;  (** partial programs above this size are not enqueued *)
@@ -96,6 +109,19 @@ val synthesize_extractors :
     that all match the examples, in the worklist's size-then-depth order.
     All returned extractors agree on the input image but may disagree on
     unseen images — the ambiguity that drives active example selection. *)
+
+val synthesize_ranked :
+  ?config:config ->
+  Edit.Spec.t ->
+  (Lang.action * Lang.extractor list) list outcome
+(** Cost-ranked spec-consistent candidates, one non-empty list per
+    demonstrated action, cheapest first under {!Cost.compare_extractors}.
+    In optimality mode the list is the optimal search's whole enumerated
+    solution set (every consistent extractor it admitted); otherwise it
+    is the single first-consistent extractor.  Callers whose real
+    consistency check is stronger than the spec — the interaction loop
+    validates candidates against the full dataset — walk each list
+    cheapest-first and keep the first survivor. *)
 
 val synthesize :
   ?config:config ->

@@ -101,6 +101,7 @@ let run ?(config = Synthesizer.default_config) ?(max_rounds = 10) ?(candidates =
       failure;
       rounds;
       program;
+      spec_minimal = None;
       examples_used = List.length rounds;
       last_round_time =
         (match List.rev rounds with [] -> 0.0 | (r : Session.round) :: _ -> r.synth_time);

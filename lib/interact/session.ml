@@ -1,5 +1,6 @@
 module Lang = Imageeye_core.Lang
 module Edit = Imageeye_core.Edit
+module Cost = Imageeye_core.Cost
 module Synthesizer = Imageeye_core.Synthesizer
 module Universe = Imageeye_symbolic.Universe
 module Scene = Imageeye_scene.Scene
@@ -21,6 +22,23 @@ let imageeye_engine config spec =
       { program = Some prog; time = st.elapsed_s; stats = Some st }
   | Synthesizer.Timeout st | Synthesizer.Exhausted st ->
       { program = None; time = st.elapsed_s; stats = Some st }
+
+type optimize_result = {
+  per_action : (Lang.action * Lang.extractor list) list option;
+      (* cost-ranked spec-consistent candidates per action; [None] when
+         the minimizing search failed outright *)
+  opt_time : float;
+  opt_stats : Synthesizer.stats option;
+}
+
+type optimizer = Edit.Spec.t -> optimize_result
+
+let imageeye_optimizer config spec =
+  match Synthesizer.synthesize_ranked ~config spec with
+  | Synthesizer.Success (ranked, st) ->
+      { per_action = Some ranked; opt_time = st.elapsed_s; opt_stats = Some st }
+  | Synthesizer.Timeout st | Synthesizer.Exhausted st ->
+      { per_action = None; opt_time = st.elapsed_s; opt_stats = Some st }
 
 let eusolver_engine ~timeout_s spec =
   let config = { Imageeye_baseline.Eusolver.default_config with timeout_s } in
@@ -46,6 +64,10 @@ type result = {
   failure : failure_reason option;
   rounds : round list;
   program : Lang.program option;
+  spec_minimal : Lang.program option;
+      (* the cost-minimal spec-consistent program the post-acceptance
+         minimizer found, before full-dataset validation; [None] without
+         an optimizer or when the task was not solved *)
   examples_used : int;
   last_round_time : float;
 }
@@ -57,6 +79,38 @@ let edits_agree_on_image u a b img =
       List.sort_uniq Stdlib.compare (Edit.actions_of a id)
       = List.sort_uniq Stdlib.compare (Edit.actions_of b id))
     ids
+
+(* Greedy per-action frontier walk over the optimizer's cost-ranked
+   candidates: for each action, adopt the cheapest strictly-cheaper
+   candidate whose substitution still passes [validate] (the full-dataset
+   user check), holding the other actions fixed.  An object's action list
+   is the union over the program's rules, one rule per action, so one
+   action's extractor never affects another action's assignments — the
+   per-action validation is exact and the greedy walk reaches the
+   cheapest validating combination.  [max_walk] bounds the dataset
+   evaluations spent per action on candidates that keep failing. *)
+let max_walk = 64
+
+let minimize_program ~validate ~ranked prog =
+  let replace action e =
+    List.map (fun (e0, a) -> if a = action then (e, a) else (e0, a))
+  in
+  List.fold_left
+    (fun current (action, cands) ->
+      match List.find_opt (fun (_, a) -> a = action) current with
+      | None -> current
+      | Some (cur, _) -> (
+          let cur_cost = Cost.of_extractor cur in
+          let better =
+            List.filter
+              (fun e -> Cost.compare (Cost.of_extractor e) cur_cost < 0)
+              cands
+          in
+          let better = List.filteri (fun i _ -> i < max_walk) better in
+          match List.find_opt (fun e -> validate (replace action e current)) better with
+          | Some e -> replace action e current
+          | None -> current))
+    prog ranked
 
 (* The image (among [candidates]) with the fewest detected objects — the
    paper's user picks sparse images because they are the least work to
@@ -77,6 +131,11 @@ module Stepwise = struct
 
   type t = {
     engine : engine;
+    optimize : optimizer option;
+        (* post-acceptance minimization: run once on the accepted round's
+           spec; cheaper candidates are adopted (cheapest first, per
+           action) only when they pass the same full-dataset user check
+           the accepted program did *)
     max_rounds : int;
     task : Task.t;
     batch_u : Universe.t;
@@ -89,6 +148,7 @@ module Stepwise = struct
     mutable rounds : round list;  (** accumulated in reverse *)
     mutable round_index : int;
     mutable status : status;
+    mutable spec_minimal : Lang.program option;
   }
 
   let status t = t.status
@@ -98,7 +158,7 @@ module Stepwise = struct
     | Awaiting_round, img :: _ -> Some img
     | _ -> None
 
-  let start ~engine ?(max_rounds = 10) ?batch_universe ~dataset task =
+  let start ~engine ?optimize ?(max_rounds = 10) ?batch_universe ~dataset task =
     let scenes = dataset.Dataset.scenes in
     let batch_u =
       match batch_universe with Some u -> u | None -> Batch.universe_of_scenes scenes
@@ -123,6 +183,7 @@ module Stepwise = struct
     in
     {
       engine;
+      optimize;
       max_rounds;
       task;
       batch_u;
@@ -133,6 +194,7 @@ module Stepwise = struct
       rounds = [];
       round_index = 1;
       status;
+      spec_minimal = None;
     }
 
   let step t =
@@ -149,6 +211,60 @@ module Stepwise = struct
         let demo_edit = Edit.induced_by_program demo_u t.task.Task.ground_truth in
         let spec = Edit.Spec.make demo_u [ (List.hd t.demo_images, demo_edit) ] in
         let er = t.engine spec in
+        let mismatches_of prog =
+          let cand_edit = Edit.induced_by_program t.batch_u prog in
+          List.filter
+            (fun img -> not (edits_agree_on_image t.batch_u t.gt_edit cand_edit img))
+            t.image_ids
+        in
+        (* On acceptance, optionally minimize: re-synthesize the same
+           spec with the cost-directed engine and walk its cost-ranked
+           candidate frontier, adopting cheaper extractors only when the
+           substituted program passes the identical full-dataset user
+           check the accepted program just did.  The interaction
+           trajectory (rounds, demonstrations, solvability) is untouched
+           — optimization runs strictly after the user would have
+           accepted, never inside the refinement loop. *)
+        let er, mismatches =
+          match er.program with
+          | None -> (er, [])
+          | Some prog -> (
+              match (mismatches_of prog, t.optimize) with
+              | [], Some optimize ->
+                  let opt = optimize spec in
+                  let program =
+                    match opt.per_action with
+                    | Some ranked ->
+                        (* The spec-level minimum (cheapest candidate per
+                           action) is recorded even when full-dataset
+                           validation rejects it — the gap between the
+                           two is itself a measurement. *)
+                        (match
+                           List.map
+                             (function
+                               | action, cand :: _ -> (cand, action)
+                               | _, [] -> raise Exit)
+                             ranked
+                         with
+                        | spec_best -> t.spec_minimal <- Some spec_best
+                        | exception Exit -> ());
+                        minimize_program
+                          ~validate:(fun q -> mismatches_of q = [])
+                          ~ranked prog
+                    | None -> prog
+                  in
+                  ( {
+                      program = Some program;
+                      time = er.time +. opt.opt_time;
+                      stats =
+                        (match (er.stats, opt.opt_stats) with
+                        | Some a, Some b -> Some (Synthesizer.add_stats a b)
+                        | (Some _ as a), None -> a
+                        | None, b -> b);
+                    },
+                    [] )
+              | mismatches, _ -> (er, mismatches))
+        in
         let round =
           {
             round_index = t.round_index;
@@ -162,13 +278,6 @@ module Stepwise = struct
         (match er.program with
         | None -> t.status <- Failed Synth_failed
         | Some prog -> (
-            let cand_edit = Edit.induced_by_program t.batch_u prog in
-            let mismatches =
-              List.filter
-                (fun img ->
-                  not (edits_agree_on_image t.batch_u t.gt_edit cand_edit img))
-                t.image_ids
-            in
             match mismatches with
             | [] -> t.status <- Solved prog
             | _ when t.round_index >= t.max_rounds -> t.status <- Failed Rounds_exhausted
@@ -200,16 +309,26 @@ module Stepwise = struct
       failure;
       rounds;
       program;
+      spec_minimal = t.spec_minimal;
       examples_used = List.length rounds;
       last_round_time = (match t.rounds with [] -> 0.0 | r :: _ -> r.synth_time);
     }
 end
 
-let run_with ~engine ?max_rounds ?batch_universe ~dataset task =
-  let s = Stepwise.start ~engine ?max_rounds ?batch_universe ~dataset task in
+let run_with ~engine ?optimize ?max_rounds ?batch_universe ~dataset task =
+  let s = Stepwise.start ~engine ?optimize ?max_rounds ?batch_universe ~dataset task in
   let rec drive () = match Stepwise.step s with Some _ -> drive () | None -> () in
   drive ();
   Stepwise.result s
 
+(* With [config.optimality] set, the refinement rounds run in
+   first-consistent mode — so the interaction trajectory is identical to
+   the default — and the accepted program is then minimized once under
+   the cost order (see {!Stepwise.step}). *)
 let run ?(config = Synthesizer.default_config) ?max_rounds ?batch_universe ~dataset task =
-  run_with ~engine:(imageeye_engine config) ?max_rounds ?batch_universe ~dataset task
+  if config.Synthesizer.optimality then
+    run_with
+      ~engine:(imageeye_engine { config with Synthesizer.optimality = false })
+      ~optimize:(imageeye_optimizer config)
+      ?max_rounds ?batch_universe ~dataset task
+  else run_with ~engine:(imageeye_engine config) ?max_rounds ?batch_universe ~dataset task

@@ -30,6 +30,21 @@ type engine = Imageeye_core.Edit.Spec.t -> engine_result
 val imageeye_engine : Imageeye_core.Synthesizer.config -> engine
 val eusolver_engine : timeout_s:float -> engine
 
+type optimize_result = {
+  per_action :
+    (Imageeye_core.Lang.action * Imageeye_core.Lang.extractor list) list option;
+      (** cost-ranked spec-consistent candidates per action, cheapest
+          first ({!Imageeye_core.Synthesizer.synthesize_ranked}); [None]
+          when the minimizing search failed outright *)
+  opt_time : float;
+  opt_stats : Imageeye_core.Synthesizer.stats option;
+}
+
+type optimizer = Imageeye_core.Edit.Spec.t -> optimize_result
+(** A post-acceptance minimizer (see {!Stepwise.start}). *)
+
+val imageeye_optimizer : Imageeye_core.Synthesizer.config -> optimizer
+
 type round = {
   round_index : int;  (** 1-based *)
   demo_image : int;  (** the image added in this round *)
@@ -46,6 +61,12 @@ type result = {
   failure : failure_reason option;
   rounds : round list;  (** in order; length = number of demonstrations *)
   program : Imageeye_core.Lang.program option;  (** final successful program *)
+  spec_minimal : Imageeye_core.Lang.program option;
+      (** the cost-minimal spec-consistent program the post-acceptance
+          minimizer found, {e before} full-dataset validation ([program]
+          is that minimum when it validated, the cheapest validating
+          candidate otherwise); [None] without an optimizer or when the
+          task was not solved *)
   examples_used : int;
   last_round_time : float;  (** synthesis time of the final round *)
 }
@@ -69,6 +90,7 @@ module Stepwise : sig
 
   val start :
     engine:engine ->
+    ?optimize:optimizer ->
     ?max_rounds:int ->
     ?batch_universe:Imageeye_symbolic.Universe.t ->
     dataset:Imageeye_scene.Dataset.t ->
@@ -76,7 +98,18 @@ module Stepwise : sig
     t
   (** Prepare the loop: build the batch universe, the ground-truth edit
       and the first demonstration.  Starts [Failed No_useful_image] when
-      the ground truth edits nothing anywhere. *)
+      the ground truth edits nothing anywhere.
+
+      [optimize], when given, runs exactly once, on the spec of the
+      round whose candidate the simulated user accepts; its cost-ranked
+      candidates are then walked cheapest-first per action, and a
+      cheaper extractor is adopted only when the substituted program
+      passes the identical full-dataset check the accepted one did.
+      The refinement trajectory — demonstrations, round count,
+      solvability — is byte-identical with or without it; only the
+      final program (and the accepting round's time/stats, which absorb
+      the extra search) can change.  {!run} wires the cost-directed
+      optimal search here when [config.optimality] is set. *)
 
   val status : t -> status
 
@@ -104,10 +137,14 @@ val run :
 (** Run the loop with the ImageEye engine and perfect detection (the
     setting of RQ1/RQ2/RQ4).  [batch_universe], when given, must be the
     perfect-detection universe of the dataset's scenes; passing it avoids
-    rebuilding the spatial indices for every task over the same dataset. *)
+    rebuilding the spatial indices for every task over the same dataset.
+    When [config.optimality] is set, rounds run first-consistent and the
+    accepted program is minimized once post-acceptance (see
+    {!Stepwise.start}'s [optimize]). *)
 
 val run_with :
   engine:engine ->
+  ?optimize:optimizer ->
   ?max_rounds:int ->
   ?batch_universe:Imageeye_symbolic.Universe.t ->
   dataset:Imageeye_scene.Dataset.t ->

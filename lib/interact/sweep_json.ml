@@ -1,5 +1,7 @@
 module J = Imageeye_util.Jsonout
 module Synthesizer = Imageeye_core.Synthesizer
+module Lang = Imageeye_core.Lang
+module Cost = Imageeye_core.Cost
 module Dataset = Imageeye_scene.Dataset
 module Task = Imageeye_tasks.Task
 
@@ -37,9 +39,42 @@ let task_counts r =
 
 let counts_json counts = J.Obj (List.map (fun (label, n) -> (label, J.Int n)) counts)
 
-let task_json (r : Session.result) =
+let cost_json (c : Cost.t) =
   J.Obj
     [
+      ("total", J.Int (Cost.total c));
+      ("size", J.Int c.Cost.size);
+      ("lattice", J.Int c.Cost.lattice);
+      ("noise", J.Int c.Cost.noise);
+      ("generality", J.Int c.Cost.generality);
+    ]
+
+(* Solution-quality fields: the synthesized program and its cost-order
+   footprint.  Null on unsolved tasks, so quality comparisons between
+   runs only pair up tasks both runs solved. *)
+let quality_fields (r : Session.result) =
+  (* The spec-level minimum the optimizer found before the full-dataset
+     user check; when it differs from [cost], validation rejected the
+     spec minimum and kept a costlier (still cheapest-validating)
+     candidate.  Absent unless the run minimized (--optimal). *)
+  let spec_fields =
+    match r.spec_minimal with
+    | None -> []
+    | Some p -> [ ("spec_cost", cost_json (Cost.of_program p)) ]
+  in
+  match r.program with
+  | None -> [ ("program", J.Null); ("program_size", J.Null); ("cost", J.Null) ]
+  | Some prog ->
+      [
+        ("program", J.Str (Lang.program_to_string prog));
+        ("program_size", J.Int (Lang.program_size prog));
+        ("cost", cost_json (Cost.of_program prog));
+      ]
+      @ spec_fields
+
+let task_json (r : Session.result) =
+  J.Obj
+    ([
       ( "name",
         J.Str
           (Printf.sprintf "%02d-%s" r.task.Task.id
@@ -54,6 +89,27 @@ let task_json (r : Session.result) =
       ("nodes", J.Int (task_nodes r));
       ("prune_counts", counts_json (task_counts r));
     ]
+    @ quality_fields r)
+
+(* Aggregate quality over the tasks that produced a program: total and
+   mean program size, and the componentwise cost sum.  This is the
+   solution-quality axis of the trajectory, next to [nodes]; the
+   [optimal-smoke] CI gate reads [mean_program_size] from here. *)
+let quality_summary results =
+  let programs = List.filter_map (fun r -> r.Session.program) results in
+  let n = List.length programs in
+  let size_total = List.fold_left (fun acc p -> acc + Lang.program_size p) 0 programs in
+  let cost_total =
+    List.fold_left (fun acc p -> Cost.add acc (Cost.of_program p)) Cost.zero programs
+  in
+  J.Obj
+    [
+      ("programs", J.Int n);
+      ("program_size_total", J.Int size_total);
+      ( "mean_program_size",
+        if n = 0 then J.Null else J.Float (float_of_int size_total /. float_of_int n) );
+      ("cost_total", cost_json cost_total);
+    ]
 
 let sweep ?(meta = []) results =
   let solved = List.length (List.filter (fun r -> r.Session.solved) results) in
@@ -67,6 +123,7 @@ let sweep ?(meta = []) results =
         ("total", J.Int (List.length results));
         ("nodes", J.Int nodes);
         ("time_s", J.Float time_s);
+        ("quality", quality_summary results);
         ("prune_counts", counts_json counts);
         ("tasks", J.List (List.map task_json results));
       ])

@@ -2,13 +2,23 @@
 
     One schema shared by [bench/main.exe --json] and [imageeye sweep
     --json]: a top-level object with sweep aggregates ([solved], [total],
-    [nodes], [time_s], merged [prune_counts]) and a [tasks] array with
-    one row per session — [{name; id; description; solved; failure;
-    rounds; time_s; nodes; prune_counts}].  [nodes] sums the per-search
+    [nodes], [time_s], a [quality] block, merged [prune_counts]) and a
+    [tasks] array with one row per session — [{name; id; description;
+    solved; failure; rounds; time_s; nodes; prune_counts; program;
+    program_size; cost}].  [nodes] sums the per-search
     {!Imageeye_core.Synthesizer.stats.nodes} deltas over the session's
     rounds, so bank-construction work charged to the task is included
     and before/after comparisons (e.g. the committed [BENCH_PR3.json])
-    are apples-to-apples. *)
+    are apples-to-apples.
+
+    The quality fields make solution quality a first-class trajectory
+    axis next to [nodes]: per task, the synthesized program (pretty
+    printed), its {!Imageeye_core.Lang.program_size}, and its
+    {!Imageeye_core.Cost} footprint [{total; size; lattice; noise;
+    generality}] (all [null] when unsolved); at the top level, the
+    program count, total/mean program size, and componentwise cost sum
+    over solved tasks ([mean_program_size] is what the [optimal-smoke]
+    CI gate bounds). *)
 
 val sweep :
   ?meta:(string * Imageeye_util.Jsonout.t) list ->

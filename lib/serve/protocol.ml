@@ -9,6 +9,7 @@ type request =
       scenes : Imageeye_scene.Scene.t list;
       demos : Imageeye_interact.Demo_io.demo list;
       timeout_s : float option;
+      optimal : bool;
     }
   | Apply of {
       program : Imageeye_core.Lang.program;
@@ -59,6 +60,11 @@ let as_int key v =
   | Some i -> i
   | None -> bad "bad-request" (Printf.sprintf "field %S: expected an integer" key)
 
+let as_bool key v =
+  match Jsonin.to_bool_opt v with
+  | Some b -> b
+  | None -> bad "bad-request" (Printf.sprintf "field %S: expected a boolean" key)
+
 let as_float key v =
   match Jsonin.to_float_opt v with
   | Some f -> f
@@ -83,7 +89,8 @@ let decode_request doc op =
       let scenes = payload "scenes" (Wire.scenes_of_json (required doc "scenes" (fun _ v -> v))) in
       let demos = payload "demos" (Wire.demos_of_json (required doc "demos" (fun _ v -> v))) in
       let timeout_s = optional doc "timeout_s" as_float in
-      Synthesize { scenes; demos; timeout_s }
+      let optimal = Option.value (optional doc "optimal" as_bool) ~default:false in
+      Synthesize { scenes; demos; timeout_s; optimal }
   | "apply" ->
       let program =
         payload "program" (Wire.program_of_json (required doc "program" (fun _ v -> v)))
@@ -135,9 +142,10 @@ let to_json ~id request =
   let fields =
     match request with
     | Ping | Metrics | Shutdown -> []
-    | Synthesize { scenes; demos; timeout_s } ->
+    | Synthesize { scenes; demos; timeout_s; optimal } ->
         [ ("scenes", Wire.scenes_to_json scenes); ("demos", Wire.demos_to_json demos) ]
         @ (match timeout_s with None -> [] | Some t -> [ ("timeout_s", J.Float t) ])
+        @ (if optimal then [ ("optimal", J.Bool true) ] else [])
     | Apply { program; scenes } ->
         [ ("program", Wire.program_to_json program); ("scenes", Wire.scenes_to_json scenes) ]
     | Session_open { task_id; images; seed } ->

@@ -13,8 +13,10 @@
     - [ping] — liveness.
     - [metrics] — server-wide counters and latency quantiles.
     - [shutdown] — acknowledge, then drain and exit gracefully.
-    - [synthesize] — [{scenes, demos, timeout_s?}]: learn a program from
-      demonstrations ({!Wire} payload formats).
+    - [synthesize] — [{scenes, demos, timeout_s?, optimal?}]: learn a
+      program from demonstrations ({!Wire} payload formats); [optimal]
+      requests the minimal-cost consistent program instead of the first
+      one found.
     - [apply] — [{program, scenes}]: the edit the program induces.
     - [session-open] — [{task, images?, seed?}]: start an interactive
       session (the paper's demonstration loop) for a benchmark task.
@@ -31,6 +33,11 @@ type request =
       scenes : Imageeye_scene.Scene.t list;
       demos : Imageeye_interact.Demo_io.demo list;
       timeout_s : float option;
+      optimal : bool;
+          (** cost-directed optimal synthesis
+              ({!Imageeye_core.Synthesizer.config.optimality}); wire
+              field ["optimal"], defaults to [false] when absent, so
+              pre-existing clients are unaffected *)
     }
   | Apply of {
       program : Imageeye_core.Lang.program;

@@ -150,14 +150,16 @@ let round_fields (r : Session.round) =
 let stats_counts = function Some (st : Synthesizer.stats) -> st.prune_counts | None -> []
 
 (* Every handler returns (response, metrics outcome, synthesis counters). *)
-let handle_synthesize ~id ~scenes ~demos ~remaining =
+let handle_synthesize ~id ~scenes ~demos ~remaining ~optimal =
   match Wire.spec_of ~scenes demos with
   | Error message ->
       ( Protocol.error_response (Protocol.make_error ~id ~code:"bad-payload" ~message),
         "error",
         [] )
   | Ok spec -> (
-      let config = { Synthesizer.default_config with timeout_s = remaining } in
+      let config =
+        { Synthesizer.default_config with timeout_s = remaining; optimality = optimal }
+      in
       match Synthesizer.synthesize ~config spec with
       | Synthesizer.Success (program, st) ->
           ( Protocol.ok ~id ~op:"synthesize"
@@ -294,8 +296,8 @@ let handle_heavy state ~id ~admitted request =
       [] )
   else
     match request with
-    | Protocol.Synthesize { scenes; demos; _ } ->
-        handle_synthesize ~id ~scenes ~demos ~remaining
+    | Protocol.Synthesize { scenes; demos; optimal; _ } ->
+        handle_synthesize ~id ~scenes ~demos ~remaining ~optimal
     | Protocol.Apply { program; scenes } -> handle_apply ~id ~program ~scenes
     | Protocol.Session_open { task_id; images; seed } ->
         handle_session_open state ~id ~task_id ~images ~seed

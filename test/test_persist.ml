@@ -357,7 +357,7 @@ let test_restart_warmth_e2e () =
     { Server.default_config with state_dir = Some state_dir; default_timeout_s = 30.0 }
   in
   let scenes, demos = demo_payload 30 ~images:6 ~demo_images:1 ~seed:3 in
-  let synth = Protocol.Synthesize { scenes; demos; timeout_s = Some 20.0 } in
+  let synth = Protocol.Synthesize { scenes; demos; timeout_s = Some 20.0; optimal = false } in
 
   (* First life: build warmth (the bank builds on the second visit). *)
   let d1 = Faultnet.start ~config () in

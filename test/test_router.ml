@@ -184,7 +184,7 @@ let test_router_e2e () =
 
   (* repeated synthesize lands on one consistent worker: warmth builds *)
   let scenes, demos = demo_payload 30 ~images:6 ~demo_images:1 ~seed:3 in
-  let synth = Protocol.Synthesize { scenes; demos; timeout_s = Some 20.0 } in
+  let synth = Protocol.Synthesize { scenes; demos; timeout_s = Some 20.0; optimal = false } in
   let r1 = rpc_ok c synth in
   Alcotest.(check bool) "has program" true (Jsonin.member "program" r1 <> None);
   let _ = rpc_ok c synth in

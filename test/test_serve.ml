@@ -251,7 +251,7 @@ let test_protocol_synthesize_roundtrip () =
   let dataset = Dataset.generate ~n_images:3 ~seed:5 Dataset.Objects in
   let scenes = dataset.Dataset.scenes in
   let demos = [ { Demo_io.image_id = (List.hd scenes).Scene.image_id; edits = [] } ] in
-  let request = Protocol.Synthesize { scenes; demos; timeout_s = Some 0.25 } in
+  let request = Protocol.Synthesize { scenes; demos; timeout_s = Some 0.25; optimal = false } in
   let line = J.to_line (Protocol.to_json ~id:J.Null request) in
   (match Protocol.of_line line with
   | Ok t -> Alcotest.(check bool) "synthesize round-trips" true (t.Protocol.request = request)
@@ -457,7 +457,7 @@ let test_e2e () =
      universe — the recurrence-gated bank builds on the second search
      and pays off from the third. *)
   let scenes, demos = demo_payload 30 ~images:6 ~demo_images:1 ~seed:3 in
-  let synth = Protocol.Synthesize { scenes; demos; timeout_s = Some 20.0 } in
+  let synth = Protocol.Synthesize { scenes; demos; timeout_s = Some 20.0; optimal = false } in
   let r1 = rpc_ok c synth in
   Alcotest.(check string) "cold outcome" "success" (outcome r1);
   Alcotest.(check bool) "has program" true (Jsonin.member "program" r1 <> None);
@@ -488,7 +488,7 @@ let test_e2e () =
      and the server keeps serving afterwards *)
   let hard_scenes, hard_demos = demo_payload 16 ~images:10 ~demo_images:6 ~seed:97 in
   let r =
-    rpc_ok c (Protocol.Synthesize { scenes = hard_scenes; demos = hard_demos; timeout_s = Some 0.01 })
+    rpc_ok c (Protocol.Synthesize { scenes = hard_scenes; demos = hard_demos; timeout_s = Some 0.01; optimal = false })
   in
   Alcotest.(check string) "deadline outcome" "timeout" (outcome r);
   let r = rpc_ok c Protocol.Ping in
