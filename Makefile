@@ -12,7 +12,7 @@ BENCH_JSON ?= BENCH_PR9.json
 CI_MIN_SOLVED ?= 45
 CI_MAX_NODES ?= 16000000
 
-.PHONY: all build test smoke ablation-smoke optimal-smoke serve-smoke router-smoke fault-smoke check bench-json trend clean
+.PHONY: all build test smoke ablation-smoke optimal-smoke serve-smoke router-smoke fault-smoke stream-smoke check bench-json trend clean
 
 all: build
 
@@ -71,7 +71,15 @@ fault-smoke: build
 	dune exec test/test_faults.exe
 	bash scripts/serve_smoke.sh
 
-check: build test smoke ablation-smoke optimal-smoke
+# The streaming tier end to end: a seeded drifting corpus, a program
+# bootstrapped from its prefix, one forced mid-stream repair (the warm
+# resume must beat a cold restart on synthesis nodes), the O(window)
+# universe-cache bound, a byte-identical rerun, and the stream-apply
+# op over the wire.
+stream-smoke: build
+	bash scripts/stream_smoke.sh
+
+check: build test smoke ablation-smoke optimal-smoke stream-smoke
 	@echo "check OK"
 
 # Benchmark trajectory for the committed before/after record: the full

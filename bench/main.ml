@@ -612,6 +612,66 @@ let stress () =
   say "(sanity check that the synthesizer is not overfit to the curated benchmark suite)"
 
 (* ------------------------------------------------------------------ *)
+(* Streaming axis (extension): mega-corpus apply + warm repair         *)
+(* ------------------------------------------------------------------ *)
+
+(* The last streaming run, embedded into the --json meta so CI can track
+   throughput and the warm-vs-cold repair gap alongside the sweep. *)
+let stream_result : Imageeye_corpus.Stream.report option ref = ref None
+
+let stream () =
+  heading "Streaming: mega-corpus apply with mid-stream warm repair (extension)";
+  let module Stream = Imageeye_corpus.Stream in
+  let frames = if quick then 10_000 else 100_000 in
+  let task = Benchmarks.by_id 35 in
+  let corpus = Imageeye_corpus.Corpus.make ~domain:task.Task.domain ~seed ~frames in
+  let config =
+    {
+      Stream.default_config with
+      bootstrap_frames = 6;
+      synth_timeout_s = abl_timeout *. 2.0;
+    }
+  in
+  match Stream.run ~config ~corpus task with
+  | Error msg -> say "  bootstrap FAILED: %s" msg
+  | Ok r ->
+      stream_result := Some r;
+      say "  task %d over %d frames (window %d): %.0f images/s, %d edits, peak RSS %s"
+        task.Task.id r.Stream.frames_done r.Stream.window r.Stream.images_per_s
+        r.Stream.edits
+        (match r.Stream.peak_rss_kb with
+        | Some kb -> Printf.sprintf "%.1f MB" (float_of_int kb /. 1024.0)
+        | None -> "n/a");
+      say "  universes: peak live %d (bound %d), built %d" r.Stream.peak_live_universes
+        r.Stream.window r.Stream.universes_built;
+      let rows =
+        List.map
+          (fun (rep : Stream.repair) ->
+            [
+              string_of_int rep.at_frame;
+              string_of_int rep.nodes_warm;
+              (match rep.nodes_cold with Some n -> string_of_int n | None -> "-");
+              Printf.sprintf "%.3f" rep.warm_time_s;
+              (match rep.cold_time_s with
+              | Some t -> Printf.sprintf "%.3f" t
+              | None -> "-");
+              (match rep.nodes_cold with
+              | Some cold when cold > 0 ->
+                  Printf.sprintf "%.1fx"
+                    (float_of_int cold /. float_of_int (max 1 rep.nodes_warm))
+              | _ -> "-");
+            ])
+          r.Stream.repairs
+      in
+      if rows = [] then say "  no mid-stream repairs (stream agreed with ground truth)"
+      else
+        say "%s"
+          (Tablefmt.render
+             ~header:
+               [ "Repair@frame"; "Warm nodes"; "Cold nodes"; "Warm s"; "Cold s"; "Cold/Warm" ]
+             ~rows)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: one Test.make per table/figure            *)
 (* ------------------------------------------------------------------ *)
 
@@ -730,6 +790,33 @@ let json_meta () =
     ("cardinality", Bool cardinality);
     ("optimal", Bool optimal);
   ]
+  @ (match !stream_result with
+    | None -> []
+    | Some r ->
+        let module Stream = Imageeye_corpus.Stream in
+        [
+          ( "streaming",
+            Obj
+              [
+                ("frames", Int r.Stream.frames_done);
+                ("window", Int r.Stream.window);
+                ("images_per_s", Float r.Stream.images_per_s);
+                ("edits", Int r.Stream.edits);
+                ("peak_live_universes", Int r.Stream.peak_live_universes);
+                ("repairs", Int (List.length r.Stream.repairs));
+                ( "nodes_warm",
+                  Int
+                    (List.fold_left
+                       (fun acc (rep : Stream.repair) -> acc + rep.nodes_warm)
+                       0 r.Stream.repairs) );
+                ( "nodes_cold",
+                  Int
+                    (List.fold_left
+                       (fun acc (rep : Stream.repair) ->
+                         acc + Option.value rep.nodes_cold ~default:0)
+                       0 r.Stream.repairs) );
+              ] );
+        ])
   @ (match Sys.getenv_opt "IMAGEEYE_JSON_CI_MIN_SOLVED" with
     | Some v when String.trim v <> "" -> [ ("ci_min_solved", Int (int_of_string (String.trim v))) ]
     | _ -> [])
@@ -946,6 +1033,7 @@ let () =
       ("fig16", fig16);
       ("rq5", rq5);
       ("stress", stress);
+      ("stream", stream);
       ("micro", micro);
     ]
   in

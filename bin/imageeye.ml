@@ -14,6 +14,7 @@
      report     learn a task and write an HTML before/after gallery
      trend      render PERF_HISTORY.jsonl as a static HTML trend page
      parse      validate and pretty-print a DSL program file
+     stream     pipeline a program across a generated mega-corpus (O(window) memory)
      serve      run the persistent synthesis daemon (NDJSON over a socket)
      client     send one request to a running daemon
      loadgen    closed-loop load generator against a running daemon *)
@@ -837,7 +838,7 @@ let run_client_request endpoint request =
           if not (Client.is_ok response) then exit 1)
 
 let client socket port op program_file scenes_dir demos_file timeout task images seed
-    optimal =
+    optimal stream_domain stream_frames stream_window =
   let endpoint = client_endpoint socket port in
   let need what = function
     | Some v -> v
@@ -878,6 +879,12 @@ let client socket port op program_file scenes_dir demos_file timeout task images
       let scenes = Scene_io.load_scenes ~dir:(need "--scenes" scenes_dir) in
       if scenes = [] then failwith "no .scene files in the scenes directory";
       run_client_request endpoint (Protocol.Apply { program; scenes })
+  | "stream-apply" ->
+      let program = load_program (need "--program" program_file) in
+      let domain = need "--domain" stream_domain in
+      run_client_request endpoint
+        (Protocol.Stream_apply
+           { program; domain; seed; frames = stream_frames; window = stream_window })
   | "session" ->
       (* Drive the interactive loop end to end over the wire. *)
       let c = Client.connect_retry endpoint in
@@ -940,7 +947,7 @@ let client socket port op program_file scenes_dir demos_file timeout task images
 let client_cmd =
   let op =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"OP"
-           ~doc:"One of ping, metrics, shutdown, synthesize, apply, session, raw (sends              stdin verbatim as one request line).")
+           ~doc:"One of ping, metrics, shutdown, synthesize, apply, stream-apply, session,              raw (sends stdin verbatim as one request line).")
   in
   let program = Arg.(value & opt (some file) None & info [ "p"; "program" ] ~docv:"FILE") in
   let scenes = Arg.(value & opt (some dir) None & info [ "scenes" ] ~docv:"DIR") in
@@ -955,11 +962,24 @@ let client_cmd =
     Arg.(value & flag & info [ "optimal" ]
            ~doc:"Ask the daemon for the minimal-cost consistent program (synthesize op).")
   in
+  let stream_domain =
+    Arg.(value & opt (some domain_conv) None & info [ "domain" ] ~docv:"DOMAIN"
+           ~doc:"Corpus domain (stream-apply op).")
+  in
+  let stream_frames =
+    Arg.(value & opt int 10_000 & info [ "frames" ] ~docv:"N"
+           ~doc:"Corpus frames (stream-apply op).")
+  in
+  let stream_window =
+    Arg.(value & opt int 256 & info [ "window" ] ~docv:"W"
+           ~doc:"Universe-cache window (stream-apply op).")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:"Send one request to a running imageeye daemon and print the JSON response.")
     Term.(const client $ socket_arg $ port_arg $ op $ program $ scenes $ demos $ timeout
-          $ task $ images $ seed_arg $ optimal)
+          $ task $ images $ seed_arg $ optimal $ stream_domain $ stream_frames
+          $ stream_window)
 
 (* Build the synthesize payload the load generator replays: the paper's
    demonstration for [task] — the ground-truth edit on the useful image
@@ -1186,6 +1206,185 @@ let loadgen socket port endpoints concurrency requests task images demo_images s
   | _ -> ());
   if !errors <> [] || failures <> [] || List.length done_ <> requests then exit 1
 
+(* ---------- stream ---------- *)
+
+let stream_report_json (r : Imageeye_corpus.Stream.report) =
+  let repair_json (rep : Imageeye_corpus.Stream.repair) =
+    J.Obj
+      [
+        ("at_frame", J.Int rep.at_frame);
+        ("rounds_warm", J.Int rep.rounds_warm);
+        ("nodes_warm", J.Int rep.nodes_warm);
+        ("warm_time_s", J.Float rep.warm_time_s);
+        ("nodes_cold", match rep.nodes_cold with Some n -> J.Int n | None -> J.Null);
+        ("cold_time_s", match rep.cold_time_s with Some t -> J.Float t | None -> J.Null);
+        ("cold_solved", J.Bool rep.cold_solved);
+        ("repaired", J.Str (Lang.program_to_string rep.repaired));
+      ]
+  in
+  J.Obj
+    [
+      ("frames_requested", J.Int r.frames_requested);
+      ("frames_done", J.Int r.frames_done);
+      ("window", J.Int r.window);
+      ("edits", J.Int r.edits);
+      ("mismatched_frames", J.Int r.mismatched_frames);
+      ("repairs", J.List (List.map repair_json r.repairs));
+      ("repair_failed", J.Bool r.repair_failed);
+      ( "bootstrap",
+        match r.bootstrap_info with
+        | None -> J.Null
+        | Some b ->
+            J.Obj
+              [
+                ("demos", J.List (List.map (fun i -> J.Int i) b.demo_trajectory));
+                ("nodes", J.Int b.nodes_bootstrap);
+                ("time_s", J.Float b.bootstrap_time_s);
+              ] );
+      ("program", J.Str (Lang.program_to_string r.program));
+      ("elapsed_s", J.Float r.elapsed_s);
+      ("images_per_s", J.Float r.images_per_s);
+      ("peak_live_universes", J.Int r.peak_live_universes);
+      ("universes_built", J.Int r.universes_built);
+      ("peak_rss_kb", match r.peak_rss_kb with Some kb -> J.Int kb | None -> J.Null);
+      ("edit_digest", J.Str (Digest.to_hex r.edit_digest));
+    ]
+
+let stream task_id program_path domain frames window seed bootstrap timeout max_repairs
+    no_cold_compare budget json_path expect_repair expect_warm_cheaper max_live =
+  let config =
+    {
+      Imageeye_corpus.Stream.window;
+      bootstrap_frames = bootstrap;
+      max_repairs;
+      cold_compare = not no_cold_compare;
+      synth_timeout_s = timeout;
+      time_budget_s = budget;
+    }
+  in
+  let report =
+    match (task_id, program_path) with
+    | Some id, None ->
+        let task =
+          match Benchmarks.by_id id with
+          | t -> t
+          | exception Not_found -> failwith (Printf.sprintf "unknown task id %d" id)
+        in
+        let corpus =
+          Imageeye_corpus.Corpus.make ~domain:task.Task.domain ~seed ~frames
+        in
+        Printf.printf "task %d (%s): bootstrapping from a %d-frame prefix...\n%!" id
+          task.Task.description bootstrap;
+        (match Imageeye_corpus.Stream.run ~config ~corpus task with
+        | Ok r -> r
+        | Error msg -> failwith msg)
+    | None, Some path ->
+        let domain =
+          match domain with
+          | Some d -> d
+          | None -> failwith "--program needs --domain (wedding|receipts|objects)"
+        in
+        let corpus = Imageeye_corpus.Corpus.make ~domain ~seed ~frames in
+        Imageeye_corpus.Stream.apply ~config ~corpus (load_program path)
+    | Some _, Some _ -> failwith "give either --task or --program, not both"
+    | None, None -> failwith "give --task ID or --program FILE"
+  in
+  (match report.bootstrap_info with
+  | None -> ()
+  | Some b ->
+      Printf.printf "bootstrap: %d demo(s), %d nodes, %.2fs\n"
+        (List.length b.demo_trajectory) b.nodes_bootstrap b.bootstrap_time_s);
+  Printf.printf "streamed %d/%d frames in %.2fs (%.0f images/s)\n" report.frames_done
+    report.frames_requested report.elapsed_s report.images_per_s;
+  Printf.printf "edits: %d across %d window(s); %d mismatched frame(s)\n" report.edits
+    (List.length report.per_window_edits)
+    report.mismatched_frames;
+  Printf.printf "universes: peak live %d (window %d), built %d%s\n"
+    report.peak_live_universes report.window report.universes_built
+    (match report.peak_rss_kb with
+    | Some kb -> Printf.sprintf "; peak RSS %.1f MB" (float_of_int kb /. 1024.0)
+    | None -> "");
+  List.iter
+    (fun (rep : Imageeye_corpus.Stream.repair) ->
+      Printf.printf "repair @%d: %d warm round(s), %d nodes, %.2fs%s\n" rep.at_frame
+        rep.rounds_warm rep.nodes_warm rep.warm_time_s
+        (match (rep.nodes_cold, rep.cold_time_s) with
+        | Some n, Some t ->
+            Printf.sprintf " (cold restart: %d nodes, %.2fs%s)" n t
+              (if rep.cold_solved then "" else ", unsolved")
+        | _ -> ""))
+    report.repairs;
+  if report.repair_failed then Printf.printf "a repair attempt FAILED to re-synthesize\n";
+  Printf.printf "deployed program: %s\n" (Lang.program_to_string report.program);
+  Printf.printf "edit digest: %s\n" (Digest.to_hex report.edit_digest);
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      J.write_file path (stream_report_json report);
+      Printf.printf "wrote %s\n" path);
+  let failed = ref false in
+  let gate ok msg = if not ok then (Printf.eprintf "gate FAILED: %s\n" msg; failed := true) in
+  if expect_repair then
+    gate (report.repairs <> []) "expected at least one mid-stream repair, saw none";
+  if expect_warm_cheaper then begin
+    let compared =
+      List.filter (fun (r : Imageeye_corpus.Stream.repair) -> r.nodes_cold <> None)
+        report.repairs
+    in
+    gate (compared <> []) "expected a cold-compared repair to check warm < cold against";
+    List.iter
+      (fun (r : Imageeye_corpus.Stream.repair) ->
+        match r.nodes_cold with
+        | Some cold ->
+            gate (r.nodes_warm < cold)
+              (Printf.sprintf "repair @%d: warm %d nodes not < cold %d" r.at_frame
+                 r.nodes_warm cold)
+        | None -> ())
+      compared
+  end;
+  (match max_live with
+  | None -> ()
+  | Some n ->
+      gate
+        (report.peak_live_universes <= n)
+        (Printf.sprintf "peak live universes %d exceeds --max-live %d"
+           report.peak_live_universes n));
+  if !failed then exit 1
+
+let stream_cmd =
+  let task = Arg.(value & opt (some int) None & info [ "task" ] ~docv:"ID"
+                    ~doc:"Benchmark task to bootstrap from the corpus prefix and keep                          repaired against its ground truth (simulated user).") in
+  let program = Arg.(value & opt (some string) None & info [ "program" ] ~docv:"FILE"
+                       ~doc:"Stream a fixed DSL program file instead (no repairs).") in
+  let domain = Arg.(value & opt (some domain_conv) None & info [ "domain" ] ~docv:"DOMAIN"
+                      ~doc:"Corpus domain, required with --program (with --task the                            task's own domain is used).") in
+  let frames = Arg.(value & opt int 100_000 & info [ "frames" ] ~docv:"N"
+                      ~doc:"Corpus length in frames.") in
+  let window = Arg.(value & opt int 256 & info [ "window" ] ~docv:"W"
+                      ~doc:"Universe-cache window: at most W frame universes stay interned.") in
+  let bootstrap = Arg.(value & opt int 24 & info [ "bootstrap" ] ~docv:"B"
+                         ~doc:"Prefix frames the initial program is synthesized from.") in
+  let timeout = Arg.(value & opt float 30.0 & info [ "timeout" ] ~docv:"SECS"
+                       ~doc:"Per-synthesis-call timeout.") in
+  let max_repairs = Arg.(value & opt int 4 & info [ "max-repairs" ] ~docv:"N") in
+  let no_cold = Arg.(value & flag & info [ "no-cold-compare" ]
+                       ~doc:"Skip the cold-restart measurement at each repair.") in
+  let budget = Arg.(value & opt (some float) None & info [ "budget" ] ~docv:"SECS"
+                      ~doc:"Stop streaming early after this much wall time.") in
+  let json_path = Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE") in
+  let expect_repair = Arg.(value & flag & info [ "expect-repair" ]
+                             ~doc:"Exit 1 unless at least one mid-stream repair happened.") in
+  let expect_warm = Arg.(value & flag & info [ "expect-warm-cheaper" ]
+                           ~doc:"Exit 1 unless every cold-compared repair spent strictly                                 fewer warm nodes than its cold restart.") in
+  let max_live = Arg.(value & opt (some int) None & info [ "max-live" ] ~docv:"N"
+                        ~doc:"Exit 1 when the peak interned-universe count exceeds N.") in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:"Stream a program across a generated mega-corpus with O(window) memory,             repairing it mid-stream from warm banks when a counterexample appears.")
+    Term.(const stream $ task $ program $ domain $ frames $ window $ seed_arg $ bootstrap
+          $ timeout $ max_repairs $ no_cold $ budget $ json_path $ expect_repair
+          $ expect_warm $ max_live)
+
 let loadgen_cmd =
   let concurrency =
     Arg.(value & opt int 4 & info [ "c"; "concurrency" ] ~docv:"N"
@@ -1240,5 +1439,5 @@ let () =
           [
             generate_cmd; objects_cmd; synthesize_cmd; explain_cmd; tasks_cmd; show_cmd;
             learn_cmd; sweep_cmd; apply_cmd; accuracy_cmd; report_cmd; trend_cmd; parse_cmd;
-            serve_cmd; router_cmd; client_cmd; loadgen_cmd;
+            serve_cmd; router_cmd; client_cmd; loadgen_cmd; stream_cmd;
           ]))

@@ -46,16 +46,42 @@ type env = {
 }
 
 let make_env ?(max_iterations = default_max_iterations) ?(per_image = true)
-    ?(cardinality = true) ?reach_find ?reach_filter u =
+    ?(cardinality = true) ?demo_images ?reach_find ?reach_filter u =
   let full = Simage.full u in
   let n = Universe.size u in
   let masks =
     let imgs = Universe.image_ids u in
     let nimgs = List.length imgs in
-    if per_image && nimgs > 1 && nimgs <= max_planes then
+    if not (per_image && nimgs > 1) then [| Bitset.full n |]
+    else if nimgs <= max_planes then
       Array.of_list
         (List.map (fun img -> Bitset.of_list n (Universe.objects_of_image u img)) imgs)
-    else [| Bitset.full n |]
+    else
+      (* Oversized universe (direct synthesis over a whole batch):
+         per-image bookkeeping across hundreds of planes would dominate,
+         but a plane per *demonstrated* image (there are at most
+         [max_rounds] of those) plus one residual plane covering every
+         other image keeps the pruning where the goals live.  Soundness
+         is unchanged: each mask is still a union of whole images, and
+         every DSL operator is image-local, so per-plane meets remain
+         exact projections. *)
+      match demo_images with
+      | Some demos when demos <> [] && List.length demos < max_planes ->
+          let demos =
+            List.filter (fun img -> List.mem img imgs) (List.sort_uniq compare demos)
+          in
+          if demos = [] then [| Bitset.full n |]
+          else begin
+            let demo_masks =
+              List.map (fun img -> Bitset.of_list n (Universe.objects_of_image u img)) demos
+            in
+            let residual =
+              List.fold_left Bitset.diff (Bitset.full n) demo_masks
+            in
+            Array.of_list
+              (demo_masks @ (if Bitset.is_empty residual then [] else [ residual ]))
+          end
+      | _ -> [| Bitset.full n |]
   in
   {
     u;

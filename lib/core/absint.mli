@@ -64,8 +64,10 @@ val max_iterations_from_env : unit -> int
     non-positive value rather than silently running with the default. *)
 
 val max_planes : int
-(** Above this many demo images the analysis falls back to a single
-    whole-universe plane (per-image bookkeeping would dominate). *)
+(** Above this many images the analysis stops tracking one plane per
+    image (per-image bookkeeping would dominate).  With [demo_images] it
+    then keeps a plane per demonstrated image plus one residual plane;
+    without, it falls back to a single whole-universe plane. *)
 
 type env = {
   u : Imageeye_symbolic.Universe.t;
@@ -98,13 +100,20 @@ val make_env :
   ?max_iterations:int ->
   ?per_image:bool ->
   ?cardinality:bool ->
+  ?demo_images:int list ->
   ?reach_find:(Pred.t -> Func.t -> Imageeye_symbolic.Simage.t) ->
   ?reach_filter:(Pred.t -> Imageeye_symbolic.Simage.t) ->
   Imageeye_symbolic.Universe.t ->
   env
 (** Reach functions default to the full universe (sound, uninformative);
-    [per_image] and [cardinality] default to on.  [per_image] only takes
-    effect when the universe holds between 2 and {!max_planes} images. *)
+    [per_image] and [cardinality] default to on.  With [per_image], a
+    universe of 2..{!max_planes} images gets one plane per image; a
+    larger universe gets one plane per image of [demo_images] (the
+    demonstrated raw images of the spec, deduplicated, unknown ids
+    ignored) plus a residual plane over the rest — each mask is still a
+    union of whole images, so the product-domain soundness argument is
+    unchanged.  A larger universe without [demo_images] keeps the single
+    whole-universe plane. *)
 
 type result = Feasible | Infeasible
 

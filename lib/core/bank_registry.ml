@@ -87,6 +87,17 @@ let with_lock f =
 
 let clear () = with_lock (fun () -> Hashtbl.reset registry)
 
+(* Streaming eviction: the O(window) universe cache drops universes
+   behind its cursor, and with them their banks and vocabularies — the
+   registry entry is what would otherwise pin a dead universe (and its
+   entity/relation arrays) for the process lifetime.  Evicting a universe
+   that was never registered is a no-op; a handle obtained before the
+   eviction stays usable (it holds the bank state directly), the state is
+   simply no longer findable for new searches. *)
+let evict u = with_lock (fun () -> Hashtbl.remove registry (Universe.uid u))
+
+let registered () = with_lock (fun () -> Hashtbl.length registry)
+
 let ucache_of u =
   let key = Universe.uid u in
   match Hashtbl.find_opt registry key with

@@ -81,6 +81,17 @@ val stored : handle -> int
 val clear : unit -> unit
 (** Drop every registry entry (tests, memory release). *)
 
+val evict : Universe.t -> unit
+(** Drop one universe's entry (banks and vocabulary caches) — the
+    streaming tier's O(window) cache calls this when a universe falls
+    behind the cursor, so evicted universes become garbage instead of
+    living for the process lifetime.  No-op for unregistered universes;
+    handles already obtained stay usable but unshared. *)
+
+val registered : unit -> int
+(** Number of universes currently holding a registry entry (tests: the
+    streaming cache bound). *)
+
 (** {1 Snapshot export / import}
 
     The serving tier persists warm banks across restarts.  The registry

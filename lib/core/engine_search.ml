@@ -331,7 +331,7 @@ let stats_of_events ev ~nodes =
     prune_counts = Events.counts ev;
   }
 
-let search ~config ~limit ?hooks ?sink u i_out =
+let search ~config ~limit ?hooks ?sink ?demo_images u i_out =
   let vocab = Bank_registry.vocab u ~age_thresholds:config.age_thresholds in
   let passes = Prune.pipeline (spec_of_config config) in
   (* The Find/Filter signature dedup evaluates parameterizations on the
@@ -357,6 +357,7 @@ let search ~config ~limit ?hooks ?sink u i_out =
            ~max_iterations:(Absint.max_iterations_from_env ())
            ~per_image:config.absint_per_image
            ~cardinality:config.absint_cardinality
+           ?demo_images
            ~reach_find:(fun p f ->
              Option.value (Hashtbl.find_opt find_tbl (p, f)) ~default:full)
            ~reach_filter:(fun p ->

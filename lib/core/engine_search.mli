@@ -140,6 +140,7 @@ val search :
   limit:int ->
   ?hooks:hooks ->
   ?sink:(Imageeye_engine.Events.event -> unit) ->
+  ?demo_images:int list ->
   Imageeye_symbolic.Universe.t ->
   Imageeye_symbolic.Simage.t ->
   Lang.extractor list * [ `Found_enough | `Timeout | `Exhausted ] * stats
@@ -148,4 +149,7 @@ val search :
     past the first success, which is what powers program disambiguation
     and active learning.  [sink] observes the raw event stream.  With
     [hooks], solution-count termination is delegated to the hooks (the
-    value bank still keys its participation on [limit]). *)
+    value bank still keys its participation on [limit]).  [demo_images]
+    (the spec's demonstrated raw-image ids) lets the fwd-bwd analysis
+    keep per-image planes on universes beyond {!Absint.max_planes}
+    images — see {!Absint.make_env}. *)

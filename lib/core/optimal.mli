@@ -54,6 +54,7 @@ val search :
   config:Engine_search.config ->
   ?frontier:int ->
   ?sink:(Imageeye_engine.Events.event -> unit) ->
+  ?demo_images:int list ->
   Imageeye_symbolic.Universe.t ->
   Imageeye_symbolic.Simage.t ->
   result

@@ -46,9 +46,9 @@ let search = Engine_search.search
    program under an incumbent cost bound (Optimal); a timeout with an
    incumbent in hand still succeeds with it, so the optimal mode never
    solves fewer tasks than first-consistent mode under the same budget. *)
-let synthesize_extractor ?(config = default_config) u i_out =
+let synthesize_extractor ?(config = default_config) ?demo_images u i_out =
   if config.optimality then begin
-    let r = Optimal.search ~config u i_out in
+    let r = Optimal.search ~config ?demo_images u i_out in
     match r.Optimal.best with
     | Some (e, _cost) -> Success (e, r.Optimal.stats)
     | None -> (
@@ -57,7 +57,7 @@ let synthesize_extractor ?(config = default_config) u i_out =
         | `Exhausted | `Found_enough -> Exhausted r.Optimal.stats)
   end
   else
-    match search ~config ~limit:1 u i_out with
+    match search ~config ~limit:1 ?demo_images u i_out with
     | e :: _, _, st -> Success (e, st)
     | [], `Timeout, st -> Timeout st
     | [], (`Exhausted | `Found_enough), st -> Exhausted st
@@ -66,8 +66,8 @@ let synthesize_extractor ?(config = default_config) u i_out =
    worklist's size-then-depth order (the first is the one
    {!synthesize_extractor} returns).  Returns however many were found when
    the budget runs out. *)
-let synthesize_extractors ?(config = default_config) ~count u i_out =
-  let solutions, _, st = search ~config ~limit:(max 1 count) u i_out in
+let synthesize_extractors ?(config = default_config) ?demo_images ~count u i_out =
+  let solutions, _, st = search ~config ~limit:(max 1 count) ?demo_images u i_out in
   (solutions, st)
 
 (* Cost-ranked spec-consistent candidates, one list per demonstrated
@@ -80,10 +80,11 @@ let synthesize_extractors ?(config = default_config) ~count u i_out =
    cheapest-first and keep the first program that survives. *)
 let synthesize_ranked ?(config = default_config) (spec : Edit.Spec.t) =
   let u = spec.universe in
+  let demo_images = List.map fst spec.demos in
   let solve action =
     let i_out = Edit.Spec.output_for_action spec action in
     if config.optimality then begin
-      let r = Optimal.search ~config u i_out in
+      let r = Optimal.search ~config ~demo_images u i_out in
       match r.Optimal.best with
       | Some _ ->
           Success
@@ -94,7 +95,7 @@ let synthesize_ranked ?(config = default_config) (spec : Edit.Spec.t) =
           | `Exhausted | `Found_enough -> Exhausted r.Optimal.stats)
     end
     else
-      match search ~config ~limit:1 u i_out with
+      match search ~config ~limit:1 ~demo_images u i_out with
       | e :: _, _, st -> Success ([ e ], st)
       | [], `Timeout, st -> Timeout st
       | [], (`Exhausted | `Found_enough), st -> Exhausted st
@@ -118,9 +119,10 @@ let synthesize_ranked ?(config = default_config) (spec : Edit.Spec.t) =
    first failure are never searched. *)
 let synthesize ?(config = default_config) ?pool (spec : Edit.Spec.t) =
   let u = spec.universe in
+  let demo_images = List.map fst spec.demos in
   let actions = Edit.Spec.demonstrated_actions spec in
   let solve action =
-    synthesize_extractor ~config u (Edit.Spec.output_for_action spec action)
+    synthesize_extractor ~config ~demo_images u (Edit.Spec.output_for_action spec action)
   in
   let fold results =
     let rec go acc stats_acc = function

@@ -92,14 +92,20 @@ type 'a outcome =
 
 val synthesize_extractor :
   ?config:config ->
+  ?demo_images:int list ->
   Imageeye_symbolic.Universe.t ->
   Imageeye_symbolic.Simage.t ->
   Lang.extractor outcome
 (** [synthesize_extractor u i_out] searches for an extractor [e] with
-    ⟦e⟧(Î_in) = [i_out], where Î_in is the full universe [u]. *)
+    ⟦e⟧(Î_in) = [i_out], where Î_in is the full universe [u].
+    [demo_images] (the demonstrated raw-image ids, when the search comes
+    from a spec) keeps per-image abstract-interpretation planes alive on
+    universes beyond {!Absint.max_planes} images — the spec-level entry
+    points below pass it automatically. *)
 
 val synthesize_extractors :
   ?config:config ->
+  ?demo_images:int list ->
   count:int ->
   Imageeye_symbolic.Universe.t ->
   Imageeye_symbolic.Simage.t ->

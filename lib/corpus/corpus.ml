@@ -1,0 +1,82 @@
+module Scene = Imageeye_scene.Scene
+module Dataset = Imageeye_scene.Dataset
+module Rng = Imageeye_util.Rng
+
+(* A corpus is a pure function from frame index to scene: nothing is
+   materialized, so a 100k-frame corpus costs nothing to hold and the
+   same (domain, seed) always replays byte-identically — which is what
+   makes the streaming determinism tests and resumable benchmarks work.
+
+   Frames simulate a video-like sequence over a domain's object
+   vocabulary: each frame's base content comes from the domain's own
+   single-image generator under a frame-derived seed, and a drifting
+   population model then thins object classes with per-epoch retention
+   rates.  Drift is anchored per epoch and interpolated inside it, so
+   populations change smoothly (faces thin out over one stretch, cats
+   flood another) rather than resampling white noise per frame — late
+   epochs routinely exhibit object configurations the early frames never
+   showed, which is exactly what forces mid-stream repairs. *)
+
+type t = { domain : Dataset.domain; seed : int; frames : int }
+
+let epoch_len = 512
+
+let make ~domain ~seed ~frames =
+  if frames < 1 then invalid_arg "Corpus.make: frames must be >= 1";
+  { domain; seed; frames }
+
+let frames t = t.frames
+let domain t = t.domain
+let seed t = t.seed
+
+(* Population buckets: one retention rate per object class. *)
+let bucket (it : Scene.item) =
+  match it.kind with
+  | Scene.Face_item _ -> "face"
+  | Scene.Text_item _ -> "text"
+  | Scene.Thing_item cls -> cls
+
+(* The retention rate of one bucket at one epoch anchor, in [0.3, 1.0]:
+   a pure hash of (seed, epoch, bucket), so anchors never depend on
+   traversal order or history. *)
+let retention t epoch b =
+  let rng = Rng.create ((t.seed * 1_000_003) + (epoch * 8_191) + Hashtbl.hash b) in
+  0.3 +. (0.7 *. Rng.float rng 1.0)
+
+let scene t f =
+  if f < 0 || f >= t.frames then
+    invalid_arg (Printf.sprintf "Corpus.scene: frame %d outside 0..%d" f (t.frames - 1));
+  let base =
+    match
+      (Dataset.generate ~n_images:1 ~seed:((t.seed * 9_176_941) + f) t.domain).Dataset.scenes
+    with
+    | [ s ] -> s
+    | _ -> assert false
+  in
+  let epoch = f / epoch_len in
+  let pos = float_of_int (f mod epoch_len) /. float_of_int epoch_len in
+  let rng = Rng.create ((t.seed * 3_000_017) + f) in
+  let keep it =
+    let b = bucket it in
+    let r =
+      ((1.0 -. pos) *. retention t epoch b) +. (pos *. retention t (epoch + 1) b)
+    in
+    Rng.bernoulli rng r
+  in
+  let items =
+    match List.filter keep base.Scene.items with
+    | [] -> (
+        (* Never emit an empty frame: keep the base scene's first object
+           so every frame has a non-degenerate universe. *)
+        match base.Scene.items with [] -> [] | it :: _ -> [ it ])
+    | kept -> kept
+  in
+  Scene.make ~image_id:f ~width:base.Scene.width ~height:base.Scene.height items
+
+let prefix_dataset ?(name = "corpus-prefix") t n =
+  let n = min n t.frames in
+  {
+    Dataset.domain = t.domain;
+    name;
+    scenes = List.init n (fun f -> scene t f);
+  }

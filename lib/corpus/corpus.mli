@@ -1,0 +1,38 @@
+(** Deterministic lazy mega-corpus generation.
+
+    A corpus is a pure function from frame index to {!Imageeye_scene.Scene.t}
+    — nothing is ever materialized, so 100k+ image sequences cost nothing
+    to hold and replay byte-identically from (domain, seed).  Frames
+    simulate video: base content comes from the domain's own single-image
+    generator under a frame-derived seed, and a drifting population model
+    (per-epoch retention rates per object class, interpolated inside each
+    epoch) makes object populations evolve smoothly over the sequence.
+    Late epochs routinely show configurations the early frames never did
+    — the situation that invalidates a program synthesized from a prefix
+    and forces a mid-stream repair.
+
+    A frame's scene carries [image_id = frame index], so scenes from
+    different frames compose into one demonstration universe without id
+    collisions. *)
+
+type t
+
+val make : domain:Imageeye_scene.Dataset.domain -> seed:int -> frames:int -> t
+(** Raises [Invalid_argument] when [frames < 1]. *)
+
+val frames : t -> int
+val domain : t -> Imageeye_scene.Dataset.domain
+val seed : t -> int
+
+val epoch_len : int
+(** Frames per drift epoch (anchor points of the population model). *)
+
+val scene : t -> int -> Imageeye_scene.Scene.t
+(** [scene t f] is the frame [f] (0-based) — a pure function of
+    [(domain, seed, f)], O(1) in the corpus length.  Raises
+    [Invalid_argument] outside [0 .. frames - 1]. *)
+
+val prefix_dataset : ?name:string -> t -> int -> Imageeye_scene.Dataset.t
+(** The first [n] frames as a dataset (clamped to the corpus length):
+    the bootstrap prefix the streaming tier synthesizes its initial
+    program from. *)

@@ -44,12 +44,15 @@ let suggest u ~exclude candidates =
    alternatives vary the extractor of each action independently. *)
 let candidate_programs ~config ~count (spec : Edit.Spec.t) =
   let u = spec.universe in
+  let demo_images = List.map fst spec.demos in
   let actions = Edit.Spec.demonstrated_actions spec in
   let per_action =
     List.map
       (fun action ->
         let i_out = Edit.Spec.output_for_action spec action in
-        let extractors, stats = Synthesizer.synthesize_extractors ~config ~count u i_out in
+        let extractors, stats =
+          Synthesizer.synthesize_extractors ~config ~demo_images ~count u i_out
+        in
         (action, extractors, stats))
       actions
   in
@@ -116,9 +119,9 @@ let run ?(config = Synthesizer.default_config) ?(max_rounds = 10) ?(candidates =
         let demo_u = Batch.shared_universe_of_scenes demo_scenes in
         let demo_edit = Edit.induced_by_program demo_u task.Task.ground_truth in
         let spec = Edit.Spec.make demo_u [ (List.hd demo_images, demo_edit) ] in
-        let t0 = Unix.gettimeofday () in
+        let t0 = Imageeye_util.Clock.counter () in
         let programs, _ = candidate_programs ~config ~count:candidates spec in
-        let elapsed = Unix.gettimeofday () -. t0 in
+        let elapsed = Imageeye_util.Clock.elapsed_s t0 in
         let round prog =
           {
             Session.round_index;

@@ -197,6 +197,47 @@ module Stepwise = struct
       spec_minimal = None;
     }
 
+  (* Incremental re-synthesis: continue an earlier session's
+     demonstration trajectory instead of replaying it.  [demo_images] is
+     the accumulated demonstration list, most recent first — in the
+     streaming repair path, the mid-stream counterexample consed onto the
+     demonstrations the deployed program was synthesized from.  The next
+     {!step} synthesizes once over the whole accumulated set (warm: the
+     previously demonstrated images' universes and banks are already
+     interned), where a cold restart would re-run the interaction loop
+     from round 1. *)
+  let resume ~engine ?optimize ?(max_rounds = 10) ?batch_universe ~dataset ~demo_images
+      task =
+    if demo_images = [] then invalid_arg "Session.Stepwise.resume: no demonstrations";
+    let scenes = dataset.Dataset.scenes in
+    let image_ids = List.map (fun s -> s.Scene.image_id) scenes in
+    List.iter
+      (fun img ->
+        if not (List.mem img image_ids) then
+          invalid_arg
+            (Printf.sprintf "Session.Stepwise.resume: image %d is not in the dataset" img))
+      demo_images;
+    let batch_u =
+      match batch_universe with Some u -> u | None -> Batch.universe_of_scenes scenes
+    in
+    let gt_edit = Edit.induced_by_program batch_u task.Task.ground_truth in
+    let scene_of img = List.find (fun s -> s.Scene.image_id = img) scenes in
+    {
+      engine;
+      optimize;
+      max_rounds;
+      task;
+      batch_u;
+      gt_edit;
+      image_ids;
+      scene_of;
+      demo_images;
+      rounds = [];
+      round_index = List.length demo_images;
+      status = Awaiting_round;
+      spec_minimal = None;
+    }
+
   let step t =
     match t.status with
     | Solved _ | Failed _ -> None

@@ -111,6 +111,29 @@ module Stepwise : sig
       the extra search) can change.  {!run} wires the cost-directed
       optimal search here when [config.optimality] is set. *)
 
+  val resume :
+    engine:engine ->
+    ?optimize:optimizer ->
+    ?max_rounds:int ->
+    ?batch_universe:Imageeye_symbolic.Universe.t ->
+    dataset:Imageeye_scene.Dataset.t ->
+    demo_images:int list ->
+    Imageeye_tasks.Task.t ->
+    t
+  (** Incremental re-synthesis: continue an earlier session's
+      demonstration trajectory instead of replaying it.  [demo_images]
+      is the accumulated demonstration list, {e most recent first} (the
+      head is the next round's primary demonstration — in the streaming
+      repair path, the mid-stream counterexample consed onto the
+      demonstrations the deployed program came from); every id must be
+      an image of [dataset].  The next {!step} synthesizes once over the
+      whole accumulated set — warm, since the previously demonstrated
+      universes and their value banks are already interned — where a
+      cold restart ({!start}) re-runs the loop from round 1.  The round
+      counter resumes at [length demo_images], so pass a [max_rounds]
+      with headroom above it.  Raises [Invalid_argument] on an empty
+      [demo_images] or an id outside the dataset. *)
+
   val status : t -> status
 
   val next_demo : t -> int option

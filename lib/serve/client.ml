@@ -3,9 +3,9 @@ module Jsonin = Imageeye_util.Jsonin
 
 type endpoint = Unix_socket of string | Tcp of string * int
 
-type t = { fd : Unix.file_descr; ic : in_channel; mutable next_id : int }
+type t = { fd : Unix.file_descr; frame : Frame.t; mutable next_id : int }
 
-let connect endpoint =
+let connect ?limits endpoint =
   let fd, addr =
     match endpoint with
     | Unix_socket path -> (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX path)
@@ -18,7 +18,7 @@ let connect endpoint =
   | exception e ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       raise e);
-  { fd; ic = Unix.in_channel_of_descr fd; next_id = 1 }
+  { fd; frame = Frame.create ?limits fd; next_id = 1 }
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
@@ -30,12 +30,13 @@ let transient = function
       true
   | _ -> false
 
-let connect_retry ?(attempts = 8) ?(backoff_s = 0.05) ?(max_backoff_s = 2.0) endpoint =
+let connect_retry ?(attempts = 8) ?(backoff_s = 0.05) ?(max_backoff_s = 2.0) ?limits
+    endpoint =
   (* Deterministically seeded jitter: retries desynchronize without the
      client's behavior varying run to run. *)
   let rng = Imageeye_util.Rng.create 0x1e57c0de in
   let rec go attempt =
-    match connect endpoint with
+    match connect ?limits endpoint with
     | c -> c
     | exception (Unix.Unix_error (e, _, _) as exn) ->
         if attempt >= attempts || not (transient e) then raise exn
@@ -61,14 +62,20 @@ let send_line t json =
   | exception Unix.Unix_error (e, _, _) ->
       Error (Printf.sprintf "write failed: %s" (Unix.error_message e))
 
+(* The response path mirrors the daemon's reader: a bounded framer over
+   the raw descriptor instead of a bare [input_line], so a misbehaving
+   server (or router) answering with an endless newline-free line, or
+   dripping bytes mid-response, costs at most the frame cap / deadline
+   instead of the client's address space.  After an over-limit error the
+   stream position is unknown, so callers should close the connection. *)
 let read_response t =
-  match input_line t.ic with
-  | line -> (
+  match Frame.read_line t.frame with
+  | Ok line -> (
       match Jsonin.parse line with
       | Ok doc -> Ok doc
       | Error e -> Error (Printf.sprintf "malformed response: %s" (Jsonin.error_to_string e)))
-  | exception End_of_file -> Error "connection closed by server"
-  | exception Sys_error msg -> Error (Printf.sprintf "read failed: %s" msg)
+  | Error Frame.Eof -> Error "connection closed by server"
+  | Error err -> Error (Printf.sprintf "response %s" (Frame.error_to_string err))
 
 let rpc_json t json =
   match send_line t json with Error _ as e -> e | Ok () -> read_response t

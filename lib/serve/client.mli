@@ -12,11 +12,21 @@ type endpoint = Unix_socket of string | Tcp of string * int
 
 type t
 
-val connect : endpoint -> t
-(** Raises [Unix.Unix_error] when nothing listens there. *)
+val connect : ?limits:Frame.limits -> endpoint -> t
+(** Raises [Unix.Unix_error] when nothing listens there.  Responses are
+    read through the same bounded {!Frame} reader the daemon uses
+    ([limits] defaults to {!Frame.default_limits}): an over-long or
+    dripping response line comes back as a structured [Error] from
+    {!rpc} instead of growing without bound — after such an error the
+    stream position is unknown, so close the connection. *)
 
 val connect_retry :
-  ?attempts:int -> ?backoff_s:float -> ?max_backoff_s:float -> endpoint -> t
+  ?attempts:int ->
+  ?backoff_s:float ->
+  ?max_backoff_s:float ->
+  ?limits:Frame.limits ->
+  endpoint ->
+  t
 (** {!connect} with bounded retry on transient failures ([ECONNREFUSED],
     [ENOENT], [ECONNRESET], ...): exponential backoff from [backoff_s]
     (default 0.05 s) doubling up to [max_backoff_s] (default 2 s), with

@@ -15,6 +15,13 @@ type request =
       program : Imageeye_core.Lang.program;
       scenes : Imageeye_scene.Scene.t list;
     }
+  | Stream_apply of {
+      program : Imageeye_core.Lang.program;
+      domain : Imageeye_scene.Dataset.domain;
+      seed : int;
+      frames : int;
+      window : int;
+    }
   | Session_open of { task_id : int; images : int option; seed : int }
   | Session_round of { session : int; timeout_s : float option }
   | Session_close of { session : int }
@@ -31,13 +38,16 @@ let op_name = function
   | Shutdown -> "shutdown"
   | Synthesize _ -> "synthesize"
   | Apply _ -> "apply"
+  | Stream_apply _ -> "stream-apply"
   | Session_open _ -> "session-open"
   | Session_round _ -> "session-round"
   | Session_close _ -> "session-close"
 
 let is_heavy = function
   | Ping | Metrics | Shutdown -> false
-  | Synthesize _ | Apply _ | Session_open _ | Session_round _ | Session_close _ -> true
+  | Synthesize _ | Apply _ | Stream_apply _ | Session_open _ | Session_round _
+  | Session_close _ ->
+      true
 
 (* ---------- decoding ---------- *)
 
@@ -97,6 +107,30 @@ let decode_request doc op =
       in
       let scenes = payload "scenes" (Wire.scenes_of_json (required doc "scenes" (fun _ v -> v))) in
       Apply { program; scenes }
+  | "stream-apply" ->
+      let program =
+        payload "program" (Wire.program_of_json (required doc "program" (fun _ v -> v)))
+      in
+      let as_domain key v =
+        match Jsonin.to_string_opt v with
+        | None -> bad "bad-request" (Printf.sprintf "field %S: expected a string" key)
+        | Some s -> (
+            match String.lowercase_ascii s with
+            | "wedding" -> Imageeye_scene.Dataset.Wedding
+            | "receipts" -> Imageeye_scene.Dataset.Receipts
+            | "objects" -> Imageeye_scene.Dataset.Objects
+            | other ->
+                bad "bad-request"
+                  (Printf.sprintf "field %S: unknown domain %S (wedding|receipts|objects)"
+                     key other))
+      in
+      let domain = required doc "domain" as_domain in
+      let seed = Option.value (optional doc "seed" as_int) ~default:42 in
+      let frames = required doc "frames" as_int in
+      let window = Option.value (optional doc "window" as_int) ~default:256 in
+      if frames < 1 then bad "bad-request" "field \"frames\": must be >= 1";
+      if window < 1 then bad "bad-request" "field \"window\": must be >= 1";
+      Stream_apply { program; domain; seed; frames; window }
   | "session-open" ->
       let task_id = required doc "task" as_int in
       let images = optional doc "images" as_int in
@@ -148,6 +182,15 @@ let to_json ~id request =
         @ (if optimal then [ ("optimal", J.Bool true) ] else [])
     | Apply { program; scenes } ->
         [ ("program", Wire.program_to_json program); ("scenes", Wire.scenes_to_json scenes) ]
+    | Stream_apply { program; domain; seed; frames; window } ->
+        [
+          ("program", Wire.program_to_json program);
+          ( "domain",
+            J.Str (String.lowercase_ascii (Imageeye_scene.Dataset.domain_name domain)) );
+          ("seed", J.Int seed);
+          ("frames", J.Int frames);
+          ("window", J.Int window);
+        ]
     | Session_open { task_id; images; seed } ->
         ("task", J.Int task_id)
         :: (match images with None -> [] | Some n -> [ ("images", J.Int n) ])

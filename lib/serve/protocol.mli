@@ -18,6 +18,12 @@
       requests the minimal-cost consistent program instead of the first
       one found.
     - [apply] — [{program, scenes}]: the edit the program induces.
+    - [stream-apply] — [{program, domain, frames, seed?, window?}]:
+      stream the program across a generated corpus with O(window)
+      memory, reporting throughput and edit counts rather than the
+      (enormous) edit stream itself.  Capped by the request timeout:
+      when the budget runs out the response reports how far it got with
+      outcome ["timeout"].
     - [session-open] — [{task, images?, seed?}]: start an interactive
       session (the paper's demonstration loop) for a benchmark task.
     - [session-round] — [{session, timeout_s?}]: run one loop round.
@@ -42,6 +48,13 @@ type request =
   | Apply of {
       program : Imageeye_core.Lang.program;
       scenes : Imageeye_scene.Scene.t list;
+    }
+  | Stream_apply of {
+      program : Imageeye_core.Lang.program;
+      domain : Imageeye_scene.Dataset.domain;
+      seed : int;
+      frames : int;
+      window : int;
     }
   | Session_open of { task_id : int; images : int option; seed : int }
   | Session_round of { session : int; timeout_s : float option }

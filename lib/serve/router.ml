@@ -335,6 +335,15 @@ let handle_line state line =
           handle_keyed state ~id ~op:"synthesize" ~key:(scenes_key scenes) ~raw:line ~started
       | Protocol.Apply { scenes; _ } ->
           handle_keyed state ~id ~op:"apply" ~key:(scenes_key scenes) ~raw:line ~started
+      | Protocol.Stream_apply { domain; seed; frames; _ } ->
+          (* No scene payload to key on: route by corpus identity so
+             repeats of the same stream land on the same worker. *)
+          let key =
+            Printf.sprintf "stream\x00%s\x00%d\x00%d"
+              (Imageeye_scene.Dataset.domain_name domain)
+              seed frames
+          in
+          handle_keyed state ~id ~op:"stream-apply" ~key ~raw:line ~started
       | Protocol.Session_open { task_id; images; seed } ->
           handle_session_open state ~id ~task_id ~images ~seed ~raw:line ~started
       | Protocol.Session_round { session; timeout_s } ->

@@ -189,6 +189,44 @@ let handle_apply ~id ~program ~scenes =
     "ok",
     [] )
 
+(* Stream a program across a generated corpus under the request's time
+   budget.  The edit stream itself would be enormous, so the response
+   carries the aggregate report: frames done, edit count, throughput,
+   peak interned universes (bounded by [window]) and the stream digest.
+   A budget overrun is not an error — the response says how far it got
+   with outcome "timeout". *)
+let handle_stream_apply ~id ~program ~domain ~seed ~frames ~window ~remaining =
+  let corpus = Imageeye_corpus.Corpus.make ~domain ~seed ~frames in
+  let config =
+    {
+      Imageeye_corpus.Stream.default_config with
+      window;
+      time_budget_s = Some remaining;
+    }
+  in
+  let r = Imageeye_corpus.Stream.apply ~config ~corpus program in
+  let finished = r.Imageeye_corpus.Stream.frames_done = frames in
+  let outcome = if finished then "ok" else "timeout" in
+  ( Protocol.ok ~id ~op:"stream-apply"
+      [
+        ("outcome", J.Str outcome);
+        ("frames_requested", J.Int frames);
+        ("frames_done", J.Int r.Imageeye_corpus.Stream.frames_done);
+        ("window", J.Int window);
+        ("edits", J.Int r.Imageeye_corpus.Stream.edits);
+        ("elapsed_s", J.Float r.Imageeye_corpus.Stream.elapsed_s);
+        ("images_per_s", J.Float r.Imageeye_corpus.Stream.images_per_s);
+        ("peak_live_universes", J.Int r.Imageeye_corpus.Stream.peak_live_universes);
+        ("universes_built", J.Int r.Imageeye_corpus.Stream.universes_built);
+        ( "peak_rss_kb",
+          match r.Imageeye_corpus.Stream.peak_rss_kb with
+          | Some kb -> J.Int kb
+          | None -> J.Null );
+        ("edit_digest", J.Str (Digest.to_hex r.Imageeye_corpus.Stream.edit_digest));
+      ],
+    outcome,
+    [] )
+
 let handle_session_open state ~id ~task_id ~images ~seed =
   match Benchmarks.by_id task_id with
   | exception Not_found ->
@@ -299,6 +337,8 @@ let handle_heavy state ~id ~admitted request =
     | Protocol.Synthesize { scenes; demos; optimal; _ } ->
         handle_synthesize ~id ~scenes ~demos ~remaining ~optimal
     | Protocol.Apply { program; scenes } -> handle_apply ~id ~program ~scenes
+    | Protocol.Stream_apply { program; domain; seed; frames; window } ->
+        handle_stream_apply ~id ~program ~domain ~seed ~frames ~window ~remaining
     | Protocol.Session_open { task_id; images; seed } ->
         handle_session_open state ~id ~task_id ~images ~seed
     | Protocol.Session_round { session; _ } ->

@@ -51,3 +51,19 @@ let shared_entries () =
 let clear_shared () =
   Mutex.lock shared_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock shared_mutex) (fun () -> Hashtbl.reset shared_tbl)
+
+(* Streaming eviction: the O(window) cache interns one universe per live
+   frame and releases it when the frame falls behind the cursor.  Without
+   release, a 100k-frame stream would retain 100k universes here for the
+   process lifetime. *)
+let release_shared scenes =
+  Mutex.lock shared_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock shared_mutex)
+    (fun () -> Hashtbl.remove shared_tbl scenes)
+
+let shared_count () =
+  Mutex.lock shared_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock shared_mutex)
+    (fun () -> Hashtbl.length shared_tbl)

@@ -36,3 +36,12 @@ val shared_entries :
 val clear_shared : unit -> unit
 (** Drop every interned entry (tests: in-process daemon restarts must
     not carry warm state in memory). *)
+
+val release_shared : Imageeye_scene.Scene.t list -> unit
+(** Drop one interned entry by its scene-list key (no-op when absent).
+    The streaming tier's O(window) cache releases frames behind its
+    cursor this way; a later {!shared_universe_of_scenes} on the same
+    key recomputes a fresh (no longer physically equal) universe. *)
+
+val shared_count : unit -> int
+(** Number of interned entries (tests: the streaming cache bound). *)

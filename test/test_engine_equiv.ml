@@ -108,14 +108,19 @@ let map_stats f = function
 
 (* Fig. 8 rebuilt directly on the layered engine, bypassing the
    Synthesizer wrappers: one Engine_search.search per demonstrated
-   action, folded in action order. *)
+   action, folded in action order.  The wrapper threads the spec's
+   demonstrated image ids into the abstract domain (so universes past
+   [Absint.max_planes] get per-demo planes instead of the single-plane
+   fallback); the hand-built composition must thread the same ids or
+   the two diverge on fallback-sized datasets. *)
 let engine_synthesize spec =
   let u = spec.Edit.Spec.universe in
+  let demo_images = List.map fst spec.Edit.Spec.demos in
   let rec go acc stats_acc = function
     | [] -> Synthesizer.Success (List.rev acc, stats_acc)
     | action :: rest -> (
         match
-          Engine_search.search ~config ~limit:1 u
+          Engine_search.search ~config ~limit:1 ~demo_images u
             (Edit.Spec.output_for_action spec action)
         with
         | e :: _, _, st ->
@@ -303,7 +308,80 @@ let find_in_window_prop =
           && Simage.equal (Eval.extractor u term) v
           && Lang.size term = size)
 
+(* Universes beyond [Absint.max_planes] images used to collapse to a
+   single abstract plane, silently giving up per-image pruning exactly
+   where it matters most (paper-sized Wedding/Objects datasets).  They
+   now get one plane per *demonstrated* image plus a residual plane.
+   The planes are a pruning device, never a semantics change: programs
+   must come out identical, with the demo planes pruning at least as
+   hard as the single-plane fallback. *)
+let test_demo_planes () =
+  let module Absint = Imageeye_core.Absint in
+  let dataset = Dataset.generate ~n_images:70 ~seed:5 Dataset.Objects in
+  let u = Batch.universe_of_scenes dataset.scenes in
+  Alcotest.(check bool) "dataset exceeds the plane budget" true
+    (List.length dataset.scenes > Absint.max_planes);
+  (* Plane selection. *)
+  let env0 = Absint.make_env u in
+  Alcotest.(check int) "no demos: single-plane fallback" 1 (Array.length env0.Absint.masks);
+  let env2 = Absint.make_env ~demo_images:[ 3; 41 ] u in
+  Alcotest.(check int) "two demos: two demo planes + residual" 3
+    (Array.length env2.Absint.masks);
+  (* Equivalence on real specs over the full 70-image universe. *)
+  let full_config = { config with Synthesizer.timeout_s = 60.0; max_expansions = 50_000 } in
+  let flat_config = { full_config with Synthesizer.absint_per_image = false } in
+  let checked = ref 0 in
+  List.iter
+    (fun id ->
+      let task = Benchmarks.by_id id in
+      let full_edit = Edit.induced_by_program u task.Task.ground_truth in
+      let demo =
+        List.find_map
+          (fun (s : Imageeye_scene.Scene.t) ->
+            let e = edit_on_image u full_edit s.image_id in
+            if Edit.is_empty e then None else Some (s.image_id, e))
+          dataset.scenes
+      in
+      match demo with
+      | None -> ()
+      | Some (img, e) -> (
+          let spec = Edit.Spec.make u [ (img, e) ] in
+          match (Synthesizer.synthesize ~config:full_config spec,
+                 Synthesizer.synthesize ~config:flat_config spec)
+          with
+          | Synthesizer.Success (p_on, s_on), Synthesizer.Success (p_off, s_off) ->
+              incr checked;
+              Alcotest.(check string)
+                (Printf.sprintf "task %d: program unchanged by demo planes" id)
+                (Lang.program_to_string p_off)
+                (Lang.program_to_string p_on);
+              (* Pruning only ever removes candidates, so the worklist
+                 traffic must not grow.  (Evaluated-node counts are not
+                 monotone here: each extra per-plane hole tightening
+                 re-evaluates the spine above the hole, which can cost
+                 more eval nodes than it saves on an already-fast task.) *)
+              if s_on.Synthesizer.popped > s_off.Synthesizer.popped then
+                Alcotest.failf "task %d: demo planes popped %d > %d without" id
+                  s_on.Synthesizer.popped s_off.Synthesizer.popped;
+              if s_on.Synthesizer.enqueued > s_off.Synthesizer.enqueued then
+                Alcotest.failf "task %d: demo planes enqueued %d > %d without" id
+                  s_on.Synthesizer.enqueued s_off.Synthesizer.enqueued
+          | on, off ->
+              Alcotest.failf "task %d: expected success/success, got %s / %s" id
+                (outcome_sig on) (outcome_sig off)))
+    (* Tasks whose one-demo spec solves quickly over a 70-image universe
+       (others run to the expansion cap regardless of planes). *)
+    [ 31; 33; 34; 38; 42 ];
+  Alcotest.(check bool) "at least one task was checked" true (!checked > 0)
+
 let () =
   Alcotest.run "engine-equivalence"
     (List.map (fun d -> (Dataset.domain_name d, [ suite_case d ])) Dataset.all_domains
-    @ [ ("value-bank", [ QCheck_alcotest.to_alcotest find_in_window_prop ]) ])
+    @ [
+        ("value-bank", [ QCheck_alcotest.to_alcotest find_in_window_prop ]);
+        ( "demo-planes",
+          [
+            Alcotest.test_case "over-budget universes keep demo planes" `Slow
+              test_demo_planes;
+          ] );
+      ])

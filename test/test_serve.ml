@@ -553,6 +553,56 @@ let test_e2e () =
   Thread.join server;
   Alcotest.(check bool) "socket unlinked" false (Sys.file_exists path)
 
+(* Regression: the client used to read responses with an unbounded
+   [input_line], so a misbehaving (or malicious) server could make it
+   buffer arbitrarily much.  It now reads through the same bounded
+   [Frame] reader as the server and turns an oversized response line
+   into a structured transport error. *)
+let test_client_bounded_response () =
+  let module Frame = Imageeye_serve.Frame in
+  let path = temp_socket () in
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX path);
+  Unix.listen srv 1;
+  (* Over the client's cap but under the socket buffer, so the write
+     never blocks even though the client stops reading mid-line. *)
+  let oversized = String.make (64 * 1024) 'x' in
+  let server =
+    Thread.create
+      (fun () ->
+        try
+          let fd, _ = Unix.accept srv in
+          let frame = Frame.create fd in
+          (* Consume the request line, then answer with one line far
+             over the client's cap. *)
+          ignore (Frame.read_line frame);
+          ignore (Unix.write_substring fd oversized 0 (String.length oversized));
+          ignore (Unix.write_substring fd "\n" 0 1);
+          Unix.close fd
+        with _ -> ())
+      ()
+  in
+  let limits = { Frame.max_line_bytes = 4096; read_timeout_s = Some 10.0 } in
+  let c = Client.connect_retry ~limits (Client.Unix_socket path) in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.close c;
+      Thread.join server;
+      Unix.close srv;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      match Client.rpc c Protocol.Ping with
+      | Ok r -> Alcotest.failf "expected a transport error, got: %s" (J.to_line r)
+      | Error msg ->
+          let mentions_limit =
+            let needle = "line limit" in
+            let n = String.length needle and m = String.length msg in
+            let rec scan i = i + n <= m && (String.sub msg i n = needle || scan (i + 1)) in
+            scan 0
+          in
+          if not mentions_limit then
+            Alcotest.failf "error does not name the line limit: %s" msg)
+
 let () =
   Alcotest.run "serve"
     [
@@ -583,6 +633,11 @@ let () =
           Alcotest.test_case "value-bank counters" `Quick test_metrics_value_bank;
           Alcotest.test_case "fault counters" `Quick test_metrics_faults;
           Alcotest.test_case "concurrent recorders are exact" `Quick test_metrics_concurrent;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "oversized response is a structured error" `Quick
+            test_client_bounded_response;
         ] );
       ("e2e", [ Alcotest.test_case "daemon lifecycle" `Slow test_e2e ]);
     ]
